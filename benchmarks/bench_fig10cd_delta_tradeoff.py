@@ -1,0 +1,83 @@
+"""Figures 10(c) and 10(d) — the δ accuracy/space trade-off (IMDB).
+
+Paper reference: pruning δ-derivable patterns for δ ∈ {0%, 10%, 20%,
+30%} on IMDB.  10(c): the summary shrinks as δ grows; 10(d): estimation
+error grows with δ, but degradation stays tolerable at δ = 10% — the
+point at which the summary already undercuts the TreeSketches budget.
+"""
+
+from repro.bench import emit_report, format_table, prepare_dataset
+from repro.core import RecursiveDecompositionEstimator, prune_derivable
+from repro.workload import evaluate_estimator
+
+DELTAS = (0.0, 0.1, 0.2, 0.3)
+SIZES = range(4, 9)
+
+
+def test_fig10cd_delta_tradeoff_imdb(benchmark):
+    bundle = prepare_dataset("imdb")
+    pruned = {}
+    for delta in DELTAS:
+        if delta == DELTAS[0]:
+            pruned[delta] = benchmark.pedantic(
+                prune_derivable,
+                args=(bundle.lattice, delta),
+                kwargs={"voting": True},
+                rounds=1,
+                iterations=1,
+            )
+        else:
+            pruned[delta] = prune_derivable(bundle.lattice, delta, voting=True)
+
+    # Figure 10(c): summary size vs delta.
+    size_rows = [
+        [
+            f"{delta * 100:.0f}%",
+            f"{summary.byte_size() / 1024:.1f}",
+            summary.num_patterns,
+        ]
+        for delta, summary in pruned.items()
+    ]
+    size_rows.insert(
+        0, ["full", f"{bundle.lattice.byte_size() / 1024:.1f}", bundle.lattice.num_patterns]
+    )
+    emit_report(
+        "fig10c_summary_size_imdb",
+        format_table(
+            "Figure 10(c) (imdb): 4-lattice summary size vs delta",
+            ["delta", "KB", "patterns"],
+            size_rows,
+        ),
+    )
+
+    # Figure 10(d): estimation quality vs delta.
+    workloads = bundle.positive(SIZES, per_level=20)
+    quality_rows = []
+    avg_error_by_delta = {delta: 0.0 for delta in DELTAS}
+    for size in SIZES:
+        row: list[object] = [size]
+        for delta in DELTAS:
+            estimator = RecursiveDecompositionEstimator(pruned[delta], voting=True)
+            evaluation = evaluate_estimator(estimator, workloads[size])
+            avg_error_by_delta[delta] += evaluation.average_error
+            row.append(f"{evaluation.average_error:.1f}%")
+        quality_rows.append(row)
+    emit_report(
+        "fig10d_quality_imdb",
+        format_table(
+            "Figure 10(d) (imdb): recursive+voting error vs delta",
+            ["size"] + [f"delta={d * 100:.0f}%" for d in DELTAS],
+            quality_rows,
+            note=(
+                "Paper shape: more pruning, more error — but the "
+                "degradation at delta=10% stays tolerable."
+            ),
+        ),
+    )
+
+    # Monotone space shape (10c): the summary never grows with delta.
+    sizes = [pruned[d].byte_size() for d in DELTAS]
+    assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+    # 10(d) holds in aggregate: delta=0 is at least as accurate as the
+    # heaviest pruning level.
+    assert avg_error_by_delta[0.0] <= avg_error_by_delta[0.3] + 1e-9

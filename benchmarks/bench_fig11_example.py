@@ -1,0 +1,79 @@
+"""Figure 11 — the worked TreeSketches-vs-TreeLattice example.
+
+Paper reference (§5.3, Figure 11): a small document where child counts
+vary strongly between same-label nodes.  The TreeSketches synopsis
+stores only the *average* fan-out; estimating a branching twig
+multiplies averages and overestimates badly, while the lattice's joint
+counts stay exact.  (The figure text in the available scan is garbled,
+so the concrete numbers below are our own instance of the same
+construction — the mechanism is what the experiment checks.)
+
+Document: root ``r`` with four ``a`` children — three with four ``b``
+children, one with two.  Query ``a(b,b)``:
+
+* truth: 3 * (4*3) + 1 * (2*1) = 38
+* synopsis: 4 nodes * (avg 3.5)^2 = 49  (29% over; worse on deeper twigs)
+* TreeLattice: exact (the pattern is in the 3-lattice).
+"""
+
+from repro import LatticeSummary, RecursiveDecompositionEstimator, TwigQuery, count_matches
+from repro.baselines import TreeSketch
+from repro.bench import emit_report, format_table
+from repro.trees.labeled_tree import LabeledTree
+
+
+def _skew_doc() -> LabeledTree:
+    spec_children = [("a", ["b"] * 4)] * 3 + [("a", ["b"] * 2)]
+    return LabeledTree.from_nested(("r", spec_children))
+
+
+def test_fig11_walkthrough(benchmark):
+    doc = _skew_doc()
+    lattice = LatticeSummary.build(doc, 3)
+    # Tiny budget forces all a-nodes into one synopsis vertex, exactly
+    # the situation of the paper's figure.
+    sketch = TreeSketch.build(doc, budget_bytes=64, refinement_rounds=0)
+    estimator = RecursiveDecompositionEstimator(lattice)
+
+    queries = ["a(b)", "a(b,b)", "r(a(b,b))", "a(b,b,b)"]
+    rows = []
+    for text in queries:
+        query = TwigQuery.parse(text)
+        true = count_matches(query.tree, doc)
+        sketch_est = sketch.estimate(query)
+        lattice_est = estimator.estimate(query)
+        rows.append(
+            [
+                text,
+                true,
+                f"{sketch_est:.1f}",
+                f"{lattice_est:.1f}",
+                f"{abs(sketch_est - true) / max(true, 1) * 100:.0f}%",
+                f"{abs(lattice_est - true) / max(true, 1) * 100:.0f}%",
+            ]
+        )
+    emit_report(
+        "fig11_example",
+        format_table(
+            "Figure 11: averaged-synopsis vs lattice on a skewed document",
+            ["query", "true", "TreeSketch", "TreeLattice", "sketch err", "lattice err"],
+            rows,
+            note=(
+                "The synopsis multiplies the averaged a->b fan-out (3.5) once "
+                "per query branch; with variance across nodes the products "
+                "drift multiplicatively.  The 3-lattice stores the joint "
+                "counts and stays exact on its patterns."
+            ),
+        ),
+    )
+
+    benchmark(sketch.estimate, TwigQuery.parse("a(b,b)"))
+
+    # The figure's claims, concretely.
+    query = TwigQuery.parse("a(b,b)")
+    true = count_matches(query.tree, doc)
+    assert true == 38
+    assert sketch.estimate(query) > true  # averaged products overestimate
+    assert estimator.estimate(query) == float(true)  # lattice exact
+    # Single edges survive averaging unharmed:
+    assert sketch.estimate(TwigQuery.parse("a(b)")) == 14.0

@@ -1,0 +1,76 @@
+"""Figure 7 — average selectivity estimation error vs query size.
+
+Paper reference (Figures 7a-7d): for each dataset, the average absolute
+relative error of the four estimators (recursive, recursive+voting,
+fix-sized, TreeSketches) on positive workloads of query sizes 4-8.
+
+Shapes to reproduce:
+* errors grow with query size for the decomposition estimators (error
+  propagation through recursion levels);
+* TreeLattice beats TreeSketches on NASA/XMark/PSD-like corpora;
+* on IMDB (correlated structure) TreeSketches catches up or wins at the
+  largest query sizes — the conditional-independence assumption is the
+  decomposition estimators' weak spot there.
+"""
+
+from conftest import FIGURE_SIZES, PER_LEVEL
+
+from repro.bench import PAPER_DATASETS, emit_report, format_table, prepare_dataset
+from repro.workload import evaluate_estimator
+
+
+def _accuracy_table(name: str) -> tuple[str, list[list[object]], dict]:
+    bundle = prepare_dataset(name)
+    workloads = bundle.positive(FIGURE_SIZES, PER_LEVEL)
+    estimators = bundle.estimators()
+    rows = []
+    errors: dict[tuple[str, int], float] = {}
+    for size in FIGURE_SIZES:
+        workload = workloads[size]
+        row: list[object] = [size, len(workload)]
+        for estimator in estimators:
+            evaluation = evaluate_estimator(estimator, workload)
+            errors[(estimator.name, size)] = evaluation.average_error
+            row.append(f"{evaluation.average_error:.1f}%")
+        rows.append(row)
+    headers = ["size", "queries"] + [e.name for e in estimators]
+    return headers[0], rows, {"headers": headers, "errors": errors}
+
+
+def test_fig7_accuracy_all_datasets(benchmark):
+    tables = {}
+    for name in PAPER_DATASETS:
+        _first, rows, meta = _accuracy_table(name)
+        tables[name] = (rows, meta)
+        emit_report(
+            f"fig7_accuracy_{name}",
+            format_table(
+                f"Figure 7 ({name}): average relative error vs query size",
+                meta["headers"],
+                rows,
+            ),
+        )
+
+    # Benchmark one representative estimation call.
+    bundle = prepare_dataset("nasa")
+    workload = bundle.positive(FIGURE_SIZES, PER_LEVEL)[8]
+    estimator = bundle.estimators()[0]
+    query = workload.queries[0]
+    benchmark(estimator.estimate, query)
+
+    # Shape assertions.
+    for name in ("nasa", "xmark", "psd"):
+        _rows, meta = tables[name]
+        errors = meta["errors"]
+        # Averaged across sizes, some decomposition estimator beats the
+        # sketch on the independence-friendly corpora.
+        best_lattice = min(
+            sum(errors[(est, s)] for s in FIGURE_SIZES)
+            for est in (
+                "recursive-decomp",
+                "recursive-decomp + voting",
+                "fix-sized decomp",
+            )
+        )
+        sketch_total = sum(errors[("TreeSketch", s)] for s in FIGURE_SIZES)
+        assert best_lattice <= sketch_total, name

@@ -1,0 +1,61 @@
+"""Figure 9 — average estimation response time vs query size.
+
+Paper reference (Figures 9a-9d): per-query estimation latency of the
+four estimators on the size 4-8 workloads.
+
+Shapes to reproduce:
+* fix-sized decomposition is the fastest decomposition scheme (pure
+  lookups, no recursion);
+* plain recursive decomposition sits between;
+* voting degrades with query size (combinatorial growth in the number
+  of decompositions considered) yet stays competitive;
+* the graph-synopsis comparator pays for traversing vertex fan-out.
+"""
+
+from conftest import FIGURE_SIZES, PER_LEVEL
+
+from repro.bench import PAPER_DATASETS, emit_report, format_table, prepare_dataset
+from repro.workload import evaluate_estimator
+
+
+def test_fig9_response_time_all_datasets(benchmark):
+    latency: dict[str, dict[tuple[str, int], float]] = {}
+    for name in PAPER_DATASETS:
+        bundle = prepare_dataset(name)
+        workloads = bundle.positive(FIGURE_SIZES, PER_LEVEL)
+        estimators = bundle.estimators()
+        per_dataset: dict[tuple[str, int], float] = {}
+        rows = []
+        for size in FIGURE_SIZES:
+            row: list[object] = [size]
+            for estimator in estimators:
+                evaluation = evaluate_estimator(estimator, workloads[size])
+                per_dataset[(estimator.name, size)] = evaluation.average_response_ms
+                row.append(f"{evaluation.average_response_ms:.3f}")
+            rows.append(row)
+        latency[name] = per_dataset
+        emit_report(
+            f"fig9_response_{name}",
+            format_table(
+                f"Figure 9 ({name}): average response time per query (ms)",
+                ["size"] + [e.name for e in estimators],
+                rows,
+            ),
+        )
+
+    # Benchmark the voting estimator on the largest queries — the
+    # worst-case latency the paper highlights.
+    bundle = prepare_dataset("nasa")
+    voting = bundle.estimators()[1]
+    query = bundle.positive(FIGURE_SIZES, PER_LEVEL)[8].queries[0]
+    benchmark(voting.estimate, query)
+
+    # Shape assertions on every dataset.
+    for name, per_dataset in latency.items():
+        largest = max(FIGURE_SIZES)
+        fixed = per_dataset[("fix-sized decomp", largest)]
+        voting_ms = per_dataset[("recursive-decomp + voting", largest)]
+        # Voting pays a clear premium over the fix-sized scheme on the
+        # largest queries (paper: "response time degrades ... more
+        # significant as we increase the size of the twig queries").
+        assert voting_ms > fixed, name

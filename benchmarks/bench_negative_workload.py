@@ -1,0 +1,60 @@
+"""Negative workloads — zero-selectivity queries (§5.1 text).
+
+Paper reference: "TreeLattice almost always, greater than 95% of the
+time, returns the correct answer (0) ... For the same workload
+TreeSketches reports a 100% accuracy since their algorithm is designed
+to do well on such queries."
+
+A zero can only be missed when every subtree of the twig occurs but the
+twig itself does not; both summaries certify absence through their
+structure for everything else.
+"""
+
+from conftest import PER_LEVEL
+
+from repro.bench import PAPER_DATASETS, emit_report, format_table, prepare_dataset
+from repro.workload import evaluate_estimator
+
+SIZE = 6
+
+
+def test_negative_workloads_all_datasets(benchmark):
+    rows = []
+    rates: dict[str, dict[str, float]] = {}
+    for name in PAPER_DATASETS:
+        bundle = prepare_dataset(name)
+        negatives = bundle.negative(SIZE, PER_LEVEL)
+        per_estimator = {}
+        row: list[object] = [name, len(negatives)]
+        for estimator in bundle.estimators():
+            evaluation = evaluate_estimator(estimator, negatives)
+            per_estimator[estimator.name] = evaluation.exact_zero_rate
+            row.append(f"{evaluation.exact_zero_rate * 100:.0f}%")
+        rows.append(row)
+        rates[name] = per_estimator
+
+    bundle = prepare_dataset("nasa")
+    estimator = bundle.estimators()[0]
+    query = bundle.negative(SIZE, PER_LEVEL).queries[0]
+    benchmark(estimator.estimate, query)
+
+    headers = ["dataset", "queries"] + [
+        e.name for e in prepare_dataset("nasa").estimators()
+    ]
+    emit_report(
+        "negative_workloads",
+        format_table(
+            f"Negative workloads (size {SIZE}): exact-zero answer rate",
+            headers,
+            rows,
+            note=(
+                "Paper claim: TreeLattice > 95% exact zeros (an error needs "
+                "every subtree of the twig to occur while the twig does not)."
+            ),
+        ),
+    )
+
+    for name, per_estimator in rates.items():
+        for estimator_name, rate in per_estimator.items():
+            if "decomp" in estimator_name:
+                assert rate >= 0.95, (name, estimator_name)

@@ -1,0 +1,59 @@
+"""Table 1 — dataset characteristics.
+
+Paper reference (Table 1):
+
+    Dataset   Elements   File Size (MB)
+    Nasa      476,646    23
+    IMDB      155,898    7
+    XMark     565,505    10
+    PSD       242,014    4.5
+
+Our stand-ins are scaled down ~20x (pure-Python experiments); the table
+reports their measured element counts and XML sizes next to the paper's.
+"""
+
+from repro.bench import PAPER_DATASETS, emit_report, format_table, prepare_dataset
+from repro.datasets import generate_nasa
+from repro.trees.serialize import xml_byte_size
+
+PAPER_NUMBERS = {
+    "nasa": (476_646, 23.0),
+    "imdb": (155_898, 7.0),
+    "xmark": (565_505, 10.0),
+    "psd": (242_014, 4.5),
+}
+
+
+def test_table1_dataset_characteristics(benchmark):
+    # The benchmarked operation: generating one dataset document.
+    benchmark.pedantic(generate_nasa, rounds=1, iterations=1)
+
+    rows = []
+    for name in PAPER_DATASETS:
+        bundle = prepare_dataset(name)
+        elements = bundle.document.size
+        size_kb = xml_byte_size(bundle.document) / 1024
+        paper_elements, paper_mb = PAPER_NUMBERS[name]
+        rows.append(
+            [
+                name,
+                elements,
+                f"{size_kb:,.0f} KB",
+                f"{paper_elements:,}",
+                f"{paper_mb} MB",
+                len(bundle.document.distinct_labels()),
+            ]
+        )
+    emit_report(
+        "table1_datasets",
+        format_table(
+            "Table 1: Dataset characteristics (measured vs paper)",
+            ["dataset", "elements", "xml size", "paper elems", "paper size", "labels"],
+            rows,
+            note=(
+                "Stand-in corpora are generated at ~1/20 of the paper's scale "
+                "(DESIGN.md section 4); structural shape, not raw size, drives "
+                "every downstream experiment."
+            ),
+        ),
+    )

@@ -1,0 +1,23 @@
+"""Shared configuration for the paper-reproduction benchmarks.
+
+Every benchmark file regenerates one of the paper's tables or figures.
+Datasets, summaries and workloads are cached for the whole pytest
+session (see :mod:`repro.bench.harness`), so the expensive constructions
+are paid once even when all benchmarks run together.
+
+Reports are printed and also written to ``benchmarks/reports/`` (override
+with the ``REPRO_REPORT_DIR`` environment variable).
+"""
+
+import os
+from pathlib import Path
+
+os.environ.setdefault(
+    "REPRO_REPORT_DIR", str(Path(__file__).resolve().parent / "reports")
+)
+
+#: Query sizes of the paper's accuracy/latency figures (Figures 7-9).
+FIGURE_SIZES = range(4, 9)
+
+#: Queries per level in the generated workloads.
+PER_LEVEL = 25

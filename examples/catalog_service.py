@@ -1,0 +1,63 @@
+"""A selectivity service: one catalog, many documents, named workloads.
+
+The deployment story end to end: several XML corpora are summarised
+into one catalog directory (each under a byte budget), the catalog is
+"shipped" (reopened from disk, documents gone), and an optimizer-side
+client answers estimates for the curated template workloads of every
+corpus — with decomposition traces on demand.
+
+Run:  python examples/catalog_service.py
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro import SummaryCatalog, count_matches, generate_dataset
+from repro.workload import dataset_queries
+
+DATASETS = {"nasa": 250, "imdb": 250, "xmark": 40}
+PER_SUMMARY_BUDGET = 48 * 1024
+
+
+def main() -> None:
+    directory = Path(tempfile.mkdtemp(prefix="treelattice-catalog-"))
+    print(f"catalog directory: {directory}")
+
+    # --- ingestion side: documents available, summaries built once ----
+    documents = {}
+    catalog = SummaryCatalog(directory)
+    for name, scale in DATASETS.items():
+        document = generate_dataset(name, scale, seed=17)
+        documents[name] = document
+        start = time.perf_counter()
+        summary = catalog.register(
+            name, document, level=4, budget_bytes=PER_SUMMARY_BUDGET
+        )
+        print(
+            f"  registered {name}: {document.size} nodes -> "
+            f"{summary.num_patterns} patterns, {summary.byte_size() / 1024:.1f} KB "
+            f"({time.perf_counter() - start:.1f}s)"
+        )
+
+    # --- planner side: reopen from disk; no documents needed ----------
+    client = SummaryCatalog(directory)
+    print(f"\nreopened catalog: {client.names()}")
+    print(f"{'corpus':8} {'query':52} {'estimate':>9} {'true':>7}")
+    for name in DATASETS:
+        for query in dataset_queries(name)[:4]:
+            estimate = client.estimate_count(name, query)
+            true = count_matches(query.tree, documents[name])
+            text = repr(query)[len("TwigQuery("):-1].strip("'")
+            print(f"{name:8} {text[:52]:52} {estimate:9d} {true:7d}")
+
+    # --- drill into one estimate ---------------------------------------
+    query = dataset_queries("xmark")[3]
+    print(f"\nwhy does xmark say {client.estimate_count('xmark', query)} "
+          f"for {query!r}?")
+    trace = client.explain("xmark", query)
+    print(trace.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Query-plan selection with selectivity estimates (XMark auction site).
+
+The paper's motivating application: a query optimizer evaluating a
+complex twig query wants to start from the most selective sub-twig, the
+same way a relational optimizer orders joins by estimated cardinality.
+
+This example builds an XMark-like auction document, then plans a
+four-branch twig query over ``person`` profiles by ranking its branch
+sub-twigs with TreeLattice estimates — without touching the document —
+and verifies the ranking against exact counts.
+
+Run:  python examples/query_optimizer.py
+"""
+
+import time
+
+from repro import (
+    LatticeSummary,
+    RecursiveDecompositionEstimator,
+    TwigQuery,
+    count_matches,
+    generate_xmark,
+)
+
+
+def main() -> None:
+    print("generating XMark-like auction site ...")
+    document = generate_xmark(80, seed=42)
+    print(f"  {document.size} nodes")
+
+    print("mining the 4-lattice summary ...")
+    start = time.perf_counter()
+    lattice = LatticeSummary.build(document, level=4)
+    print(
+        f"  {lattice.num_patterns} patterns, {lattice.byte_size()} bytes, "
+        f"{time.perf_counter() - start:.2f}s"
+    )
+    estimator = RecursiveDecompositionEstimator(lattice, voting=True)
+
+    # A complex twig: people with full profiles, addresses, watches and
+    # contact data.  The optimizer wants the most selective branch first.
+    branches = [
+        "person[profile/interest]",
+        "person[watches/watch]",
+        "person[address/city]",
+        "person[homepage]",
+        "person[creditcard]",
+        "person[profile/education]",
+    ]
+
+    print()
+    print("ranking query branches by estimated selectivity:")
+    ranked = []
+    for text in branches:
+        query = TwigQuery.parse(text)
+        start = time.perf_counter()
+        estimate = estimator.estimate(query)
+        elapsed_ms = (time.perf_counter() - start) * 1000
+        true = count_matches(query.tree, document)
+        ranked.append((estimate, true, text, elapsed_ms))
+    ranked.sort()
+
+    print(f"  {'branch':32} {'estimate':>10} {'true':>8} {'est time':>9}")
+    for estimate, true, text, elapsed_ms in ranked:
+        print(f"  {text:32} {estimate:10.1f} {true:8d} {elapsed_ms:7.2f}ms")
+
+    # The plan: evaluate branches most-selective-first.
+    plan = [text for _est, _true, text, _ms in ranked]
+    print()
+    print("selected evaluation order (most selective first):")
+    for step, text in enumerate(plan, start=1):
+        print(f"  {step}. {text}")
+
+    # Sanity: the estimate-based ranking agrees with the true ranking on
+    # the extremes (the decisions an optimizer actually cares about).
+    true_ranked = sorted((true, text) for _e, true, text, _m in ranked)
+    assert plan[0] == true_ranked[0][1] or plan[0] == true_ranked[1][1]
+    print()
+    print("estimate-driven order matches the truth on the selective end;")
+    print("the optimizer never had to scan the document.")
+
+
+if __name__ == "__main__":
+    main()

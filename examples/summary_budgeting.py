@@ -1,0 +1,83 @@
+"""Fitting a summary into a memory budget with δ-derivable pruning.
+
+The paper's §4.3 scenario: the full lattice does not fit the memory
+budget, so derivable patterns are pruned — first losslessly (δ = 0),
+then with increasing tolerance until the summary fits.  The example
+shows the whole trade-off curve on an IMDB-like document (the paper's
+hardest case, where correlation keeps many patterns non-derivable) and
+demonstrates that the pruned summaries still answer queries.
+
+Run:  python examples/summary_budgeting.py
+"""
+
+from repro import (
+    LatticeSummary,
+    RecursiveDecompositionEstimator,
+    TwigQuery,
+    count_matches,
+    generate_imdb,
+    prune_derivable,
+)
+
+BUDGET_BYTES = 12 * 1024
+
+PROBE_QUERIES = [
+    "movie(title,director(name))",
+    "movie(cast(actor(name,role)))",
+    "movie(title,year,genre,director)",
+    "movie(seasons(season(episode(title))))",
+]
+
+
+def main() -> None:
+    print("generating IMDB-like movie database ...")
+    document = generate_imdb(500, seed=23)
+    print(f"  {document.size} nodes")
+
+    lattice = LatticeSummary.build(document, level=4)
+    print(
+        f"full 4-lattice: {lattice.num_patterns} patterns, "
+        f"{lattice.byte_size() / 1024:.1f} KB (budget: {BUDGET_BYTES / 1024:.0f} KB)"
+    )
+
+    print()
+    print(f"  {'delta':>6} {'patterns':>9} {'KB':>7}  fits?")
+    fitting = None
+    for delta in (0.0, 0.05, 0.1, 0.2, 0.3, 0.5):
+        pruned = prune_derivable(lattice, delta, voting=True)
+        fits = pruned.byte_size() <= BUDGET_BYTES
+        print(
+            f"  {delta * 100:5.0f}% {pruned.num_patterns:9d} "
+            f"{pruned.byte_size() / 1024:7.1f}  {'yes' if fits else 'no'}"
+        )
+        if fits and fitting is None:
+            fitting = (delta, pruned)
+
+    if fitting is None:
+        print("no delta fits the budget; falling back to the heaviest pruning")
+        fitting = (0.5, prune_derivable(lattice, 0.5, voting=True))
+
+    delta, pruned = fitting
+    print()
+    print(f"deploying the delta={delta * 100:.0f}% summary "
+          f"({pruned.byte_size() / 1024:.1f} KB); probing accuracy:")
+
+    full_estimator = RecursiveDecompositionEstimator(lattice, voting=True)
+    slim_estimator = RecursiveDecompositionEstimator(pruned, voting=True)
+    print(f"  {'query':42} {'true':>6} {'full':>8} {'pruned':>8}")
+    for text in PROBE_QUERIES:
+        query = TwigQuery.parse(text)
+        true = count_matches(query.tree, document)
+        print(
+            f"  {text:42} {true:6d} "
+            f"{full_estimator.estimate(query):8.1f} "
+            f"{slim_estimator.estimate(query):8.1f}"
+        )
+
+    print()
+    print("delta=0 pruning is lossless (Lemma 5); higher deltas trade")
+    print("accuracy for the memory budget.")
+
+
+if __name__ == "__main__":
+    main()

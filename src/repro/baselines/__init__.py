@@ -1,0 +1,18 @@
+"""Baseline estimators the paper compares against (or subsumes)."""
+
+from .cst import CorrelatedPathTree
+from .markov_table import MarkovTable
+from .pathtree import PathTree, PathTreeNode
+from .treesketch import SketchVertex, TreeSketch
+from .xsketch import XSketch, backward_stable_partition
+
+__all__ = [
+    "CorrelatedPathTree",
+    "MarkovTable",
+    "PathTree",
+    "PathTreeNode",
+    "SketchVertex",
+    "TreeSketch",
+    "XSketch",
+    "backward_stable_partition",
+]

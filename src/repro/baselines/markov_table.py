@@ -1,0 +1,142 @@
+"""Markov table path-selectivity baseline (Lore / Aboulnaga et al.).
+
+The classical approach TreeLattice generalises: store the counts of all
+distinct label paths of length up to ``m`` and estimate longer paths
+with the order-``(m-1)`` Markov assumption
+
+    ŝ(t1/.../tn) = s(t1..tm) * Π_i s(t_i..t_{i+m-1}) / s(t_i..t_{i+m-2})
+
+Path statistics are gathered in one document pass (every node contributes
+one path of each length up to ``m`` ending at it).  The Markov *table*
+refinement of Aboulnaga et al. adds pruning under a memory budget: paths
+with counts below a frequency threshold are discarded and pooled into a
+per-length ``(*)`` bucket whose average count answers lookups for pruned
+or unseen paths.
+
+Path-only by design: branching twigs raise ``ValueError``, which is the
+baseline's documented limitation (and the paper's motivation).
+"""
+
+from __future__ import annotations
+
+from ..core.estimator import SelectivityEstimator
+from ..trees.labeled_tree import LabeledTree
+
+__all__ = ["MarkovTable"]
+
+
+class MarkovTable(SelectivityEstimator):
+    """Order-``m`` Markov path statistics with optional low-count pruning."""
+
+    name = "markov-table"
+
+    def __init__(
+        self,
+        path_counts: dict[tuple[str, ...], int],
+        order: int,
+        *,
+        prune_below: int = 0,
+    ):
+        if order < 2:
+            raise ValueError("Markov order must be >= 2")
+        self.order = order
+        self.prune_below = prune_below
+        self._counts: dict[tuple[str, ...], int] = {}
+        # Pruned paths are pooled per length into a star bucket storing
+        # (total pruned count, number of pruned paths).
+        self._star: dict[int, tuple[int, int]] = {}
+        for path, count in path_counts.items():
+            if prune_below and count < prune_below and len(path) > 1:
+                total, num = self._star.get(len(path), (0, 0))
+                self._star[len(path)] = (total + count, num + 1)
+            else:
+                self._counts[path] = count
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, document: LabeledTree, order: int = 2, *, prune_below: int = 0
+    ) -> "MarkovTable":
+        """Collect all path statistics of length ≤ ``order`` from a document."""
+        if order < 2:
+            raise ValueError("Markov order must be >= 2")
+        counts: dict[tuple[str, ...], int] = {}
+        labels = document.labels
+        parents = document.parents
+        # ancestors[node] is filled before its children because preorder
+        # visits parents first.
+        suffix: list[tuple[str, ...]] = [()] * document.size
+        for node in document.preorder():
+            parent = parents[node]
+            base = suffix[parent] if parent != -1 else ()
+            chain = (base + (labels[node],))[-order:]
+            suffix[node] = chain
+            for start in range(len(chain)):
+                path = chain[start:]
+                counts[path] = counts.get(path, 0) + 1
+        return cls(counts, order, prune_below=prune_below)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_paths(self) -> int:
+        return len(self._counts)
+
+    def byte_size(self) -> int:
+        """Approximate serialised size (labels + 8-byte counts)."""
+        return sum(
+            sum(len(label) for label in path) + len(path) + 8
+            for path in self._counts
+        ) + 16 * len(self._star)
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+
+    def _estimate_tree(self, tree: LabeledTree) -> float:
+        labels = self._linear_labels(tree)
+        m = self.order
+        if len(labels) <= m:
+            return self._path_count(tuple(labels))
+        estimate = self._path_count(tuple(labels[:m]))
+        for i in range(1, len(labels) - m + 1):
+            window = tuple(labels[i : i + m])
+            overlap = tuple(labels[i : i + m - 1])
+            overlap_count = self._path_count(overlap)
+            if overlap_count == 0:
+                return 0.0
+            estimate *= self._path_count(window) / overlap_count
+        return estimate
+
+    def _path_count(self, path: tuple[str, ...]) -> float:
+        got = self._counts.get(path)
+        if got is not None:
+            return float(got)
+        total, num = self._star.get(len(path), (0, 0))
+        if num:
+            return total / num
+        return 0.0
+
+    @staticmethod
+    def _linear_labels(tree: LabeledTree) -> list[str]:
+        labels: list[str] = []
+        node = tree.root
+        while True:
+            labels.append(tree.label(node))
+            kids = tree.child_ids(node)
+            if not kids:
+                return labels
+            if len(kids) > 1:
+                raise ValueError(
+                    "MarkovTable is a path-only estimator; it cannot handle "
+                    "branching twig queries (the paper's key motivation)"
+                )
+            node = kids[0]
+
+    def __repr__(self) -> str:
+        return f"MarkovTable(order={self.order}, paths={self.num_paths})"

@@ -1,0 +1,187 @@
+"""Path tree baseline (Aboulnaga et al.).
+
+A *path tree* is the summarised form of the data tree in which every
+distinct root-to-node label path is one node annotated with the number of
+document nodes reachable by it.  Unsummarised it answers any linear path
+query exactly (a path match is determined by its end node, whose
+root-path fixes every ancestor label); its weakness — and the reason the
+Markov table beat it on real data — appears under a memory budget, when
+low-frequency sibling branches are coalesced into ``*`` nodes whose
+counts are averaged.
+
+Path-only by design; branching twigs raise ``ValueError``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.estimator import SelectivityEstimator
+from ..trees.labeled_tree import LabeledTree
+
+__all__ = ["PathTree", "PathTreeNode"]
+
+STAR = "*"
+
+
+@dataclass
+class PathTreeNode:
+    """One distinct root label path, with its node count."""
+
+    label: str
+    count: int
+    children: dict[str, "PathTreeNode"] = field(default_factory=dict)
+    #: number of distinct coalesced siblings when this is a ``*`` node
+    coalesced: int = 1
+
+    def total_nodes(self) -> int:
+        return 1 + sum(c.total_nodes() for c in self.children.values())
+
+
+class PathTree(SelectivityEstimator):
+    """Summarised path tree estimator for linear path queries."""
+
+    name = "path-tree"
+
+    def __init__(self, root: PathTreeNode):
+        self.root = root
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, document: LabeledTree, *, prune_below: int = 0
+    ) -> "PathTree":
+        """Aggregate the document into a path tree.
+
+        ``prune_below`` coalesces, at each path-tree node, the child
+        branches whose count falls below the threshold into a single
+        ``*`` child carrying their *average* count (the lossy
+        summarisation step that trades accuracy for space).
+        """
+        root = PathTreeNode(document.label(0), 0)
+        node_of = {0: root}
+        for node in document.preorder():
+            if node == 0:
+                root.count += 1
+                continue
+            parent_entry = node_of[document.parent(node)]
+            label = document.label(node)
+            entry = parent_entry.children.get(label)
+            if entry is None:
+                entry = PathTreeNode(label, 0)
+                parent_entry.children[label] = entry
+            entry.count += 1
+            node_of[node] = entry
+        if prune_below:
+            _coalesce(root, prune_below)
+        return cls(root)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self.root.total_nodes()
+
+    def byte_size(self) -> int:
+        """Approximate size: label bytes + count + child pointer per node."""
+
+        def walk(node: PathTreeNode) -> int:
+            size = len(node.label) + 8 + 8 * len(node.children)
+            return size + sum(walk(c) for c in node.children.values())
+
+        return walk(self.root)
+
+    # ------------------------------------------------------------------
+    # Estimation
+    # ------------------------------------------------------------------
+
+    def _estimate_tree(self, tree: LabeledTree) -> float:
+        labels = _linear_labels(tree)
+        # A (possibly non-root-anchored) path query matches wherever the
+        # label sequence appears; walk every path-tree node as a
+        # potential anchor.
+        total = 0.0
+        stack = [self.root]
+        anchors: list[PathTreeNode] = []
+        while stack:
+            entry = stack.pop()
+            anchors.append(entry)
+            stack.extend(entry.children.values())
+        for anchor in anchors:
+            total += self._from_anchor(anchor, labels)
+        return total
+
+    def _from_anchor(self, entry: PathTreeNode, labels: list[str]) -> float:
+        if not _label_matches(entry.label, labels[0]):
+            return 0.0
+        # Expected matches following this branch: the count at the final
+        # step, scaled down when star nodes averaged multiple branches.
+        scale = 1.0
+        current = entry
+        for label in labels[1:]:
+            child = current.children.get(label)
+            if child is None:
+                child = current.children.get(STAR)
+                if child is None:
+                    return 0.0
+                scale /= child.coalesced
+            current = child
+        return current.count * scale
+
+    def __repr__(self) -> str:
+        return f"PathTree(nodes={self.num_nodes})"
+
+
+def _label_matches(entry_label: str, query_label: str) -> bool:
+    return entry_label == query_label or entry_label == STAR
+
+
+def _linear_labels(tree: LabeledTree) -> list[str]:
+    labels: list[str] = []
+    node = tree.root
+    while True:
+        labels.append(tree.label(node))
+        kids = tree.child_ids(node)
+        if not kids:
+            return labels
+        if len(kids) > 1:
+            raise ValueError(
+                "PathTree is a path-only estimator; it cannot handle "
+                "branching twig queries"
+            )
+        node = kids[0]
+
+
+def _coalesce(entry: PathTreeNode, threshold: int) -> None:
+    """Recursively pool low-count children into a ``*`` branch."""
+    for child in list(entry.children.values()):
+        _coalesce(child, threshold)
+    low = [
+        label
+        for label, child in entry.children.items()
+        if child.count < threshold and label != STAR
+    ]
+    if len(low) < 2:
+        return
+    pooled_count = 0
+    pooled_children: dict[str, PathTreeNode] = {}
+    for label in low:
+        child = entry.children.pop(label)
+        pooled_count += child.count
+        # Merge grandchildren by label, summing counts (coarse but
+        # faithful to the original's lossy aggregation).
+        for grand_label, grand in child.children.items():
+            existing = pooled_children.get(grand_label)
+            if existing is None:
+                pooled_children[grand_label] = grand
+            else:
+                existing.count += grand.count
+    star = PathTreeNode(STAR, pooled_count // len(low) or 1)
+    star.children = pooled_children
+    star.coalesced = len(low)
+    entry.children[STAR] = star

@@ -1,0 +1,19 @@
+"""Benchmark harness: dataset bundles and report formatting."""
+
+from .harness import (
+    PAPER_DATASETS,
+    DatasetBundle,
+    prepare_dataset,
+    sketch_budget_for,
+)
+from .reporting import emit_report, format_table, report_dir
+
+__all__ = [
+    "PAPER_DATASETS",
+    "DatasetBundle",
+    "prepare_dataset",
+    "sketch_budget_for",
+    "emit_report",
+    "format_table",
+    "report_dir",
+]

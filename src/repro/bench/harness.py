@@ -1,0 +1,170 @@
+"""Experiment harness: dataset bundles shared across benchmarks.
+
+A :class:`DatasetBundle` packages everything one paper experiment needs —
+the generated document, its index, a TreeLattice summary with measured
+construction time, a TreeSketch synopsis with measured construction time,
+and lazily generated positive/negative workloads.  Bundles are cached per
+(dataset, configuration) so a pytest session pays each construction once.
+
+The sketch memory budget defaults to the paper's proportions: the paper
+gave TreeSketches 50KB for documents of 150k-565k elements, i.e. roughly
+0.2 bytes per element; :func:`sketch_budget_for` scales that to our
+smaller synthetic corpora (floored at 2KB so tiny test documents still
+produce a usable synopsis).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..baselines.treesketch import TreeSketch
+from ..core.fixed import FixedDecompositionEstimator
+from ..core.lattice import LatticeSummary
+from ..core.recursive import RecursiveDecompositionEstimator
+from ..datasets import generate_dataset
+from ..trees.labeled_tree import LabeledTree
+from ..trees.matching import DocumentIndex
+from ..workload.generator import (
+    QueryWorkload,
+    negative_workload,
+    positive_workloads,
+)
+
+__all__ = ["DatasetBundle", "prepare_dataset", "sketch_budget_for", "PAPER_DATASETS"]
+
+#: The paper's four evaluation datasets (Table 1 order).
+PAPER_DATASETS = ("nasa", "imdb", "psd", "xmark")
+
+#: Paper proportion: 50KB budget for ~250k elements average.
+_BUDGET_BYTES_PER_ELEMENT = 0.2
+_BUDGET_FLOOR = 2048
+
+
+def sketch_budget_for(document: LabeledTree) -> int:
+    """Paper-proportional TreeSketch budget for a document."""
+    return max(_BUDGET_FLOOR, int(document.size * _BUDGET_BYTES_PER_ELEMENT))
+
+
+@dataclass
+class DatasetBundle:
+    """One dataset with its summaries, timings, and cached workloads."""
+
+    name: str
+    document: LabeledTree
+    index: DocumentIndex
+    lattice: LatticeSummary
+    sketch: TreeSketch
+    lattice_seconds: float
+    sketch_seconds: float
+    seed: int = 0
+    _positive: dict[tuple, dict[int, QueryWorkload]] = field(default_factory=dict)
+    _negative: dict[tuple, QueryWorkload] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Estimators
+    # ------------------------------------------------------------------
+
+    def estimators(self, *, include_sketch: bool = True):
+        """The paper's four estimators over this bundle, in figure order."""
+        out = [
+            RecursiveDecompositionEstimator(self.lattice),
+            RecursiveDecompositionEstimator(self.lattice, voting=True),
+            FixedDecompositionEstimator(self.lattice),
+        ]
+        if include_sketch:
+            out.append(self.sketch)
+        return out
+
+    # ------------------------------------------------------------------
+    # Workloads (cached)
+    # ------------------------------------------------------------------
+
+    def positive(
+        self,
+        sizes: range | list[int],
+        per_level: int = 25,
+        *,
+        extend_cap: int = 600,
+    ) -> dict[int, QueryWorkload]:
+        key = (tuple(sizes), per_level, extend_cap)
+        cached = self._positive.get(key)
+        if cached is None:
+            cached = positive_workloads(
+                self.index,
+                sizes,
+                per_level,
+                seed=self.seed + 1,
+                extend_cap=extend_cap,
+            )
+            self._positive[key] = cached
+        return cached
+
+    def negative(
+        self,
+        size: int,
+        per_level: int = 25,
+        *,
+        extend_cap: int = 600,
+    ) -> QueryWorkload:
+        key = (size, per_level, extend_cap)
+        cached = self._negative.get(key)
+        if cached is None:
+            base = self.positive([size], per_level, extend_cap=extend_cap)[size]
+            cached = negative_workload(self.index, base, seed=self.seed + 2)
+            self._negative[key] = cached
+        return cached
+
+
+_BUNDLES: dict[tuple, DatasetBundle] = {}
+
+
+def prepare_dataset(
+    name: str,
+    *,
+    scale: int | None = None,
+    seed: int = 0,
+    level: int = 4,
+    sketch_budget: int | None = None,
+    refinement_rounds: int = 8,
+    use_cache: bool = True,
+) -> DatasetBundle:
+    """Build (or fetch from cache) the bundle for one dataset.
+
+    Parameters mirror the experiment knobs: ``scale`` the dataset size,
+    ``level`` the lattice level (paper default 4), ``sketch_budget`` the
+    TreeSketch byte budget (paper-proportional when ``None``).
+    """
+    key = (name, scale, seed, level, sketch_budget, refinement_rounds)
+    if use_cache:
+        cached = _BUNDLES.get(key)
+        if cached is not None:
+            return cached
+
+    document = generate_dataset(name, scale, seed=seed)
+    index = DocumentIndex(document)
+
+    start = time.perf_counter()
+    lattice = LatticeSummary.build(index, level)
+    lattice_seconds = time.perf_counter() - start
+
+    budget = sketch_budget if sketch_budget is not None else sketch_budget_for(document)
+    start = time.perf_counter()
+    sketch = TreeSketch.build(
+        document, budget, refinement_rounds=refinement_rounds
+    )
+    sketch_seconds = time.perf_counter() - start
+
+    bundle = DatasetBundle(
+        name=name,
+        document=document,
+        index=index,
+        lattice=lattice,
+        sketch=sketch,
+        lattice_seconds=lattice_seconds,
+        sketch_seconds=sketch_seconds,
+        seed=seed,
+    )
+    if use_cache:
+        _BUNDLES[key] = bundle
+    return bundle

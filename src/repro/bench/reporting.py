@@ -1,0 +1,70 @@
+"""Plain-text reporting helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures as a
+text table (figures become series tables: one row per x-value, one
+column per curve).  Reports are printed to stdout and, when a directory
+is configured, also written under ``benchmarks/reports/`` so that
+EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["format_table", "emit_report", "report_dir"]
+
+
+def format_table(
+    title: str,
+    headers: list[str],
+    rows: list[list[object]],
+    *,
+    note: str | None = None,
+) -> str:
+    """Render an aligned monospace table with a title rule."""
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if note:
+        lines.append("")
+        lines.append(note)
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def report_dir() -> Path | None:
+    """Directory for report artifacts (``REPRO_REPORT_DIR``), if set."""
+    configured = os.environ.get("REPRO_REPORT_DIR")
+    if not configured:
+        return None
+    path = Path(configured)
+    path.mkdir(parents=True, exist_ok=True)
+    return path
+
+
+def emit_report(name: str, text: str) -> None:
+    """Print a report and persist it when a report directory is set."""
+    print()
+    print(text)
+    directory = report_dir()
+    if directory is not None:
+        (directory / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

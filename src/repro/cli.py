@@ -1,0 +1,285 @@
+"""Command-line interface for the TreeLattice toolkit.
+
+Subcommands mirror the deployment workflow:
+
+* ``summarize`` — parse an XML file, mine its k-lattice, optionally
+  prune δ-derivable patterns, write the summary to disk;
+* ``estimate`` — estimate a twig query against a saved summary;
+* ``explain`` — show the full decomposition trace of an estimate;
+* ``exact`` — exact match count straight off the document (ground truth);
+* ``mine`` — report occurring-pattern counts per level (Table 2 style);
+* ``dataset`` — generate one of the paper's synthetic stand-in corpora.
+
+Run ``python -m repro <subcommand> --help`` for the flags of each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core.explain import explain as explain_query
+from .core.fixed import FixedDecompositionEstimator
+from .core.lattice import LatticeSummary
+from .core.markov import MarkovPathEstimator
+from .core.pruning import pruning_report
+from .core.recursive import RecursiveDecompositionEstimator
+from .datasets import DATASET_GENERATORS, generate_dataset
+from .mining.freqt import pattern_counts_by_level
+from .trees.matching import count_matches
+from .trees.serialize import tree_from_xml_file, tree_to_xml_file
+from .trees.twig import TwigQuery
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TreeLattice: XML twig selectivity estimation (EDBT 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("summarize", help="mine an XML file into a lattice summary")
+    p.add_argument("xml", help="input XML document")
+    p.add_argument("-k", "--level", type=int, default=4, help="lattice level (default 4)")
+    p.add_argument("-o", "--output", required=True, help="summary output path")
+    p.add_argument(
+        "--prune",
+        type=float,
+        default=None,
+        metavar="DELTA",
+        help="prune DELTA-derivable patterns (0 = lossless)",
+    )
+    p.add_argument(
+        "--attributes", action="store_true", help="model attributes as child nodes"
+    )
+    p.set_defaults(handler=_cmd_summarize)
+
+    p = sub.add_parser("estimate", help="estimate a twig query from a summary")
+    p.add_argument("summary", help="summary file written by 'summarize'")
+    p.add_argument("query", help="twig query (XPath subset or pattern codec)")
+    p.add_argument(
+        "--estimator",
+        choices=("recursive", "voting", "fixed", "markov"),
+        default="voting",
+        help="estimation scheme (default: recursive + voting)",
+    )
+    p.set_defaults(handler=_cmd_estimate)
+
+    p = sub.add_parser("explain", help="show the decomposition trace of an estimate")
+    p.add_argument("summary", help="summary file written by 'summarize'")
+    p.add_argument("query", help="twig query")
+    p.add_argument("--voting", action="store_true", help="trace the voting estimator")
+    p.set_defaults(handler=_cmd_explain)
+
+    p = sub.add_parser("exact", help="exact twig match count from the document")
+    p.add_argument("xml", help="input XML document")
+    p.add_argument("query", help="twig query")
+    p.add_argument("--attributes", action="store_true")
+    p.set_defaults(handler=_cmd_exact)
+
+    p = sub.add_parser("mine", help="report pattern counts per level")
+    p.add_argument("xml", help="input XML document")
+    p.add_argument("-k", "--level", type=int, default=4)
+    p.add_argument("--attributes", action="store_true")
+    p.set_defaults(handler=_cmd_mine)
+
+    p = sub.add_parser(
+        "catalog", help="manage a directory of summaries for many documents"
+    )
+    p.add_argument("directory", help="catalog directory (created if missing)")
+    catalog_sub = p.add_subparsers(dest="catalog_command", required=True)
+
+    c = catalog_sub.add_parser("register", help="mine a document into the catalog")
+    c.add_argument("name", help="catalog entry name")
+    c.add_argument("xml", help="input XML document")
+    c.add_argument("-k", "--level", type=int, default=4)
+    c.add_argument(
+        "--budget", type=int, default=None, help="byte budget (prunes to fit)"
+    )
+    c.add_argument("--attributes", action="store_true")
+    c.set_defaults(handler=_cmd_catalog_register)
+
+    c = catalog_sub.add_parser("list", help="show catalog entries")
+    c.set_defaults(handler=_cmd_catalog_list)
+
+    c = catalog_sub.add_parser("estimate", help="estimate against an entry")
+    c.add_argument("name")
+    c.add_argument("query")
+    c.add_argument(
+        "--estimator",
+        choices=("recursive", "voting", "fixed", "markov"),
+        default="voting",
+    )
+    c.set_defaults(handler=_cmd_catalog_estimate)
+
+    c = catalog_sub.add_parser("forget", help="drop an entry")
+    c.add_argument("name")
+    c.set_defaults(handler=_cmd_catalog_forget)
+
+    p = sub.add_parser("dataset", help="generate a synthetic stand-in corpus")
+    p.add_argument("name", choices=sorted(DATASET_GENERATORS))
+    p.add_argument("-n", "--scale", type=int, default=None, help="record count / scale")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", required=True, help="XML output path")
+    p.set_defaults(handler=_cmd_dataset)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Handlers
+# ----------------------------------------------------------------------
+
+
+def _cmd_summarize(args) -> int:
+    start = time.perf_counter()
+    document = tree_from_xml_file(args.xml, include_attributes=args.attributes)
+    parse_seconds = time.perf_counter() - start
+    print(f"parsed {document.size} nodes in {parse_seconds:.2f}s")
+
+    summary = LatticeSummary.build(document, args.level)
+    print(
+        f"mined {summary.num_patterns} patterns "
+        f"({summary.byte_size()} bytes) in {summary.construction_seconds:.2f}s"
+    )
+    if args.prune is not None:
+        summary, report = pruning_report(summary, args.prune, voting=True)
+        print(
+            f"pruned {report.patterns_removed} derivable patterns "
+            f"(saving {report.space_saving * 100:.0f}%: "
+            f"{report.bytes_before} -> {report.bytes_after} bytes)"
+        )
+    summary.save(args.output)
+    print(f"summary written to {args.output}")
+    return 0
+
+
+def _estimator_for(name: str, summary: LatticeSummary):
+    if name == "recursive":
+        return RecursiveDecompositionEstimator(summary)
+    if name == "voting":
+        return RecursiveDecompositionEstimator(summary, voting=True)
+    if name == "fixed":
+        return FixedDecompositionEstimator(summary)
+    return MarkovPathEstimator(summary)
+
+
+def _cmd_estimate(args) -> int:
+    summary = LatticeSummary.load(args.summary)
+    query = TwigQuery.parse(args.query)
+    estimator = _estimator_for(args.estimator, summary)
+    start = time.perf_counter()
+    estimate = estimator.estimate(query)
+    elapsed_ms = (time.perf_counter() - start) * 1000
+    print(f"query     : {args.query}")
+    print(f"estimator : {estimator.name}")
+    print(f"estimate  : {estimate:.2f}  (~{max(0, round(estimate))} matches)")
+    print(f"time      : {elapsed_ms:.2f}ms")
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    summary = LatticeSummary.load(args.summary)
+    trace = explain_query(summary, args.query, voting=args.voting)
+    print(trace.render())
+    print()
+    print(f"estimate: {trace.estimate:.4f} from {len(trace.lookups())} summary lookups")
+    return 0
+
+
+def _cmd_exact(args) -> int:
+    document = tree_from_xml_file(args.xml, include_attributes=args.attributes)
+    query = TwigQuery.parse(args.query)
+    start = time.perf_counter()
+    count = count_matches(query.tree, document)
+    elapsed_ms = (time.perf_counter() - start) * 1000
+    print(f"query : {args.query}")
+    print(f"count : {count}")
+    print(f"time  : {elapsed_ms:.2f}ms")
+    return 0
+
+
+def _cmd_mine(args) -> int:
+    document = tree_from_xml_file(args.xml, include_attributes=args.attributes)
+    counts = pattern_counts_by_level(document, args.level)
+    print("level  patterns")
+    for level, count in counts.items():
+        print(f"{level:>5}  {count}")
+    return 0
+
+
+def _cmd_catalog_register(args) -> int:
+    from .core.catalog import SummaryCatalog
+
+    catalog = SummaryCatalog(args.directory)
+    document = tree_from_xml_file(args.xml, include_attributes=args.attributes)
+    summary = catalog.register(
+        args.name, document, level=args.level, budget_bytes=args.budget
+    )
+    pruned = "" if summary.is_complete_at(summary.level) else " (pruned to budget)"
+    print(
+        f"registered {args.name!r}: {summary.num_patterns} patterns, "
+        f"{summary.byte_size()} bytes{pruned}"
+    )
+    return 0
+
+
+def _cmd_catalog_list(args) -> int:
+    from .core.catalog import SummaryCatalog
+
+    catalog = SummaryCatalog(args.directory)
+    if not len(catalog):
+        print("(empty catalog)")
+        return 0
+    print(f"{'name':24} {'level':>5} {'patterns':>9} {'bytes':>10}  pruned")
+    for row in catalog.describe():
+        print(
+            f"{row['name']:24} {row['level']:>5} {row['patterns']:>9} "
+            f"{row['bytes']:>10}  {'yes' if row['pruned'] else 'no'}"
+        )
+    return 0
+
+
+def _cmd_catalog_estimate(args) -> int:
+    from .core.catalog import SummaryCatalog
+
+    catalog = SummaryCatalog(args.directory)
+    estimate = catalog.estimate(args.name, args.query, estimator=args.estimator)
+    print(f"{args.name}: {args.query} ~= {estimate:.2f}")
+    return 0
+
+
+def _cmd_catalog_forget(args) -> int:
+    from .core.catalog import SummaryCatalog
+
+    catalog = SummaryCatalog(args.directory)
+    catalog.forget(args.name)
+    print(f"forgot {args.name!r}")
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    document = generate_dataset(args.name, args.scale, seed=args.seed)
+    written = tree_to_xml_file(document, args.output)
+    print(
+        f"{args.name}: {document.size} elements, {written} bytes -> {args.output}"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, KeyError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""Estimator interface shared by TreeLattice estimators and baselines.
+
+Every estimator consumes a twig query — as a :class:`TwigQuery`, a
+:class:`LabeledTree`, a canon tuple, or query text in either supported
+syntax — and returns a non-negative float estimate of its selectivity
+(the number of matches per Definition 1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..trees.canonical import Canon, canon_to_tree
+from ..trees.labeled_tree import LabeledTree
+from ..trees.twig import TwigQuery
+
+__all__ = ["SelectivityEstimator", "coerce_query_tree"]
+
+
+def coerce_query_tree(query: TwigQuery | LabeledTree | Canon | str) -> LabeledTree:
+    """Normalise any accepted query form to a :class:`LabeledTree`."""
+    if isinstance(query, TwigQuery):
+        return query.tree
+    if isinstance(query, LabeledTree):
+        return query
+    if isinstance(query, str):
+        return TwigQuery.parse(query).tree
+    if isinstance(query, tuple):
+        return canon_to_tree(query)
+    raise TypeError(f"cannot interpret {type(query).__name__} as a twig query")
+
+
+class SelectivityEstimator(ABC):
+    """Common surface of all selectivity estimators.
+
+    Subclasses implement :meth:`_estimate_tree`; the public
+    :meth:`estimate` handles input coercion, and :meth:`estimate_count`
+    rounds to the nearest non-negative integer for callers that want an
+    approximate COUNT answer rather than a raw estimate.
+    """
+
+    #: Short human-readable name used in benchmark reports.
+    name: str = "estimator"
+
+    def estimate(self, query: TwigQuery | LabeledTree | Canon | str) -> float:
+        """Estimated selectivity of ``query`` (non-negative float)."""
+        return self._estimate_tree(coerce_query_tree(query))
+
+    def estimate_count(self, query: TwigQuery | LabeledTree | Canon | str) -> int:
+        """Estimate rounded to an integer count (approximate COUNT answer)."""
+        return max(0, round(self.estimate(query)))
+
+    @abstractmethod
+    def _estimate_tree(self, tree: LabeledTree) -> float:
+        """Estimate the selectivity of a coerced query tree."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,138 @@
+"""Decomposition traces: explain where an estimate came from.
+
+Estimates produced by recursive decomposition are products and quotients
+of stored counts; when an estimate looks off, the first question is
+*which* stored patterns and which independence assumptions produced it.
+:func:`explain` replays the recursive estimator and returns the full
+derivation tree; ``render()`` pretty-prints it.
+
+The trace mirrors :class:`~repro.core.recursive.RecursiveDecompositionEstimator`
+exactly (same first-pair choice, same zero semantics, same voting
+average), so ``explain(...).estimate == estimator.estimate(query)``
+bit-for-bit — asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..trees.canonical import Canon, canon, encode_canon
+from ..trees.labeled_tree import LabeledTree
+from .decompose import leaf_pair_decompositions
+from .estimator import coerce_query_tree
+from .lattice import LatticeSummary
+
+__all__ = ["Explanation", "explain"]
+
+
+@dataclass
+class Explanation:
+    """One node of a decomposition derivation.
+
+    ``kind`` is one of:
+
+    * ``"lookup"`` — the pattern was read from the summary;
+    * ``"certified-zero"`` — absent from a complete level, so exactly 0;
+    * ``"decomposition"`` — estimated as ``t1 * t2 / common`` from the
+      child explanations (averaged over choices when voting).
+    """
+
+    pattern: Canon
+    estimate: float
+    kind: str
+    children: list["Explanation"] = field(default_factory=list)
+
+    @property
+    def pattern_text(self) -> str:
+        return encode_canon(self.pattern)
+
+    def depth(self) -> int:
+        """Number of decomposition levels below this node."""
+        if not self.children:
+            return 0
+        return 1 + max(child.depth() for child in self.children)
+
+    def lookups(self) -> list["Explanation"]:
+        """All leaf lookups feeding this estimate (the evidence used)."""
+        if self.kind != "decomposition":
+            return [self]
+        out: list[Explanation] = []
+        for child in self.children:
+            out.extend(child.lookups())
+        return out
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable multi-line trace."""
+        pad = "  " * indent
+        if self.kind == "decomposition":
+            head = (
+                f"{pad}{self.pattern_text} ~= {self.estimate:.4g}"
+                f"  [s(t1) * s(t2) / s(common)]"
+            )
+            return "\n".join(
+                [head] + [child.render(indent + 1) for child in self.children]
+            )
+        marker = "= (summary)" if self.kind == "lookup" else "= 0 (certified absent)"
+        return f"{pad}{self.pattern_text} {marker} {self.estimate:.4g}"
+
+
+def explain(
+    lattice: LatticeSummary,
+    query,
+    *,
+    voting: bool = False,
+) -> Explanation:
+    """Replay the recursive decomposition estimator, keeping the trace.
+
+    With ``voting=True``, a decomposition node carries the children of
+    *every* leaf-pair choice (grouped in triples: t1, t2, common per
+    choice) and its estimate is their average.
+    """
+    tree = coerce_query_tree(query)
+    memo: dict[Canon, Explanation] = {}
+    return _explain(tree, lattice, voting, memo)
+
+
+def _explain(
+    tree: LabeledTree,
+    lattice: LatticeSummary,
+    voting: bool,
+    memo: dict[Canon, Explanation],
+) -> Explanation:
+    key = canon(tree)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+
+    size = tree.size
+    node: Explanation | None = None
+    if size <= lattice.level:
+        stored = lattice.get(key)
+        if stored is not None:
+            node = Explanation(key, float(stored), "lookup")
+        elif lattice.is_complete_at(size) or size < 3:
+            node = Explanation(key, 0.0, "certified-zero")
+
+    if node is None:
+        children: list[Explanation] = []
+        total = 0.0
+        count = 0
+        for split in leaf_pair_decompositions(tree):
+            t1 = _explain(split.t1, lattice, voting, memo)
+            t2 = _explain(split.t2, lattice, voting, memo)
+            common = _explain(split.common, lattice, voting, memo)
+            children.extend((t1, t2, common))
+            if common.estimate <= 0.0:
+                estimate = 0.0
+            else:
+                estimate = t1.estimate * t2.estimate / common.estimate
+            total += estimate
+            count += 1
+            if not voting:
+                break
+        node = Explanation(
+            key, total / count if count else 0.0, "decomposition", children
+        )
+
+    memo[key] = node
+    return node

@@ -1,0 +1,80 @@
+"""Fix-sized decomposition estimator (paper §3.3, Lemmas 2-3).
+
+Cover the twig ``T`` (size ``n``) with exactly ``n - k + 1`` subtrees of
+size ``k`` in canonical pre-order.  Consecutive blocks overlap the
+already-covered prefix in a ``(k-1)``-subtree, so under the conditional
+independence assumption
+
+    s(T)  ≈  Π s(B_i)  /  Π s(B_i ∩ prefix_i)
+
+where every factor is a direct lattice lookup (no recursion) — which is
+why this estimator is the fastest of the family, at some accuracy cost
+on large twigs because its overlaps are smaller than the recursive
+scheme's maximal ones.
+"""
+
+from __future__ import annotations
+
+from ..trees.labeled_tree import LabeledTree
+from .decompose import fixed_cover
+from .estimator import SelectivityEstimator
+from .lattice import LatticeSummary
+from .recursive import RecursiveDecompositionEstimator
+
+__all__ = ["FixedDecompositionEstimator"]
+
+
+class FixedDecompositionEstimator(SelectivityEstimator):
+    """TreeLattice's fix-sized decomposition estimator.
+
+    Parameters
+    ----------
+    lattice:
+        The summary to draw block counts from.
+    block_size:
+        Size ``k`` of covering blocks; defaults to the lattice level
+        (the largest size with direct counts).
+    """
+
+    name = "fix-sized decomp"
+
+    def __init__(self, lattice: LatticeSummary, *, block_size: int | None = None):
+        if block_size is None:
+            block_size = lattice.level
+        if not 2 <= block_size <= lattice.level:
+            raise ValueError(
+                f"block_size must be in [2, {lattice.level}], got {block_size}"
+            )
+        self.lattice = lattice
+        self.block_size = block_size
+        # Pruned summaries can lack a block's count; the recursive
+        # estimator reconstructs it from what remains.
+        self._fallback = RecursiveDecompositionEstimator(lattice)
+
+    def _estimate_tree(self, tree: LabeledTree) -> float:
+        if tree.size <= self.block_size:
+            return self._pattern_count(tree)
+        numerator = 1.0
+        denominator = 1.0
+        for piece in fixed_cover(tree, self.block_size):
+            block_count = self._pattern_count(piece.block)
+            if block_count <= 0.0:
+                return 0.0
+            numerator *= block_count
+            if piece.overlap is not None:
+                overlap_count = self._pattern_count(piece.overlap)
+                if overlap_count <= 0.0:
+                    return 0.0
+                denominator *= overlap_count
+        return numerator / denominator
+
+    def _pattern_count(self, pattern: LabeledTree) -> float:
+        stored = self.lattice.get(pattern)
+        if stored is not None:
+            return float(stored)
+        if self.lattice.is_complete_at(pattern.size):
+            return 0.0
+        return self._fallback.estimate(pattern)
+
+    def __repr__(self) -> str:
+        return f"FixedDecompositionEstimator(k={self.block_size})"

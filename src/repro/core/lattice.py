@@ -1,0 +1,233 @@
+"""The lattice summary: TreeLattice's statistics structure (paper §3, §4).
+
+A ``k``-lattice stores the selectivity (exact match count) of occurring
+subtree patterns of size ``<= k``, keyed by canonical encoding in a hash
+table — the storage layout the paper settled on after finding prefix
+trees too pointer-chasing-heavy (§4.2).
+
+Zero semantics matter: a *complete* level contains every occurring
+pattern of that size, so a lookup miss at a complete level certifies a
+selectivity of exactly 0.  δ-derivable pruning (:mod:`repro.core.pruning`)
+removes patterns from levels ≥ 3, making those levels incomplete; the
+estimators then fall back to decomposition instead of reporting 0.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from ..mining.freqt import MiningResult, mine_lattice
+from ..trees.canonical import (
+    Canon,
+    canon_size,
+    decode_canon,
+    encode_canon,
+)
+from ..trees.labeled_tree import LabeledTree
+from ..trees.matching import DocumentIndex
+from ..trees.twig import TwigQuery
+
+__all__ = ["LatticeSummary", "build_lattice"]
+
+# Bytes charged per stored count when reporting summary size; matches the
+# 8-byte counters a C implementation would use.
+_COUNT_BYTES = 8
+
+
+class LatticeSummary:
+    """Occurrence statistics of small twigs, keyed by canonical encoding."""
+
+    __slots__ = ("level", "_counts", "complete_sizes", "construction_seconds")
+
+    def __init__(
+        self,
+        level: int,
+        counts: dict[Canon, int],
+        *,
+        complete_sizes: Iterable[int] | None = None,
+        construction_seconds: float = 0.0,
+    ):
+        if level < 2:
+            raise ValueError("a lattice summary needs level >= 2")
+        self.level = level
+        self._counts = dict(counts)
+        if complete_sizes is None:
+            complete_sizes = range(1, level + 1)
+        self.complete_sizes = frozenset(complete_sizes)
+        self.construction_seconds = construction_seconds
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls, document: LabeledTree | DocumentIndex, level: int
+    ) -> "LatticeSummary":
+        """Mine a document and build its complete ``level``-lattice."""
+        start = time.perf_counter()
+        mined = mine_lattice(document, level)
+        elapsed = time.perf_counter() - start
+        return cls.from_mining(mined, construction_seconds=elapsed)
+
+    @classmethod
+    def from_mining(
+        cls, mined: MiningResult, construction_seconds: float = 0.0
+    ) -> "LatticeSummary":
+        """Wrap a :class:`~repro.mining.MiningResult` as a summary."""
+        counts: dict[Canon, int] = {}
+        complete: list[int] = []
+        for size, level_patterns in mined.levels.items():
+            counts.update(level_patterns)
+            # A level is complete unless the frontier of some *earlier*
+            # level was sampled (a level listed in capped_levels was
+            # itself fully enumerated; only its successors are partial).
+            if all(s >= size for s in mined.capped_levels):
+                complete.append(size)
+        return cls(
+            mined.max_size,
+            counts,
+            complete_sizes=complete,
+            construction_seconds=construction_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, pattern: Canon | LabeledTree | TwigQuery) -> int | None:
+        """Stored count of ``pattern``, or ``None`` when not stored.
+
+        ``None`` means "not in the table"; whether that certifies a zero
+        depends on :meth:`is_complete_at` for the pattern's size.
+        """
+        key = self._to_canon(pattern)
+        return self._counts.get(key)
+
+    def count(self, pattern: Canon | LabeledTree | TwigQuery) -> int:
+        """Count of ``pattern``; a miss at a complete level is 0.
+
+        Raises :class:`KeyError` when the pattern is absent from an
+        incomplete level, because the summary genuinely does not know its
+        count — estimators must decompose instead.
+        """
+        key = self._to_canon(pattern)
+        got = self._counts.get(key)
+        if got is not None:
+            return got
+        if self.is_complete_at(canon_size(key)):
+            return 0
+        raise KeyError(
+            f"pattern {encode_canon(key)} pruned from an incomplete level"
+        )
+
+    def __contains__(self, pattern) -> bool:
+        return self._to_canon(pattern) in self._counts
+
+    def is_complete_at(self, size: int) -> bool:
+        """True when the summary stores *every* occurring pattern of ``size``."""
+        return size in self.complete_sizes
+
+    @staticmethod
+    def _to_canon(pattern: Canon | LabeledTree | TwigQuery) -> Canon:
+        if isinstance(pattern, TwigQuery):
+            return pattern.canonical()
+        if isinstance(pattern, LabeledTree):
+            from ..trees.canonical import canon
+
+            return canon(pattern)
+        return pattern
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_patterns(self) -> int:
+        return len(self._counts)
+
+    def patterns(self) -> Iterator[tuple[Canon, int]]:
+        """All stored ``(canon, count)`` pairs."""
+        return iter(self._counts.items())
+
+    def patterns_of_size(self, size: int) -> dict[Canon, int]:
+        return {
+            c: n for c, n in self._counts.items() if canon_size(c) == size
+        }
+
+    def level_sizes(self) -> dict[int, int]:
+        """``size -> number of stored patterns`` histogram."""
+        hist: dict[int, int] = {}
+        for c in self._counts:
+            s = canon_size(c)
+            hist[s] = hist.get(s, 0) + 1
+        return dict(sorted(hist.items()))
+
+    def byte_size(self) -> int:
+        """Approximate serialised size: encoded keys plus 8-byte counts.
+
+        This is the figure the paper reports as "memory utilization"; it
+        charges what a compact on-disk hash table would pay, not Python
+        object overhead.
+        """
+        return sum(
+            len(encode_canon(c).encode("utf-8")) + _COUNT_BYTES
+            for c in self._counts
+        )
+
+    def replace_counts(
+        self, counts: dict[Canon, int], complete_sizes: Iterable[int]
+    ) -> "LatticeSummary":
+        """Derive a new summary with the same level but different contents."""
+        return LatticeSummary(
+            self.level,
+            counts,
+            complete_sizes=complete_sizes,
+            construction_seconds=self.construction_seconds,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"LatticeSummary(level={self.level}, patterns={self.num_patterns}, "
+            f"bytes={self.byte_size()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write a line-oriented text dump: header, then ``count\\tkey``."""
+        lines = [f"#treelattice level={self.level} "
+                 f"complete={','.join(map(str, sorted(self.complete_sizes)))}"]
+        for c in sorted(self._counts, key=encode_canon):
+            lines.append(f"{self._counts[c]}\t{encode_canon(c)}")
+        Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "LatticeSummary":
+        """Read a summary produced by :meth:`save`."""
+        text = Path(path).read_text(encoding="utf-8").splitlines()
+        if not text or not text[0].startswith("#treelattice"):
+            raise ValueError(f"{path}: not a TreeLattice summary file")
+        header = dict(
+            item.split("=", 1) for item in text[0].split()[1:] if "=" in item
+        )
+        level = int(header["level"])
+        complete = [int(s) for s in header.get("complete", "").split(",") if s]
+        counts: dict[Canon, int] = {}
+        for line in text[1:]:
+            if not line.strip():
+                continue
+            count_str, key = line.split("\t", 1)
+            counts[decode_canon(key)] = int(count_str)
+        return cls(level, counts, complete_sizes=complete)
+
+
+def build_lattice(
+    document: LabeledTree | DocumentIndex, level: int = 4
+) -> LatticeSummary:
+    """Convenience wrapper: mine ``document`` into a ``level``-lattice."""
+    return LatticeSummary.build(document, level)

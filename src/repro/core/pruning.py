@@ -1,0 +1,107 @@
+"""δ-derivable pattern pruning (paper §4.3, Definition 2, Figure 6).
+
+A stored pattern is *δ-derivable* when the count TreeLattice would
+estimate for it from the smaller retained patterns is within a relative
+error tolerance ``δ`` of its true count.  Storing such a pattern buys
+nothing — the estimator reconstructs it — so it can be dropped, freeing
+summary space for non-derivable patterns (Lemma 5: with ``δ = 0`` the
+estimates are unchanged on occurring queries).
+
+The pruning pass mirrors Figure 6: initialise the compressed summary
+with all 1- and 2-subtree patterns, then walk levels ``3..k`` in order,
+keeping only the patterns whose estimate from the summary built *so far*
+misses the true count by more than ``δ``.
+"""
+
+from __future__ import annotations
+
+from ..trees.canonical import Canon, canon_size
+from .lattice import LatticeSummary
+from .recursive import RecursiveDecompositionEstimator
+
+__all__ = ["prune_derivable", "PruningReport", "pruning_report"]
+
+# Slack absorbing float round-off so exactly-derivable patterns pass the
+# delta = 0 test despite the estimate being computed in floating point.
+_FLOAT_SLACK = 1e-9
+
+
+def prune_derivable(
+    lattice: LatticeSummary, delta: float = 0.0, *, voting: bool = False
+) -> LatticeSummary:
+    """Return a copy of ``lattice`` with δ-derivable patterns removed.
+
+    Parameters
+    ----------
+    lattice:
+        A complete summary (levels ``1..k`` all present).
+    delta:
+        Relative error tolerance as a fraction (``0.1`` keeps a pattern
+        only when the estimate misses by more than 10%).  ``0.0`` is the
+        lossless pruning of Lemma 5.
+    voting:
+        Whether the estimator used to test derivability averages over
+        all decompositions (must match the estimator that will consume
+        the pruned summary for Lemma 5 to hold exactly).
+    """
+    if delta < 0:
+        raise ValueError("delta must be non-negative")
+
+    kept: dict[Canon, int] = {
+        c: n for c, n in lattice.patterns() if canon_size(c) <= 2
+    }
+    for size in range(3, lattice.level + 1):
+        interim = lattice.replace_counts(kept, complete_sizes=(1, 2))
+        estimator = RecursiveDecompositionEstimator(interim, voting=voting)
+        for pattern in sorted(lattice.patterns_of_size(size)):
+            true_count = lattice.get(pattern)
+            estimate = estimator.estimate(pattern)
+            error = abs(true_count - estimate) / true_count
+            if error > delta + _FLOAT_SLACK:
+                kept[pattern] = true_count
+    return lattice.replace_counts(kept, complete_sizes=(1, 2))
+
+
+class PruningReport:
+    """Before/after sizes of a pruning pass (Figure 10a/10c reporting)."""
+
+    __slots__ = (
+        "delta",
+        "patterns_before",
+        "patterns_after",
+        "bytes_before",
+        "bytes_after",
+    )
+
+    def __init__(self, delta: float, before: LatticeSummary, after: LatticeSummary):
+        self.delta = delta
+        self.patterns_before = before.num_patterns
+        self.patterns_after = after.num_patterns
+        self.bytes_before = before.byte_size()
+        self.bytes_after = after.byte_size()
+
+    @property
+    def patterns_removed(self) -> int:
+        return self.patterns_before - self.patterns_after
+
+    @property
+    def space_saving(self) -> float:
+        """Fraction of summary bytes recovered by pruning."""
+        if self.bytes_before == 0:
+            return 0.0
+        return 1.0 - self.bytes_after / self.bytes_before
+
+    def __repr__(self) -> str:
+        return (
+            f"PruningReport(delta={self.delta}, "
+            f"patterns {self.patterns_before}->{self.patterns_after}, "
+            f"bytes {self.bytes_before}->{self.bytes_after})"
+        )
+
+
+def pruning_report(
+    lattice: LatticeSummary, delta: float = 0.0, *, voting: bool = False
+) -> tuple[LatticeSummary, PruningReport]:
+    """Prune and report in one step."""
+    pruned = prune_derivable(lattice, delta, voting=voting)
+    return pruned, PruningReport(delta, lattice, pruned)

@@ -1,0 +1,77 @@
+"""Synthetic stand-ins for the paper's four evaluation corpora.
+
+Each generator is deterministic in its seed and scalable via its record
+count, so tests can use tiny documents and benchmarks medium ones.  See
+DESIGN.md §4 for why these substitutions preserve the behaviour the
+paper's experiments measure.
+"""
+
+from ..trees.labeled_tree import LabeledTree
+from .imdb import generate_imdb, imdb_schema
+from .nasa import generate_nasa, nasa_schema
+from .psd import generate_psd, psd_schema
+from .treebank import generate_treebank, treebank_schema
+from .synthetic import (
+    ChildRule,
+    DocumentGenerator,
+    ElementSpec,
+    Mode,
+    Schema,
+    fixed,
+    geometric,
+    optional,
+    uniform_int,
+    zipf_int,
+)
+from .xmark import generate_xmark, xmark_schema
+
+__all__ = [
+    "DATASET_GENERATORS",
+    "generate_dataset",
+    "generate_imdb",
+    "generate_nasa",
+    "generate_psd",
+    "generate_xmark",
+    "generate_treebank",
+    "treebank_schema",
+    "imdb_schema",
+    "nasa_schema",
+    "psd_schema",
+    "xmark_schema",
+    "ChildRule",
+    "DocumentGenerator",
+    "ElementSpec",
+    "Mode",
+    "Schema",
+    "fixed",
+    "geometric",
+    "optional",
+    "uniform_int",
+    "zipf_int",
+]
+
+#: name -> generator(n_records_or_scale, seed) for the paper's datasets.
+DATASET_GENERATORS = {
+    "nasa": generate_nasa,
+    "imdb": generate_imdb,
+    "psd": generate_psd,
+    "xmark": generate_xmark,
+    # Extension corpus (not in the paper's Table 1): deep recursion.
+    "treebank": generate_treebank,
+}
+
+
+def generate_dataset(name: str, scale: int | None = None, seed: int = 0) -> LabeledTree:
+    """Generate one of the paper's datasets by name.
+
+    ``scale`` is the dataset's record-count knob (its default when
+    ``None``); ``seed`` fixes the pseudo-random structure.
+    """
+    try:
+        generator = DATASET_GENERATORS[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASET_GENERATORS))
+        raise ValueError(f"unknown dataset {name!r}; expected one of: {known}")
+    if scale is None:
+        return generator(seed=seed)
+    return generator(scale, seed=seed)

@@ -1,0 +1,125 @@
+"""NASA-like dataset: astronomical metadata records.
+
+Stand-in for the paper's NASA corpus (476,646 elements, 23MB): flat-file
+astronomy records converted to XML.  Structurally the corpus is a long
+sequence of ``dataset`` records with moderately rich but weakly
+correlated substructure — which is why the paper found conditional
+independence to hold well and 0-derivable pruning to remove most of its
+4-lattice.  The schema below mirrors the real nasa.xml element
+vocabulary (datasets/dataset/title/author/tableHead/...) with
+single-mode specs throughout, so sibling structure is near-independent.
+"""
+
+from __future__ import annotations
+
+from ..trees.labeled_tree import LabeledTree
+from .synthetic import (
+    ChildRule,
+    DocumentGenerator,
+    ElementSpec,
+    Schema,
+    fixed,
+    geometric,
+    uniform_int,
+)
+
+__all__ = ["nasa_schema", "generate_nasa"]
+
+#: Default number of top-level records (scaled down from the real corpus
+#: to keep pure-Python experiments tractable; see DESIGN.md §4).
+DEFAULT_RECORDS = 700
+
+
+def nasa_schema(n_records: int = DEFAULT_RECORDS) -> Schema:
+    """The NASA-like schema with ``n_records`` dataset records."""
+    schema = Schema(root="datasets")
+    schema.add(
+        ElementSpec.simple("datasets", [ChildRule("dataset", fixed(n_records))])
+    )
+    schema.add(
+        ElementSpec.simple(
+            "dataset",
+            [
+                ChildRule.one("title"),
+                ChildRule("altname", geometric(0.5, cap=3)),
+                ChildRule.maybe("abstract", 0.7),
+                ChildRule.maybe("keywords", 0.6),
+                ChildRule("author", uniform_int(1, 4)),
+                ChildRule.one("date"),
+                ChildRule.one("identifier"),
+                ChildRule.maybe("tableHead", 0.5),
+                ChildRule.maybe("history", 0.4),
+                ChildRule.maybe("descriptions", 0.5),
+                ChildRule.maybe("journal", 0.6),
+            ],
+        )
+    )
+    schema.add(
+        ElementSpec.simple("keywords", [ChildRule("keyword", uniform_int(1, 6))])
+    )
+    schema.add(
+        ElementSpec.simple(
+            "author",
+            [
+                ChildRule.one("lastName"),
+                ChildRule.maybe("firstName", 0.8),
+                ChildRule.maybe("affiliation", 0.3),
+            ],
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "date",
+            [ChildRule.one("year"), ChildRule.one("month"), ChildRule.one("day")],
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "tableHead", [ChildRule("tableLink", uniform_int(1, 3))]
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "tableLink", [ChildRule.maybe("title", 0.6), ChildRule.one("url")]
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "history",
+            [ChildRule.one("creationDate"), ChildRule("revision", geometric(0.8, cap=4))],
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "revision", [ChildRule.one("date"), ChildRule.maybe("comment", 0.5)]
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "descriptions", [ChildRule("description", uniform_int(1, 2))]
+        )
+    )
+    schema.add(
+        ElementSpec.simple("description", [ChildRule("para", uniform_int(1, 4))])
+    )
+    schema.add(
+        ElementSpec.simple(
+            "journal",
+            [
+                ChildRule.one("title"),
+                ChildRule("author", uniform_int(1, 3)),
+                ChildRule.one("name"),
+                ChildRule.maybe("volume", 0.8),
+                ChildRule.maybe("pages", 0.8),
+            ],
+        )
+    )
+    return schema
+
+
+def generate_nasa(
+    n_records: int = DEFAULT_RECORDS, seed: int = 0, *, max_nodes: int = 1_000_000
+) -> LabeledTree:
+    """Generate a NASA-like document (deterministic in ``seed``)."""
+    generator = DocumentGenerator(nasa_schema(n_records), max_nodes=max_nodes)
+    return generator.generate(seed)

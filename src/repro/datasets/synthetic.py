@@ -1,0 +1,254 @@
+"""Probabilistic schema engine for synthetic XML documents.
+
+The paper evaluates on four XML corpora (NASA, IMDB, PSD, XMark) that we
+cannot ship; the stand-ins in :mod:`repro.datasets` are generated from
+small probabilistic schemas built with this engine (see DESIGN.md §4 for
+the substitution argument).
+
+A schema maps each element label to an :class:`ElementSpec` holding one
+or more weighted **modes**; instantiating an element first draws a mode,
+then draws every child rule of that mode independently.  Modes are the
+correlation knob: children that belong to the same mode co-occur far
+more often than independence predicts, which is exactly the structure
+that makes conditional-independence estimators err (the IMDB-like
+dataset leans on this; the others use single-mode specs).
+
+Child multiplicities are drawn from pluggable integer distributions
+(:func:`fixed`, :func:`uniform_int`, :func:`geometric`, :func:`zipf_int`)
+so a schema can express anything from rigid records to heavy-tailed
+fan-out.  Recursive schemas (XMark's ``parlist``/``listitem``) are
+supported; the generator enforces a depth cap and a node budget so
+generation always terminates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ..trees.labeled_tree import LabeledTree
+
+__all__ = [
+    "ChildRule",
+    "Mode",
+    "ElementSpec",
+    "Schema",
+    "DocumentGenerator",
+    "fixed",
+    "uniform_int",
+    "geometric",
+    "zipf_int",
+    "optional",
+]
+
+#: An integer distribution: maps a seeded RNG to a child count.
+CountDistribution = Callable[[random.Random], int]
+
+
+def fixed(n: int) -> CountDistribution:
+    """Always exactly ``n`` children."""
+
+    def draw(_rng: random.Random) -> int:
+        return n
+
+    return draw
+
+
+def uniform_int(low: int, high: int) -> CountDistribution:
+    """Uniformly ``low..high`` children (inclusive)."""
+    if low > high:
+        raise ValueError("uniform_int needs low <= high")
+
+    def draw(rng: random.Random) -> int:
+        return rng.randint(low, high)
+
+    return draw
+
+
+def geometric(mean: float, cap: int = 50) -> CountDistribution:
+    """Geometric count with the given mean, truncated at ``cap``.
+
+    Produces the skewed fan-outs (many small, few huge) that defeat
+    average-based synopses.
+    """
+    if mean <= 0:
+        raise ValueError("geometric needs a positive mean")
+    p = 1.0 / (1.0 + mean)
+
+    def draw(rng: random.Random) -> int:
+        count = 0
+        while count < cap and rng.random() > p:
+            count += 1
+        return count
+
+    return draw
+
+
+def zipf_int(max_value: int, exponent: float = 1.5) -> CountDistribution:
+    """Zipf-distributed count on ``1..max_value``: heavy-tailed fan-out."""
+    if max_value < 1:
+        raise ValueError("zipf_int needs max_value >= 1")
+    weights = [1.0 / (rank**exponent) for rank in range(1, max_value + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def draw(rng: random.Random) -> int:
+        u = rng.random()
+        for value, threshold in enumerate(cumulative, start=1):
+            if u <= threshold:
+                return value
+        return max_value
+
+    return draw
+
+
+def optional(probability: float) -> CountDistribution:
+    """Zero or one child, present with the given probability."""
+    if not 0.0 <= probability <= 1.0:
+        raise ValueError("probability must be in [0, 1]")
+
+    def draw(rng: random.Random) -> int:
+        return 1 if rng.random() < probability else 0
+
+    return draw
+
+
+@dataclass(frozen=True)
+class ChildRule:
+    """How many children with a given label an element mode produces."""
+
+    label: str
+    count: CountDistribution
+
+    @classmethod
+    def one(cls, label: str) -> "ChildRule":
+        return cls(label, fixed(1))
+
+    @classmethod
+    def maybe(cls, label: str, probability: float) -> "ChildRule":
+        return cls(label, optional(probability))
+
+
+@dataclass(frozen=True)
+class Mode:
+    """A weighted bundle of child rules drawn together (correlation unit)."""
+
+    rules: tuple[ChildRule, ...]
+    weight: float = 1.0
+
+
+@dataclass
+class ElementSpec:
+    """Generation spec of one element label."""
+
+    label: str
+    modes: tuple[Mode, ...]
+
+    @classmethod
+    def simple(cls, label: str, rules: Sequence[ChildRule]) -> "ElementSpec":
+        """Single-mode spec: children drawn independently (no correlation)."""
+        return cls(label, (Mode(tuple(rules)),))
+
+    @classmethod
+    def leaf(cls, label: str) -> "ElementSpec":
+        return cls(label, (Mode(()),))
+
+
+@dataclass
+class Schema:
+    """A complete document schema: root label plus element specs."""
+
+    root: str
+    elements: dict[str, ElementSpec] = field(default_factory=dict)
+
+    def add(self, spec: ElementSpec) -> "Schema":
+        self.elements[spec.label] = spec
+        return self
+
+    def spec(self, label: str) -> ElementSpec:
+        """Spec for ``label``; unknown labels are implicit leaves."""
+        got = self.elements.get(label)
+        if got is None:
+            got = ElementSpec.leaf(label)
+            self.elements[label] = got
+        return got
+
+    def validate(self) -> None:
+        """Check that every referenced label resolves and weights are sane."""
+        for spec in list(self.elements.values()):
+            total = sum(mode.weight for mode in spec.modes)
+            if total <= 0:
+                raise ValueError(f"element {spec.label!r} has no usable mode")
+            for mode in spec.modes:
+                for rule in mode.rules:
+                    self.spec(rule.label)  # materialises implicit leaves
+
+
+class DocumentGenerator:
+    """Instantiate a schema into a :class:`LabeledTree`.
+
+    Parameters
+    ----------
+    schema:
+        The document schema (validated on construction).
+    max_nodes:
+        Hard budget; expansion stops once reached (the document stays a
+        valid tree — trailing subtrees are simply truncated).
+    max_depth:
+        Hard recursion cap for self-referential schemas; elements at the
+        cap are emitted without children.
+    """
+
+    def __init__(self, schema: Schema, *, max_nodes: int = 1_000_000, max_depth: int = 24):
+        schema.validate()
+        if max_nodes < 1:
+            raise ValueError("max_nodes must be >= 1")
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.schema = schema
+        self.max_nodes = max_nodes
+        self.max_depth = max_depth
+
+    def generate(self, seed: int = 0) -> LabeledTree:
+        """Generate one document; identical ``seed`` ⇒ identical tree."""
+        rng = random.Random(seed)
+        tree = LabeledTree(self.schema.root)
+        # Depth-first expansion keeps truncation local: when the node
+        # budget runs out we lose trailing records, not random interior
+        # structure.
+        stack: list[tuple[int, int]] = [(0, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if depth >= self.max_depth:
+                continue
+            spec = self.schema.spec(tree.label(node))
+            mode = self._draw_mode(spec, rng)
+            children: list[tuple[int, int]] = []
+            for rule in mode.rules:
+                for _ in range(rule.count(rng)):
+                    if tree.size >= self.max_nodes:
+                        stack.clear()
+                        return tree
+                    child = tree.add_child(node, rule.label)
+                    children.append((child, depth + 1))
+            stack.extend(reversed(children))
+        return tree
+
+    @staticmethod
+    def _draw_mode(spec: ElementSpec, rng: random.Random) -> Mode:
+        modes = spec.modes
+        if len(modes) == 1:
+            return modes[0]
+        total = sum(mode.weight for mode in modes)
+        pick = rng.random() * total
+        acc = 0.0
+        for mode in modes:
+            acc += mode.weight
+            if pick <= acc:
+                return mode
+        return modes[-1]

@@ -1,0 +1,117 @@
+"""Treebank-like dataset: deeply recursive parse trees (extension).
+
+Treebank (Penn Treebank encoded as XML) is the classic stress corpus for
+XML structural summaries: unlike record-style data, its structure is a
+*grammar* — parse trees with deep, irregular recursion and a modest but
+densely-interconnected label vocabulary.  Every synopsis paper after the
+one reproduced here used it to expose summaries that rely on regular
+records, so we ship a stand-in for the extension benchmarks
+(``bench_ablation_deep_recursion``).
+
+The generator expands a probabilistic context-free grammar over the
+familiar syntactic categories (S, NP, VP, PP, SBAR, ...) using the
+schema engine's weighted modes for productions; depth is bounded by the
+engine's cap, mimicking the natural attenuation of real parse trees.
+"""
+
+from __future__ import annotations
+
+from ..trees.labeled_tree import LabeledTree
+from .synthetic import (
+    ChildRule,
+    DocumentGenerator,
+    ElementSpec,
+    Mode,
+    Schema,
+    fixed,
+    uniform_int,
+)
+
+__all__ = ["treebank_schema", "generate_treebank"]
+
+DEFAULT_SENTENCES = 900
+
+
+def treebank_schema(n_sentences: int = DEFAULT_SENTENCES) -> Schema:
+    """A PCFG-flavoured schema producing Treebank-like parse trees."""
+    schema = Schema(root="corpus")
+    schema.add(
+        ElementSpec.simple("corpus", [ChildRule("S", fixed(n_sentences))])
+    )
+    # Sentences: plain clause, coordination (S CC S), or clause + SBAR.
+    schema.add(
+        ElementSpec(
+            "S",
+            (
+                Mode((ChildRule.one("NP"), ChildRule.one("VP")), weight=0.62),
+                Mode(
+                    (ChildRule.one("S"), ChildRule.one("CC"), ChildRule.one("S")),
+                    weight=0.14,
+                ),
+                Mode(
+                    (ChildRule.one("NP"), ChildRule.one("VP"), ChildRule.one("SBAR")),
+                    weight=0.14,
+                ),
+                Mode((ChildRule.one("VP"),), weight=0.10),  # imperative
+            ),
+        )
+    )
+    schema.add(
+        ElementSpec(
+            "NP",
+            (
+                Mode((ChildRule.one("DT"), ChildRule.one("NN")), weight=0.38),
+                Mode(
+                    (ChildRule.one("DT"), ChildRule("JJ", uniform_int(1, 2)),
+                     ChildRule.one("NN")),
+                    weight=0.22,
+                ),
+                Mode((ChildRule.one("NP"), ChildRule.one("PP")), weight=0.20),
+                Mode((ChildRule.one("NNP"),), weight=0.12),
+                Mode((ChildRule.one("PRP"),), weight=0.08),
+            ),
+        )
+    )
+    schema.add(
+        ElementSpec(
+            "VP",
+            (
+                Mode((ChildRule.one("VB"), ChildRule.one("NP")), weight=0.40),
+                Mode((ChildRule.one("VB"),), weight=0.18),
+                Mode((ChildRule.one("VP"), ChildRule.one("PP")), weight=0.18),
+                Mode(
+                    (ChildRule.one("VB"), ChildRule.one("NP"), ChildRule.one("PP")),
+                    weight=0.14,
+                ),
+                Mode((ChildRule.one("MD"), ChildRule.one("VP")), weight=0.10),
+            ),
+        )
+    )
+    schema.add(
+        ElementSpec.simple("PP", [ChildRule.one("IN"), ChildRule.one("NP")])
+    )
+    schema.add(
+        ElementSpec(
+            "SBAR",
+            (
+                Mode((ChildRule.one("IN"), ChildRule.one("S")), weight=0.7),
+                Mode((ChildRule.one("WHNP"), ChildRule.one("S")), weight=0.3),
+            ),
+        )
+    )
+    schema.add(ElementSpec.simple("WHNP", [ChildRule.one("WP")]))
+    return schema
+
+
+def generate_treebank(
+    n_sentences: int = DEFAULT_SENTENCES,
+    seed: int = 0,
+    *,
+    max_nodes: int = 1_000_000,
+    max_depth: int = 30,
+) -> LabeledTree:
+    """Generate a Treebank-like corpus (deterministic in ``seed``)."""
+    generator = DocumentGenerator(
+        treebank_schema(n_sentences), max_nodes=max_nodes, max_depth=max_depth
+    )
+    return generator.generate(seed)

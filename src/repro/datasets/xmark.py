@@ -1,0 +1,262 @@
+"""XMark-like dataset: the on-line auction site benchmark schema.
+
+Stand-in for the paper's XMark corpus (565,505 elements, 10MB at scale
+factor ~0.1).  XMark models an auction site: regional item listings,
+registered people, open and closed auctions, and a category graph; its
+signature structural feature is the *recursive* free-text markup
+(``description → parlist → listitem → parlist → ...``) whose fan-out is
+highly skewed.
+
+That skew is why the paper's Figure 7(d)/8(d) show TreeSketches
+over-estimating some XMark twigs by orders of magnitude: averaging the
+child counts of bidders/listitems across very unequal auctions and then
+multiplying the averages along a twig compounds the error (the Figure 11
+mechanism).  The generator reproduces the skew with zipf/geometric
+fan-outs and genuine recursion, capped by the engine's ``max_depth``.
+"""
+
+from __future__ import annotations
+
+from ..trees.labeled_tree import LabeledTree
+from .synthetic import (
+    ChildRule,
+    DocumentGenerator,
+    ElementSpec,
+    Mode,
+    Schema,
+    fixed,
+    geometric,
+    uniform_int,
+    zipf_int,
+)
+
+__all__ = ["xmark_schema", "generate_xmark"]
+
+DEFAULT_SCALE = 120  # items per region; people/auctions derive from it
+
+
+def xmark_schema(scale: int = DEFAULT_SCALE) -> Schema:
+    """The XMark-like auction schema; ``scale`` controls corpus size."""
+    schema = Schema(root="site")
+    schema.add(
+        ElementSpec.simple(
+            "site",
+            [
+                ChildRule.one("regions"),
+                ChildRule.one("categories"),
+                ChildRule.one("people"),
+                ChildRule.one("open_auctions"),
+                ChildRule.one("closed_auctions"),
+            ],
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "regions",
+            [
+                ChildRule.one("africa"),
+                ChildRule.one("asia"),
+                ChildRule.one("australia"),
+                ChildRule.one("europe"),
+                ChildRule.one("namerica"),
+                ChildRule.one("samerica"),
+            ],
+        )
+    )
+    for region in ("africa", "asia", "australia", "europe", "namerica", "samerica"):
+        schema.add(
+            ElementSpec.simple(region, [ChildRule("item", geometric(scale / 6, cap=scale))])
+        )
+    schema.add(
+        ElementSpec.simple(
+            "item",
+            [
+                ChildRule.one("location"),
+                ChildRule.one("quantity"),
+                ChildRule.one("name"),
+                ChildRule.one("payment"),
+                ChildRule.one("description"),
+                ChildRule.one("shipping"),
+                ChildRule("incategory", uniform_int(1, 3)),
+                ChildRule.maybe("mailbox", 0.4),
+            ],
+        )
+    )
+    # The recursive text markup: description is flat text or a parlist;
+    # listitems recurse with decaying probability (weights) until the
+    # generator's depth cap.
+    schema.add(
+        ElementSpec(
+            "description",
+            (
+                Mode((ChildRule.one("text"),), weight=0.7),
+                Mode((ChildRule.one("parlist"),), weight=0.3),
+            ),
+        )
+    )
+    schema.add(
+        ElementSpec.simple("parlist", [ChildRule("listitem", zipf_int(4, 1.3))])
+    )
+    schema.add(
+        ElementSpec(
+            "listitem",
+            (
+                Mode((ChildRule.one("text"),), weight=0.65),
+                Mode((ChildRule.one("parlist"),), weight=0.35),
+            ),
+        )
+    )
+    schema.add(
+        ElementSpec.simple("mailbox", [ChildRule("mail", geometric(1.0, cap=4))])
+    )
+    schema.add(
+        ElementSpec.simple(
+            "mail",
+            [
+                ChildRule.one("from"),
+                ChildRule.one("to"),
+                ChildRule.one("date"),
+                ChildRule.one("text"),
+            ],
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "categories", [ChildRule("category", fixed(max(4, scale // 5)))]
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "category", [ChildRule.one("name"), ChildRule.one("description")]
+        )
+    )
+    schema.add(
+        ElementSpec.simple("people", [ChildRule("person", fixed(scale * 2))])
+    )
+    schema.add(
+        ElementSpec.simple(
+            "person",
+            [
+                ChildRule.one("name"),
+                ChildRule.one("emailaddress"),
+                ChildRule.maybe("phone", 0.5),
+                ChildRule.maybe("address", 0.6),
+                ChildRule.maybe("homepage", 0.3),
+                ChildRule.maybe("creditcard", 0.5),
+                ChildRule.maybe("profile", 0.7),
+                ChildRule.maybe("watches", 0.4),
+            ],
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "address",
+            [
+                ChildRule.one("street"),
+                ChildRule.one("city"),
+                ChildRule.one("country"),
+                ChildRule.one("zipcode"),
+            ],
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "profile",
+            [
+                ChildRule("interest", geometric(1.0, cap=4)),
+                ChildRule.maybe("education", 0.5),
+                ChildRule.maybe("gender", 0.7),
+                ChildRule.one("business"),
+                ChildRule.maybe("age", 0.6),
+            ],
+        )
+    )
+    schema.add(
+        ElementSpec.simple("watches", [ChildRule("watch", geometric(1.0, cap=4))])
+    )
+    schema.add(
+        ElementSpec.simple(
+            "open_auctions", [ChildRule("open_auction", fixed(scale))]
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "open_auction",
+            [
+                ChildRule.one("initial"),
+                ChildRule.maybe("reserve", 0.5),
+                # Heavy-tailed bidder counts: the averaging failure mode.
+                ChildRule("bidder", zipf_int(10, 1.1)),
+                ChildRule.one("current"),
+                ChildRule.maybe("privacy", 0.3),
+                ChildRule.one("itemref"),
+                ChildRule.one("seller"),
+                ChildRule.one("annotation"),
+                ChildRule.one("quantity"),
+                ChildRule.one("type"),
+                ChildRule.one("interval"),
+            ],
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "bidder",
+            [
+                ChildRule.one("date"),
+                ChildRule.one("time"),
+                ChildRule.one("personref"),
+                ChildRule.one("increase"),
+            ],
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "interval", [ChildRule.one("start"), ChildRule.one("end")]
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "annotation",
+            [
+                ChildRule.one("author"),
+                ChildRule.one("description"),
+                ChildRule.maybe("happiness", 0.8),
+            ],
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "closed_auctions",
+            [ChildRule("closed_auction", fixed(max(2, scale * 2 // 3)))],
+        )
+    )
+    schema.add(
+        ElementSpec.simple(
+            "closed_auction",
+            [
+                ChildRule.one("seller"),
+                ChildRule.one("buyer"),
+                ChildRule.one("itemref"),
+                ChildRule.one("price"),
+                ChildRule.one("date"),
+                ChildRule.one("quantity"),
+                ChildRule.one("type"),
+                ChildRule.one("annotation"),
+            ],
+        )
+    )
+    return schema
+
+
+def generate_xmark(
+    scale: int = DEFAULT_SCALE,
+    seed: int = 0,
+    *,
+    max_nodes: int = 1_000_000,
+    max_depth: int = 16,
+) -> LabeledTree:
+    """Generate an XMark-like document (deterministic in ``seed``)."""
+    generator = DocumentGenerator(
+        xmark_schema(scale), max_nodes=max_nodes, max_depth=max_depth
+    )
+    return generator.generate(seed)

@@ -1,0 +1,5 @@
+"""Frequent subtree mining: the level-wise lattice enumeration engine."""
+
+from .freqt import MiningResult, mine_lattice, pattern_counts_by_level
+
+__all__ = ["MiningResult", "mine_lattice", "pattern_counts_by_level"]

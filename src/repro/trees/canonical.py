@@ -1,0 +1,267 @@
+"""Canonical forms for unordered labeled trees.
+
+Twig matching ignores sibling order, so two trees that differ only in the
+order of siblings denote the same pattern and must share one summary
+entry.  The canonical form used throughout the library is a nested tuple
+
+    canon = (label, (child_canon_1, ..., child_canon_m))
+
+where the children canons are sorted.  Canon tuples are hashable and
+compare cheaply, which makes them the natural dictionary key for the
+lattice summary, the miner's count maps, and the estimators' memo tables.
+
+For persistent storage and human-readable display there is a compact
+string codec: ``a(b,c(d))`` encodes the tree rooted at ``a`` with leaf
+child ``b`` and child ``c`` that has leaf child ``d``.  Characters that
+collide with the syntax (``(``, ``)``, ``,`` and ``\\``) are
+backslash-escaped, so arbitrary labels round-trip.
+"""
+
+from __future__ import annotations
+
+from .labeled_tree import LabeledTree, TreeBuildError
+
+__all__ = [
+    "Canon",
+    "canon",
+    "canon_of_subtree",
+    "canon_label",
+    "canon_children",
+    "canon_size",
+    "canon_from_nested",
+    "canon_to_tree",
+    "encode_canon",
+    "decode_canon",
+    "encode_tree",
+    "decode_tree",
+    "canonical_preorder",
+]
+
+Canon = tuple  # (label: str, children: tuple[Canon, ...])
+
+_ESCAPED = {"(", ")", ",", "\\"}
+
+
+def canon(tree: LabeledTree) -> Canon:
+    """Canonical tuple of a whole tree."""
+    return canon_of_subtree(tree, tree.root)
+
+
+def canon_of_subtree(tree: LabeledTree, node: int) -> Canon:
+    """Canonical tuple of the subtree of ``tree`` rooted at ``node``.
+
+    Iterative post-order so arbitrarily deep documents (beyond Python's
+    recursion limit) canonicalise fine.
+    """
+    done: dict[int, Canon] = {}
+    stack: list[tuple[int, bool]] = [(node, False)]
+    while stack:
+        current, expanded = stack.pop()
+        kids = tree.child_ids(current)
+        if not kids:
+            done[current] = (tree.label(current), ())
+            continue
+        if expanded:
+            done[current] = (
+                tree.label(current),
+                tuple(sorted(done[c] for c in kids)),
+            )
+        else:
+            stack.append((current, True))
+            stack.extend((c, False) for c in kids)
+    return done[node]
+
+
+def canon_label(c: Canon) -> str:
+    """Root label of a canon tuple."""
+    return c[0]
+
+
+def canon_children(c: Canon) -> tuple[Canon, ...]:
+    """Child canon tuples (already sorted)."""
+    return c[1]
+
+
+def canon_size(c: Canon) -> int:
+    """Number of nodes in the pattern a canon tuple denotes."""
+    total = 1
+    stack = list(c[1])
+    while stack:
+        node = stack.pop()
+        total += 1
+        stack.extend(node[1])
+    return total
+
+
+def canon_from_nested(spec) -> Canon:
+    """Canon tuple straight from a nested ``(label, [children])`` spec."""
+    return canon(LabeledTree.from_nested(spec))
+
+
+def canon_to_tree(c: Canon) -> LabeledTree:
+    """Materialise a canon tuple as a :class:`LabeledTree`.
+
+    Nodes are created in canonical pre-order, so ``canon(canon_to_tree(c))
+    == c`` and node 0 is the root.
+    """
+    tree = LabeledTree(c[0])
+    stack = [(0, kid) for kid in reversed(c[1])]
+    while stack:
+        parent, kid = stack.pop()
+        node = tree.add_child(parent, kid[0])
+        stack.extend((node, g) for g in reversed(kid[1]))
+    return tree
+
+
+def canonical_preorder(tree: LabeledTree) -> list[int]:
+    """Node ids of ``tree`` in *canonical* pre-order.
+
+    Children are visited in the order of their canonical encodings rather
+    than insertion order, so isomorphic trees yield label sequences in the
+    same order.  The fix-sized decomposition (paper Figure 5) uses this
+    ordering so that covering an isomorphism class is deterministic.
+    """
+    # One iterative post-order pass computes every node's subtree canon.
+    canon_memo: dict[int, Canon] = {}
+    walk: list[tuple[int, bool]] = [(tree.root, False)]
+    while walk:
+        node, expanded = walk.pop()
+        kids = tree.child_ids(node)
+        if not kids:
+            canon_memo[node] = (tree.label(node), ())
+        elif expanded:
+            canon_memo[node] = (
+                tree.label(node),
+                tuple(sorted(canon_memo[c] for c in kids)),
+            )
+        else:
+            walk.append((node, True))
+            walk.extend((c, False) for c in kids)
+
+    order: list[int] = []
+    stack = [tree.root]
+    while stack:
+        node = stack.pop()
+        order.append(node)
+        kids = sorted(tree.child_ids(node), key=canon_memo.__getitem__)
+        stack.extend(reversed(kids))
+    return order
+
+
+# ----------------------------------------------------------------------
+# String codec
+# ----------------------------------------------------------------------
+
+
+def _escape(label: str) -> str:
+    if any(ch in _ESCAPED for ch in label):
+        out = []
+        for ch in label:
+            if ch in _ESCAPED:
+                out.append("\\")
+            out.append(ch)
+        return "".join(out)
+    return label
+
+
+def encode_canon(c: Canon) -> str:
+    """Encode a canon tuple as a compact string like ``a(b,c(d))``.
+
+    Iterative over an explicit token stack, so depth is unbounded.
+    """
+    out: list[str] = []
+    stack: list[Canon | str] = [c]
+    while stack:
+        item = stack.pop()
+        if isinstance(item, str):
+            out.append(item)
+            continue
+        label, kids = item
+        out.append(_escape(label))
+        if kids:
+            tokens: list[Canon | str] = ["("]
+            for i, kid in enumerate(kids):
+                if i:
+                    tokens.append(",")
+                tokens.append(kid)
+            tokens.append(")")
+            stack.extend(reversed(tokens))
+    return "".join(out)
+
+
+def decode_canon(text: str) -> Canon:
+    """Parse the string codec back into a canon tuple.
+
+    The input need not list children in sorted order; the result is
+    re-canonicalised, so ``decode_canon`` accepts any hand-written
+    pattern string.  Iterative, so arbitrarily deep patterns parse.
+    """
+    n = len(text)
+    pos = 0
+    open_labels: list[str] = []
+    open_kids: list[list[Canon]] = []
+    while True:
+        label, pos = _scan_label(text, pos)
+        if pos < n and text[pos] == "(":
+            open_labels.append(label)
+            open_kids.append([])
+            pos += 1
+            continue
+        node: Canon = (label, ())
+        while True:
+            if pos >= n:
+                if open_labels:
+                    raise TreeBuildError("unterminated '(' in pattern string")
+                return node
+            ch = text[pos]
+            if ch == ",":
+                if not open_kids:
+                    raise TreeBuildError(
+                        f"trailing garbage at position {pos} in {text!r}"
+                    )
+                open_kids[-1].append(node)
+                pos += 1
+                break  # scan the next sibling's label
+            if ch == ")":
+                if not open_kids:
+                    raise TreeBuildError(
+                        f"trailing garbage at position {pos} in {text!r}"
+                    )
+                kids = open_kids.pop()
+                kids.append(node)
+                node = (open_labels.pop(), tuple(sorted(kids)))
+                pos += 1
+                continue
+            raise TreeBuildError(f"unexpected {ch!r} at position {pos}")
+
+
+def _scan_label(text: str, pos: int) -> tuple[str, int]:
+    """Scan one (possibly escaped) label starting at ``pos``."""
+    label_chars: list[str] = []
+    n = len(text)
+    while pos < n:
+        ch = text[pos]
+        if ch == "\\":
+            if pos + 1 >= n:
+                raise TreeBuildError("dangling escape at end of pattern string")
+            label_chars.append(text[pos + 1])
+            pos += 2
+            continue
+        if ch in "(),":
+            break
+        label_chars.append(ch)
+        pos += 1
+    label = "".join(label_chars)
+    if not label:
+        raise TreeBuildError(f"empty label at position {pos} in {text!r}")
+    return label, pos
+
+
+def encode_tree(tree: LabeledTree) -> str:
+    """Canonical string encoding of a tree (order-insensitive)."""
+    return encode_canon(canon(tree))
+
+
+def decode_tree(text: str) -> LabeledTree:
+    """Parse a pattern string into a :class:`LabeledTree`."""
+    return canon_to_tree(decode_canon(text))

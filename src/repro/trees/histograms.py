@@ -1,0 +1,215 @@
+"""Order-preserving value histograms: range predicates as structure.
+
+:mod:`repro.trees.values` handles *equality* predicates by hashing leaf
+text into buckets; hashing destroys order, so range predicates need the
+classic database answer instead — an **equi-depth histogram** per
+numeric element label.  Values are binned by fitted boundaries, the bin
+index becomes a synthetic child label (``price#3``), and a range
+predicate expands into a union of bin-equality twigs whose estimates
+add up (bins partition the value space, so the twig counts are
+disjoint).  Partial boundary bins are scaled by the assumed-uniform
+in-bin fraction, exactly like a relational histogram estimator.
+
+Workflow::
+
+    hist = RangeHistogram.fit({"price": values_seen}, buckets=8)
+    doc  = tree_from_xml_with_ranges(xml, hist)
+    lattice = LatticeSummary.build(doc, 4)
+    low, high, queries = hist.range_twigs("/laptop[price]", "price", 800, 1500)
+    estimate = sum(w * est.estimate(q) for w, q in queries)
+"""
+
+from __future__ import annotations
+
+import bisect
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+
+from .labeled_tree import LabeledTree
+from .serialize import _strip_namespace
+from .twig import TwigQuery
+
+__all__ = ["RangeHistogram", "tree_from_xml_with_ranges"]
+
+
+@dataclass(frozen=True)
+class _LabelBins:
+    """Fitted bin boundaries of one element label."""
+
+    boundaries: tuple[float, ...]  # ascending interior boundaries
+
+    @property
+    def num_bins(self) -> int:
+        return len(self.boundaries) + 1
+
+    def bin_of(self, value: float) -> int:
+        # bisect_left makes bin i the interval (boundary[i-1], boundary[i]]
+        # — consistent with bin_range below, so boundary values belong to
+        # the bin they close.
+        return bisect.bisect_left(self.boundaries, value)
+
+    def bin_range(self, index: int) -> tuple[float, float]:
+        """(low, high] of a bin; open ends are ±inf."""
+        low = self.boundaries[index - 1] if index > 0 else float("-inf")
+        high = (
+            self.boundaries[index]
+            if index < len(self.boundaries)
+            else float("inf")
+        )
+        return low, high
+
+
+class RangeHistogram:
+    """Per-label equi-depth histograms for numeric leaf values."""
+
+    def __init__(self, bins: dict[str, _LabelBins]):
+        self._bins = bins
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls, samples: dict[str, list[float]], buckets: int = 8
+    ) -> "RangeHistogram":
+        """Fit equi-depth boundaries per label from sample values."""
+        if buckets < 1:
+            raise ValueError("need at least one bucket")
+        bins: dict[str, _LabelBins] = {}
+        for label, values in samples.items():
+            if not values:
+                raise ValueError(f"no sample values for label {label!r}")
+            ordered = sorted(values)
+            boundaries: list[float] = []
+            for i in range(1, buckets):
+                rank = round(i * len(ordered) / buckets)
+                rank = min(max(rank, 1), len(ordered) - 1)
+                boundary = ordered[rank]
+                if not boundaries or boundary > boundaries[-1]:
+                    boundaries.append(boundary)
+            bins[label] = _LabelBins(tuple(boundaries))
+        return cls(bins)
+
+    # ------------------------------------------------------------------
+    # Labelling
+    # ------------------------------------------------------------------
+
+    def labels(self) -> list[str]:
+        return sorted(self._bins)
+
+    def handles(self, label: str) -> bool:
+        return label in self._bins
+
+    def bin_label(self, label: str, value: float) -> str:
+        """The synthetic node label of a value, e.g. ``price#3``."""
+        return f"{label}#{self._require(label).bin_of(value)}"
+
+    def num_bins(self, label: str) -> int:
+        return self._require(label).num_bins
+
+    # ------------------------------------------------------------------
+    # Range queries
+    # ------------------------------------------------------------------
+
+    def range_twigs(
+        self,
+        xpath: str,
+        label: str,
+        low: float,
+        high: float,
+    ) -> list[tuple[float, TwigQuery]]:
+        """Expand a range predicate into weighted bin-equality twigs.
+
+        Returns ``(weight, twig)`` pairs: the estimate of the range query
+        is ``sum(weight * estimate(twig))``.  Interior bins weigh 1.0;
+        the two boundary bins are scaled by the uniform-within-bin
+        fraction of the bin's span that the range covers.
+        """
+        if low > high:
+            raise ValueError("empty range: low > high")
+        entry = self._require(label)
+        base = TwigQuery.parse(xpath)
+        anchor = self._anchor_node(base, label)
+
+        first = entry.bin_of(low)
+        last = entry.bin_of(high)
+        out: list[tuple[float, TwigQuery]] = []
+        for index in range(first, last + 1):
+            bin_low, bin_high = entry.bin_range(index)
+            weight = _overlap_fraction(bin_low, bin_high, low, high)
+            if weight <= 0.0:
+                continue
+            tree = base.tree.copy()
+            tree.add_child(anchor, f"{label}#{index}")
+            out.append((weight, TwigQuery(tree)))
+        return out
+
+    @staticmethod
+    def _anchor_node(query: TwigQuery, label: str) -> int:
+        for node in range(query.tree.size):
+            if query.tree.label(node) == label:
+                return node
+        raise ValueError(f"label {label!r} does not occur in the twig")
+
+    def _require(self, label: str) -> _LabelBins:
+        got = self._bins.get(label)
+        if got is None:
+            known = ", ".join(self.labels()) or "(none)"
+            raise KeyError(f"no histogram for label {label!r}; fitted: {known}")
+        return got
+
+    def __repr__(self) -> str:
+        spec = ", ".join(
+            f"{label}:{entry.num_bins}" for label, entry in sorted(self._bins.items())
+        )
+        return f"RangeHistogram({spec})"
+
+
+def _overlap_fraction(
+    bin_low: float, bin_high: float, low: float, high: float
+) -> float:
+    """Fraction of a bin's span covered by [low, high] (uniform model).
+
+    Unbounded edge bins count as fully covered when the range reaches
+    into them at all (there is no span to scale by).
+    """
+    if high < bin_low or low > bin_high:
+        return 0.0
+    if bin_low == float("-inf") or bin_high == float("inf"):
+        return 1.0
+    span = bin_high - bin_low
+    if span <= 0:
+        return 1.0
+    covered = min(high, bin_high) - max(low, bin_low)
+    return max(0.0, min(1.0, covered / span))
+
+
+def tree_from_xml_with_ranges(
+    text: str | bytes, histogram: RangeHistogram
+) -> LabeledTree:
+    """Parse XML, binning numeric leaf values of fitted labels.
+
+    Leaves whose label has a fitted histogram and whose text parses as a
+    number get a ``label#bin`` child; other leaf text is dropped (as in
+    the structural parser).
+    """
+    root = ET.fromstring(text)
+    tree = LabeledTree(_strip_namespace(root.tag))
+    stack = [(root, 0)]
+    while stack:
+        element, node = stack.pop()
+        children = list(element)
+        if not children:
+            label = _strip_namespace(element.tag)
+            value_text = (element.text or "").strip()
+            if value_text and histogram.handles(label):
+                try:
+                    value = float(value_text)
+                except ValueError:
+                    continue
+                tree.add_child(node, histogram.bin_label(label, value))
+            continue
+        for child in children:
+            stack.append((child, tree.add_child(node, _strip_namespace(child.tag))))
+    return tree

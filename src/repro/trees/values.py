@@ -1,0 +1,102 @@
+"""Value-predicate support via bucketed value labels (extension).
+
+The paper models structure only and lists "twig queries with value
+predicates" as future work (§6).  This module provides the standard
+bridge: leaf text values are hashed into a fixed number of buckets and
+materialised as synthetic child nodes labeled ``label=bucket``.  A value
+predicate then becomes ordinary structure, and the whole TreeLattice
+machinery — mining, lattice, decomposition, pruning — applies unchanged.
+
+Example: ``<price>1200</price>`` with 8 buckets becomes::
+
+    price
+    └── price=b3        (b3 = bucket of "1200")
+
+and the query ``//laptop[price = 1200]`` is the structural twig
+``laptop(price(price=b3))``.
+
+Equality predicates only — range predicates would need order-preserving
+bucketing (histograms), which is beyond the paper's scope.  Bucketing is
+deterministic (``zlib.crc32``), so query-side and load-side bucketing
+always agree across processes and runs.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+import zlib
+
+from .labeled_tree import LabeledTree
+from .serialize import _strip_namespace
+from .twig import TwigQuery
+
+__all__ = ["value_bucket", "value_label", "tree_from_xml_with_values", "value_twig"]
+
+#: Default number of value buckets.
+DEFAULT_BUCKETS = 16
+
+
+def value_bucket(value: str, buckets: int = DEFAULT_BUCKETS) -> int:
+    """Deterministic bucket index of a text value."""
+    if buckets < 1:
+        raise ValueError("need at least one bucket")
+    return zlib.crc32(value.strip().encode("utf-8")) % buckets
+
+
+def value_label(element_label: str, value: str, buckets: int = DEFAULT_BUCKETS) -> str:
+    """The synthetic node label carrying a bucketed value."""
+    return f"{element_label}=b{value_bucket(value, buckets)}"
+
+
+def tree_from_xml_with_values(
+    text: str | bytes, buckets: int = DEFAULT_BUCKETS
+) -> LabeledTree:
+    """Parse XML keeping bucketed leaf values as synthetic child nodes.
+
+    Only *leaf* element text becomes a value node (mirroring the paper's
+    observation that "values are almost always associated with leaf
+    nodes"); mixed content on interior elements is ignored as before.
+    """
+    root = ET.fromstring(text)
+    tree = LabeledTree(_strip_namespace(root.tag))
+    stack = [(root, 0)]
+    while stack:
+        element, node = stack.pop()
+        children = list(element)
+        if not children:
+            value = (element.text or "").strip()
+            if value:
+                tree.add_child(
+                    node, value_label(_strip_namespace(element.tag), value, buckets)
+                )
+            continue
+        for child in children:
+            child_node = tree.add_child(node, _strip_namespace(child.tag))
+            stack.append((child, child_node))
+    return tree
+
+
+def value_twig(
+    xpath: str,
+    predicates: dict[str, str],
+    buckets: int = DEFAULT_BUCKETS,
+) -> TwigQuery:
+    """Build a twig with equality value predicates.
+
+    ``predicates`` maps a *leaf label occurring in the twig* to the
+    required value; each named leaf gets a bucketed value child.
+
+    >>> q = value_twig("/laptop[brand][price]", {"price": "1200"})
+    >>> # q matches laptops whose price text falls in bucket("1200")
+    """
+    query = TwigQuery.parse(xpath)
+    tree = query.tree.copy()
+    remaining = dict(predicates)
+    for node in range(tree.size):
+        label = tree.label(node)
+        if label in remaining:
+            tree.add_child(node, value_label(label, remaining.pop(label), buckets))
+    if remaining:
+        missing = ", ".join(sorted(remaining))
+        raise ValueError(f"predicate labels not found in the twig: {missing}")
+    return TwigQuery(tree)

@@ -1,0 +1,31 @@
+"""Workload generation and estimator evaluation metrics."""
+
+from .generator import QueryWorkload, negative_workload, positive_workloads
+from .templates import (
+    DATASET_TEMPLATES,
+    dataset_queries,
+    load_workload_file,
+    save_workload_file,
+)
+from .metrics import (
+    EstimatorEvaluation,
+    absolute_relative_error,
+    error_cdf,
+    evaluate_estimator,
+    sanity_bound,
+)
+
+__all__ = [
+    "QueryWorkload",
+    "negative_workload",
+    "positive_workloads",
+    "EstimatorEvaluation",
+    "absolute_relative_error",
+    "error_cdf",
+    "evaluate_estimator",
+    "sanity_bound",
+    "DATASET_TEMPLATES",
+    "dataset_queries",
+    "load_workload_file",
+    "save_workload_file",
+]

@@ -1,0 +1,148 @@
+"""Query workload generation (paper §5.1).
+
+Positive workloads: enumerate the occurring subtree patterns of the
+document level by level (the same lattice enumeration the summary uses),
+sampling a level when it grows too large, then draw a fixed number of
+queries per level.  Because the patterns come out of the miner their
+true selectivities are known for free.
+
+Negative workloads: perturb positive queries by replacing node labels at
+random "in accordance with their frequency of occurrence" — frequent
+labels are chosen as replacements more often, maximising the chance of a
+plausible-looking but non-occurring twig — then keep only the queries
+whose exact selectivity is zero.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..mining.freqt import mine_lattice
+from ..trees.canonical import canon, canon_to_tree
+from ..trees.labeled_tree import LabeledTree
+from ..trees.matching import DocumentIndex, count_matches
+from ..trees.twig import TwigQuery
+
+__all__ = ["QueryWorkload", "positive_workloads", "negative_workload"]
+
+
+@dataclass
+class QueryWorkload:
+    """A bag of twig queries of one size with their true selectivities."""
+
+    size: int
+    queries: list[TwigQuery]
+    true_counts: list[int]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(zip(self.queries, self.true_counts))
+
+    def non_zero(self) -> int:
+        """Number of queries with positive true selectivity."""
+        return sum(1 for c in self.true_counts if c > 0)
+
+
+def positive_workloads(
+    document: LabeledTree | DocumentIndex,
+    sizes: list[int] | range,
+    per_level: int = 50,
+    *,
+    seed: int = 0,
+    extend_cap: int = 2000,
+) -> dict[int, QueryWorkload]:
+    """Positive (non-zero selectivity) workloads, one per requested size.
+
+    Parameters
+    ----------
+    document:
+        The data tree the queries will run against.
+    sizes:
+        Query sizes (node counts) to generate, e.g. ``range(4, 9)`` for
+        the paper's 4..8.
+    per_level:
+        Queries sampled per size (fewer if fewer patterns occur).
+    extend_cap:
+        Mining cap per level (paper: "we sample the patterns at a given
+        level" when enumeration blows up).
+    """
+    sizes = sorted(set(sizes))
+    if not sizes:
+        raise ValueError("no query sizes requested")
+    if sizes[0] < 1:
+        raise ValueError("query sizes must be positive")
+    index = document if isinstance(document, DocumentIndex) else DocumentIndex(document)
+    mined = mine_lattice(index, sizes[-1], extend_cap=extend_cap, seed=seed)
+    rng = random.Random(seed)
+    workloads: dict[int, QueryWorkload] = {}
+    for size in sizes:
+        patterns = sorted(mined.patterns(size).items())
+        if len(patterns) > per_level:
+            patterns = rng.sample(patterns, per_level)
+        queries = [TwigQuery(canon_to_tree(c)) for c, _count in patterns]
+        counts = [count for _c, count in patterns]
+        workloads[size] = QueryWorkload(size=size, queries=queries, true_counts=counts)
+    return workloads
+
+
+def negative_workload(
+    document: LabeledTree | DocumentIndex,
+    positives: QueryWorkload,
+    *,
+    seed: int = 0,
+    max_attempts_per_query: int = 12,
+    target: int | None = None,
+) -> QueryWorkload:
+    """Zero-selectivity workload derived from a positive one.
+
+    Each positive query gets its node labels randomly replaced, with
+    replacement labels drawn proportionally to their document frequency
+    (frequent labels are used "more often so there is a greater chance
+    for erroneous predictions"); candidates whose exact selectivity is
+    non-zero are filtered out.
+    """
+    index = document if isinstance(document, DocumentIndex) else DocumentIndex(document)
+    rng = random.Random(seed)
+    labels = sorted(index.nodes_by_label)
+    weights = [index.label_count(label) for label in labels]
+    if target is None:
+        target = len(positives)
+
+    negatives: list[TwigQuery] = []
+    seen: set = set()
+    for query in positives.queries:
+        if len(negatives) >= target:
+            break
+        for _attempt in range(max_attempts_per_query):
+            mutated = _mutate_labels(query.tree, labels, weights, rng)
+            key = canon(mutated)
+            if key in seen:
+                continue
+            if count_matches(key, index) == 0:
+                seen.add(key)
+                negatives.append(TwigQuery(mutated))
+                break
+    return QueryWorkload(
+        size=positives.size,
+        queries=negatives,
+        true_counts=[0] * len(negatives),
+    )
+
+
+def _mutate_labels(
+    tree: LabeledTree,
+    labels: list[str],
+    weights: list[int],
+    rng: random.Random,
+) -> LabeledTree:
+    """Replace 1..n/2 node labels with frequency-weighted random labels."""
+    mutated = tree.copy()
+    n_replacements = rng.randint(1, max(1, tree.size // 2))
+    positions = rng.sample(range(tree.size), n_replacements)
+    replacements = rng.choices(labels, weights=weights, k=n_replacements)
+    for position, label in zip(positions, replacements):
+        mutated.labels[position] = label
+    return mutated

@@ -1,0 +1,146 @@
+"""Error metrics and estimator evaluation (paper §5.1).
+
+Accuracy is quantified by the *absolute relative error*
+
+    error = |s - ŝ| / max(s, σ)
+
+where the sanity bound ``σ`` avoids "artificially high percentages of
+low count queries": following the paper (and TreeSketches' common
+practice) it is the 10th percentile of the workload's true counts,
+clamped from below to 10.
+
+:func:`evaluate_estimator` runs one estimator over one workload and
+collects both the per-query errors and per-query response times, which
+feed the accuracy figures (7, 8, 10) and the response-time figure (9)
+respectively.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from ..core.estimator import SelectivityEstimator
+from .generator import QueryWorkload
+
+__all__ = [
+    "sanity_bound",
+    "absolute_relative_error",
+    "error_cdf",
+    "EstimatorEvaluation",
+    "evaluate_estimator",
+]
+
+
+def sanity_bound(
+    true_counts: list[int], percentile: float = 10.0, floor: int = 10
+) -> float:
+    """The paper's sanity bound: pct-percentile of true counts, min 10."""
+    if not true_counts:
+        return float(floor)
+    ordered = sorted(true_counts)
+    rank = max(0, min(len(ordered) - 1, math.ceil(percentile / 100 * len(ordered)) - 1))
+    return float(max(floor, ordered[rank]))
+
+
+def absolute_relative_error(true: float, estimate: float, sanity: float) -> float:
+    """Absolute relative error in percent: ``|s - ŝ| / max(s, σ) * 100``."""
+    denominator = max(true, sanity)
+    if denominator <= 0:
+        raise ValueError("sanity bound must be positive")
+    return abs(true - estimate) / denominator * 100.0
+
+
+def error_cdf(
+    errors: list[float], thresholds: list[float] | None = None
+) -> list[tuple[float, float]]:
+    """Cumulative distribution of errors (Figure 8's series).
+
+    Returns ``(threshold_pct, fraction_of_queries_with_error <= threshold)``
+    pairs.  Default thresholds sweep 0.1%..10000% logarithmically.
+    """
+    if thresholds is None:
+        thresholds = [0.1 * (10 ** (i / 4)) for i in range(21)]  # 0.1 .. 10^4
+    if not errors:
+        return [(t, 1.0) for t in thresholds]
+    ordered = sorted(errors)
+    out: list[tuple[float, float]] = []
+    idx = 0
+    for threshold in thresholds:
+        while idx < len(ordered) and ordered[idx] <= threshold:
+            idx += 1
+        out.append((threshold, idx / len(ordered)))
+    return out
+
+
+@dataclass
+class EstimatorEvaluation:
+    """Accuracy and latency of one estimator on one workload."""
+
+    estimator_name: str
+    workload_size: int
+    errors: list[float] = field(default_factory=list)
+    estimates: list[float] = field(default_factory=list)
+    response_seconds: list[float] = field(default_factory=list)
+    sanity: float = 10.0
+
+    @property
+    def average_error(self) -> float:
+        """Mean absolute relative error in percent."""
+        if not self.errors:
+            return 0.0
+        return sum(self.errors) / len(self.errors)
+
+    @property
+    def median_error(self) -> float:
+        if not self.errors:
+            return 0.0
+        ordered = sorted(self.errors)
+        mid = len(ordered) // 2
+        if len(ordered) % 2:
+            return ordered[mid]
+        return (ordered[mid - 1] + ordered[mid]) / 2
+
+    @property
+    def average_response_ms(self) -> float:
+        """Mean per-query estimation latency in milliseconds."""
+        if not self.response_seconds:
+            return 0.0
+        return sum(self.response_seconds) / len(self.response_seconds) * 1000.0
+
+    @property
+    def exact_zero_rate(self) -> float:
+        """Fraction of queries estimated as exactly 0 (negative workloads)."""
+        if not self.estimates:
+            return 0.0
+        return sum(1 for e in self.estimates if e == 0.0) / len(self.estimates)
+
+    def cdf(self, thresholds: list[float] | None = None) -> list[tuple[float, float]]:
+        return error_cdf(self.errors, thresholds)
+
+
+def evaluate_estimator(
+    estimator: SelectivityEstimator,
+    workload: QueryWorkload,
+    *,
+    sanity: float | None = None,
+) -> EstimatorEvaluation:
+    """Run ``estimator`` over ``workload``, recording errors and latency."""
+    if sanity is None:
+        sanity = sanity_bound(workload.true_counts)
+    evaluation = EstimatorEvaluation(
+        estimator_name=estimator.name,
+        workload_size=workload.size,
+        sanity=sanity,
+    )
+    for query, true_count in workload:
+        start = time.perf_counter()
+        estimate = estimator.estimate(query)
+        elapsed = time.perf_counter() - start
+        evaluation.estimates.append(estimate)
+        evaluation.response_seconds.append(elapsed)
+        evaluation.errors.append(
+            absolute_relative_error(true_count, estimate, sanity)
+        )
+    return evaluation

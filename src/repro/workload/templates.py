@@ -1,0 +1,120 @@
+"""Named query templates for the stand-in corpora.
+
+The generated workloads of :mod:`repro.workload.generator` sample
+patterns mechanically; demos, docs and smoke tests want *recognisable*
+queries instead ("people with an address and a credit card").  This
+module carries a curated template set per dataset — the kind of
+workload file a benchmark suite ships — plus a tiny text format so users
+can keep their own workloads next to their documents:
+
+    # one query per line; '#' comments; blank lines ignored
+    /site/people/person[name][emailaddress]
+    person[address/city][creditcard]
+
+Templates are plain XPath-subset strings; :func:`load_templates`
+resolves them to :class:`~repro.trees.twig.TwigQuery` objects.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..trees.twig import TwigQuery
+
+__all__ = [
+    "DATASET_TEMPLATES",
+    "dataset_queries",
+    "load_workload_file",
+    "save_workload_file",
+]
+
+#: Curated twig templates per stand-in corpus (XPath subset).
+DATASET_TEMPLATES: dict[str, list[str]] = {
+    "nasa": [
+        "/datasets/dataset/title",
+        "dataset[title][author/lastName]",
+        "dataset[author[lastName][firstName]]",
+        "dataset[date/year][identifier]",
+        "dataset[journal/author/lastName]",
+        "dataset[tableHead/tableLink/url]",
+        "dataset[history/revision][descriptions]",
+        "datasets/dataset[keywords/keyword][abstract]",
+    ],
+    "imdb": [
+        "/imdb/movie/title",
+        "movie[title][year][director/name]",
+        "movie[cast/actor[name][role]]",
+        "movie[director][boxoffice][genre]",
+        "movie[seasons/season/episode/title]",
+        "movie[creator][network]",
+        "movie[title][writer][rating]",
+        "imdb/movie[cast/star][runtime]",
+    ],
+    "psd": [
+        "/ProteinDatabase/ProteinEntry/header",
+        "ProteinEntry[protein/name][organism/source]",
+        "ProteinEntry[reference/refinfo/authors/author]",
+        "ProteinEntry[feature/site[site-type][seq-spec]]",
+        "ProteinEntry[classification/superfamily][genetics]",
+        "ProteinEntry[summary[length][type]][sequence]",
+        "reference[refinfo[citation][year]][accinfo]",
+    ],
+    "xmark": [
+        "/site/people/person/name",
+        "person[name][emailaddress][address/city]",
+        "person[profile/interest][creditcard]",
+        "open_auction[bidder[date][increase]][seller]",
+        "open_auction[annotation/description/parlist/listitem]",
+        "item[name][incategory][mailbox/mail/from]",
+        "closed_auction[buyer][price][annotation]",
+        "site/open_auctions/open_auction[interval[start][end]]",
+    ],
+    "treebank": [
+        "/corpus/S/NP",
+        "S[NP/DT][VP/VB]",
+        "NP[DT][JJ][NN]",
+        "VP[VB][NP[DT][NN]]",
+        "S[NP][VP/VP/PP]",
+        "SBAR[IN][S/VP]",
+        "PP[IN][NP/NN]",
+    ],
+}
+
+
+def dataset_queries(name: str) -> list[TwigQuery]:
+    """The curated template queries of one dataset, parsed."""
+    try:
+        templates = DATASET_TEMPLATES[name]
+    except KeyError:
+        known = ", ".join(sorted(DATASET_TEMPLATES))
+        raise ValueError(f"no templates for dataset {name!r}; known: {known}")
+    return [TwigQuery.parse(text) for text in templates]
+
+
+def load_workload_file(path: str | Path) -> list[TwigQuery]:
+    """Parse a workload file: one twig per line, ``#`` comments."""
+    queries: list[TwigQuery] = []
+    for line_number, raw in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        text = raw.split("#", 1)[0].strip()
+        if not text:
+            continue
+        try:
+            queries.append(TwigQuery.parse(text))
+        except Exception as exc:
+            raise ValueError(f"{path}:{line_number}: {exc}") from exc
+    return queries
+
+
+def save_workload_file(
+    queries: list[TwigQuery], path: str | Path, *, header: str | None = None
+) -> None:
+    """Write queries in the workload file format (canonical codec)."""
+    from ..trees.canonical import encode_tree
+
+    lines: list[str] = []
+    if header:
+        lines.extend(f"# {line}" for line in header.splitlines())
+    lines.extend(encode_tree(query.tree) for query in queries)
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")

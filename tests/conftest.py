@@ -1,0 +1,170 @@
+"""Shared fixtures: hand-built documents and small dataset bundles.
+
+Everything expensive is session-scoped; tests never mutate fixtures
+(LabeledTree derivation helpers always copy).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro import (
+    DocumentIndex,
+    LabeledTree,
+    LatticeSummary,
+    generate_imdb,
+    generate_nasa,
+    generate_psd,
+    generate_xmark,
+)
+
+
+@pytest.fixture(scope="session")
+def figure1_doc() -> LabeledTree:
+    """The paper's Figure 1(a): an online computer store document."""
+    return LabeledTree.from_nested(
+        (
+            "computer",
+            [
+                (
+                    "laptops",
+                    [
+                        ("laptop", ["brand", "price"]),
+                        ("laptop", ["brand", "price"]),
+                    ],
+                ),
+                ("desktops", [("desktop", ["brand", "price"])]),
+            ],
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def skew_doc() -> LabeledTree:
+    """A Figure-11-style document with high child-count variance.
+
+    Root ``r`` holds four ``a`` nodes: three with four ``b`` children
+    each, one with two — so the average ``a -> b`` fan-out (3.5) is
+    representative of no actual node.  Multiplying averaged fan-outs
+    (what TreeSketches does) overestimates twigs that branch under
+    ``a``, while the lattice keeps the joint counts exactly.
+    """
+    spec_children = [("a", ["b"] * 4)] * 3 + [("a", ["b"] * 2)]
+    return LabeledTree.from_nested(("r", spec_children))
+
+
+@pytest.fixture(scope="session")
+def figure1_index(figure1_doc) -> DocumentIndex:
+    return DocumentIndex(figure1_doc)
+
+
+@pytest.fixture(scope="session")
+def figure1_lattice(figure1_index) -> LatticeSummary:
+    return LatticeSummary.build(figure1_index, 4)
+
+
+# ----------------------------------------------------------------------
+# Small instances of the four paper datasets (fast to mine)
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="session")
+def small_nasa() -> LabeledTree:
+    return generate_nasa(40, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_imdb() -> LabeledTree:
+    return generate_imdb(50, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_psd() -> LabeledTree:
+    return generate_psd(35, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_xmark() -> LabeledTree:
+    return generate_xmark(10, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_nasa_lattice(small_nasa) -> LatticeSummary:
+    return LatticeSummary.build(small_nasa, 4)
+
+
+@pytest.fixture(scope="session")
+def small_imdb_lattice(small_imdb) -> LatticeSummary:
+    return LatticeSummary.build(small_imdb, 4)
+
+
+# ----------------------------------------------------------------------
+# Brute-force reference implementations
+# ----------------------------------------------------------------------
+
+
+def brute_force_matches(query: LabeledTree, data: LabeledTree) -> int:
+    """Count matches by enumerating all injective node mappings.
+
+    Exponential; only usable for tiny query/data pairs, which is exactly
+    what makes it a trustworthy oracle for the DP matcher.
+    """
+    query_nodes = list(range(query.size))
+    data_nodes = list(range(data.size))
+    count = 0
+    for images in itertools.permutations(data_nodes, len(query_nodes)):
+        if _is_match(query, data, dict(zip(query_nodes, images))):
+            count += 1
+    return count
+
+
+def _is_match(query: LabeledTree, data: LabeledTree, mapping: dict[int, int]) -> bool:
+    for q_node, d_node in mapping.items():
+        if query.label(q_node) != data.label(d_node):
+            return False
+    for q_node in range(1, query.size):
+        q_parent = query.parent(q_node)
+        if data.parent(mapping[q_node]) != mapping[q_parent]:
+            return False
+    return True
+
+
+def brute_force_patterns(data: LabeledTree, max_size: int) -> dict:
+    """Enumerate occurring patterns by brute force (tiny data only).
+
+    Generates every connected induced-substructure shape by expanding
+    node subsets of the data tree, canonicalises, and counts matches.
+    """
+    from repro import canon, count_matches
+
+    index = DocumentIndex(data)
+    patterns: dict = {}
+    # Every occurring pattern is witnessed by at least one *subtree-set*
+    # of the data tree (a connected node set), so enumerating connected
+    # node sets and canonicalising them covers all occurring shapes.
+    seeds = [frozenset([n]) for n in range(data.size)]
+    seen_sets = set(seeds)
+    frontier = seeds
+    for _size in range(1, max_size + 1):
+        next_frontier = []
+        for node_set in frontier:
+            shape = canon(data.induced_subtree(node_set))
+            if shape not in patterns:
+                patterns[shape] = count_matches(shape, index)
+            if _size == max_size:
+                continue
+            for node in node_set:
+                neighbours = list(data.child_ids(node))
+                if data.parent(node) != -1:
+                    neighbours.append(data.parent(node))
+                for other in neighbours:
+                    if other in node_set:
+                        continue
+                    grown = node_set | {other}
+                    if grown not in seen_sets:
+                        seen_sets.add(grown)
+                        next_frontier.append(grown)
+        frontier = next_frontier
+    return patterns

@@ -1,0 +1,131 @@
+"""Unit tests for canonical forms and the string codec."""
+
+import pytest
+
+from repro import LabeledTree, TreeBuildError, canon, decode_tree, encode_tree
+from repro.trees.canonical import (
+    canon_children,
+    canon_from_nested,
+    canon_label,
+    canon_of_subtree,
+    canon_size,
+    canon_to_tree,
+    canonical_preorder,
+    decode_canon,
+    encode_canon,
+)
+
+
+class TestCanon:
+    def test_leaf(self):
+        assert canon(LabeledTree("a")) == ("a", ())
+
+    def test_children_sorted(self):
+        tree = LabeledTree.from_nested(("a", ["c", "b"]))
+        assert canon(tree) == ("a", (("b", ()), ("c", ())))
+
+    def test_order_invariance(self):
+        left = LabeledTree.from_nested(("a", [("b", ["x", "y"]), "c"]))
+        right = LabeledTree.from_nested(("a", ["c", ("b", ["y", "x"])]))
+        assert canon(left) == canon(right)
+
+    def test_distinguishes_depth(self):
+        flat = LabeledTree.from_nested(("a", ["b", "c"]))
+        nested = LabeledTree.from_nested(("a", [("b", ["c"])]))
+        assert canon(flat) != canon(nested)
+
+    def test_duplicate_children_preserved(self):
+        tree = LabeledTree.from_nested(("a", ["b", "b"]))
+        assert canon(tree) == ("a", (("b", ()), ("b", ())))
+
+    def test_canon_of_subtree(self):
+        tree = LabeledTree.from_nested(("a", [("b", ["c"])]))
+        assert canon_of_subtree(tree, 1) == ("b", (("c", ()),))
+
+    def test_canon_helpers(self):
+        c = canon_from_nested(("a", ["b", ("c", ["d"])]))
+        assert canon_label(c) == "a"
+        assert len(canon_children(c)) == 2
+        assert canon_size(c) == 4
+
+    def test_canon_to_tree_roundtrip(self):
+        c = canon_from_nested(("a", [("b", ["d", "c"]), "e"]))
+        assert canon(canon_to_tree(c)) == c
+
+
+class TestCodec:
+    def test_encode_leaf(self):
+        assert encode_tree(LabeledTree("item")) == "item"
+
+    def test_encode_nested(self):
+        tree = LabeledTree.from_nested(("a", ["c", ("b", ["d"])]))
+        assert encode_tree(tree) == "a(b(d),c)"
+
+    def test_roundtrip(self):
+        for text in ["a", "a(b)", "a(b,c)", "a(b(c,d),e(f))", "x(x(x))"]:
+            assert encode_tree(decode_tree(text)) == text
+
+    def test_decode_unsorted_input_canonicalised(self):
+        assert encode_tree(decode_tree("a(c,b)")) == "a(b,c)"
+
+    def test_escaping_roundtrip(self):
+        weird = LabeledTree("we(ird,la\\bel)")
+        encoded = encode_tree(weird)
+        assert decode_tree(encoded).label(0) == "we(ird,la\\bel)"
+
+    def test_decode_rejects_trailing_garbage(self):
+        with pytest.raises(TreeBuildError):
+            decode_canon("a(b))")
+
+    def test_decode_rejects_unterminated(self):
+        with pytest.raises(TreeBuildError):
+            decode_canon("a(b")
+
+    def test_decode_rejects_empty_label(self):
+        with pytest.raises(TreeBuildError):
+            decode_canon("a(,b)")
+        with pytest.raises(TreeBuildError):
+            decode_canon("")
+
+    def test_decode_rejects_dangling_escape(self):
+        with pytest.raises(TreeBuildError):
+            decode_canon("a\\")
+
+    def test_encode_canon_matches_encode_tree(self):
+        tree = LabeledTree.from_nested(("a", ["b"]))
+        assert encode_canon(canon(tree)) == encode_tree(tree)
+
+    def test_multibyte_labels(self):
+        tree = LabeledTree.from_nested(("日本語", ["ラベル"]))
+        assert decode_tree(encode_tree(tree)).isomorphic(tree)
+
+
+class TestCanonicalPreorder:
+    def test_visits_all_nodes_once(self):
+        tree = LabeledTree.from_nested(("a", [("b", ["x"]), "c", ("b", ["y"])]))
+        order = canonical_preorder(tree)
+        assert sorted(order) == list(range(tree.size))
+
+    def test_parents_before_children(self):
+        tree = LabeledTree.from_nested(("a", [("b", ["x"]), ("c", ["y", "z"])]))
+        order = canonical_preorder(tree)
+        position = {n: i for i, n in enumerate(order)}
+        for node in range(1, tree.size):
+            assert position[tree.parent(node)] < position[node]
+
+    def test_isomorphic_trees_same_label_sequence(self):
+        left = LabeledTree.from_nested(("a", [("c", ["z"]), ("b", ["y", "x"])]))
+        right = LabeledTree.from_nested(("a", [("b", ["x", "y"]), ("c", ["z"])]))
+        left_labels = [left.label(n) for n in canonical_preorder(left)]
+        right_labels = [right.label(n) for n in canonical_preorder(right)]
+        assert left_labels == right_labels
+
+    def test_prefix_is_connected(self):
+        tree = LabeledTree.from_nested(
+            ("a", [("b", ["d", ("e", ["f"])]), ("c", ["g"])])
+        )
+        order = canonical_preorder(tree)
+        for k in range(1, tree.size + 1):
+            # induced_subtree raises when the set is disconnected.
+            sub = tree.induced_subtree(order[:k])
+            assert sub.size == k

@@ -1,0 +1,143 @@
+"""Unit tests for the summary catalog."""
+
+import pytest
+
+from repro import LatticeSummary, TwigQuery, count_matches
+from repro.core.catalog import CatalogError, SummaryCatalog
+
+
+class TestRegistration:
+    def test_register_and_estimate(self, figure1_doc):
+        catalog = SummaryCatalog()
+        summary = catalog.register("shop", figure1_doc, level=4)
+        assert "shop" in catalog
+        assert summary.num_patterns > 0
+        estimate = catalog.estimate("shop", "laptop(brand,price)")
+        assert estimate == 2.0
+
+    def test_names_and_len(self, figure1_doc, small_psd):
+        catalog = SummaryCatalog()
+        catalog.register("a", figure1_doc, level=3)
+        catalog.register("b", small_psd, level=3)
+        assert catalog.names() == ["a", "b"]
+        assert len(catalog) == 2
+
+    def test_invalid_name_rejected(self, figure1_doc):
+        catalog = SummaryCatalog()
+        with pytest.raises(CatalogError):
+            catalog.register("bad name!", figure1_doc)
+
+    def test_reregister_replaces(self, figure1_doc):
+        catalog = SummaryCatalog()
+        catalog.register("doc", figure1_doc, level=3)
+        first = catalog.summary("doc")
+        catalog.register("doc", figure1_doc, level=4)
+        assert catalog.summary("doc").level == 4
+        assert catalog.summary("doc") is not first
+
+    def test_forget(self, figure1_doc):
+        catalog = SummaryCatalog()
+        catalog.register("doc", figure1_doc, level=3)
+        catalog.forget("doc")
+        assert "doc" not in catalog
+        with pytest.raises(CatalogError):
+            catalog.forget("doc")
+
+
+class TestBudget:
+    def test_budget_triggers_pruning(self, small_nasa):
+        catalog = SummaryCatalog()
+        full = LatticeSummary.build(small_nasa, 4)
+        budget = int(full.byte_size() * 0.6)
+        summary = catalog.register("nasa", small_nasa, level=4, budget_bytes=budget)
+        assert summary.byte_size() <= budget
+        assert not summary.is_complete_at(4)  # pruned
+
+    def test_generous_budget_keeps_full(self, figure1_doc):
+        catalog = SummaryCatalog()
+        summary = catalog.register(
+            "doc", figure1_doc, level=4, budget_bytes=10**9
+        )
+        assert summary.is_complete_at(4)
+
+    def test_impossible_budget_rejected(self, small_nasa):
+        catalog = SummaryCatalog()
+        with pytest.raises(ValueError):
+            catalog.register("nasa", small_nasa, level=4, budget_bytes=64)
+
+
+class TestEstimators:
+    def test_all_kinds(self, figure1_doc):
+        catalog = SummaryCatalog()
+        catalog.register("doc", figure1_doc, level=4)
+        for kind in ("recursive", "voting", "fixed"):
+            assert catalog.estimate(
+                "doc", "laptop(brand,price)", estimator=kind
+            ) == 2.0
+        assert catalog.estimate(
+            "doc", "/computer/laptops/laptop", estimator="markov"
+        ) == 2.0
+
+    def test_estimate_count(self, figure1_doc):
+        catalog = SummaryCatalog()
+        catalog.register("doc", figure1_doc, level=4)
+        assert catalog.estimate_count("doc", "laptop(brand)") == 2
+
+    def test_unknown_estimator(self, figure1_doc):
+        catalog = SummaryCatalog()
+        catalog.register("doc", figure1_doc, level=3)
+        with pytest.raises(CatalogError):
+            catalog.estimate("doc", "laptop", estimator="magic")
+
+    def test_unknown_name(self):
+        catalog = SummaryCatalog()
+        with pytest.raises(CatalogError, match="no summary named"):
+            catalog.estimate("ghost", "a(b)")
+
+    def test_explain(self, figure1_doc):
+        catalog = SummaryCatalog()
+        catalog.register("doc", figure1_doc, level=4)
+        trace = catalog.explain("doc", "computer(laptops(laptop(brand,price)))")
+        assert trace.estimate > 0
+
+
+class TestPublish:
+    def test_publish_prebuilt_summary(self, tmp_path, figure1_doc):
+        summary = LatticeSummary.build(figure1_doc, 3)
+        catalog = SummaryCatalog(tmp_path / "cat")
+        catalog.publish("shop", summary)
+        assert catalog.estimate("shop", "laptop(brand)") == 2.0
+        reopened = SummaryCatalog(tmp_path / "cat")
+        assert reopened.estimate("shop", "laptop(brand)") == 2.0
+
+    def test_publish_validates_name(self, figure1_doc):
+        summary = LatticeSummary.build(figure1_doc, 3)
+        with pytest.raises(CatalogError):
+            SummaryCatalog().publish("bad name", summary)
+
+
+class TestPersistence:
+    def test_roundtrip_through_directory(self, tmp_path, figure1_doc):
+        catalog = SummaryCatalog(tmp_path / "cat")
+        catalog.register("shop", figure1_doc, level=4)
+        estimate = catalog.estimate("shop", "laptop(brand,price)")
+
+        reopened = SummaryCatalog(tmp_path / "cat")
+        assert reopened.names() == ["shop"]
+        assert reopened.estimate("shop", "laptop(brand,price)") == estimate
+
+    def test_forget_removes_file(self, tmp_path, figure1_doc):
+        catalog = SummaryCatalog(tmp_path / "cat")
+        catalog.register("shop", figure1_doc, level=3)
+        assert (tmp_path / "cat" / "shop.lattice").exists()
+        catalog.forget("shop")
+        assert not (tmp_path / "cat" / "shop.lattice").exists()
+
+    def test_describe(self, tmp_path, figure1_doc):
+        catalog = SummaryCatalog(tmp_path / "cat")
+        catalog.register("shop", figure1_doc, level=3)
+        rows = catalog.describe()
+        assert rows[0]["name"] == "shop"
+        assert rows[0]["level"] == 3
+        assert rows[0]["pruned"] is False
+        assert "SummaryCatalog" in repr(catalog)

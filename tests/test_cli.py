@@ -1,0 +1,180 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trees.serialize import tree_to_xml_file
+
+
+@pytest.fixture()
+def xml_file(tmp_path, figure1_doc):
+    path = tmp_path / "doc.xml"
+    tree_to_xml_file(figure1_doc, path)
+    return path
+
+
+@pytest.fixture()
+def summary_file(tmp_path, xml_file):
+    path = tmp_path / "doc.summary"
+    assert main(["summarize", str(xml_file), "-k", "4", "-o", str(path)]) == 0
+    return path
+
+
+class TestSummarize:
+    def test_writes_summary(self, xml_file, tmp_path, capsys):
+        out = tmp_path / "s.tsv"
+        code = main(["summarize", str(xml_file), "-o", str(out)])
+        assert code == 0
+        assert out.exists()
+        printed = capsys.readouterr().out
+        assert "mined" in printed
+        assert "written" in printed
+
+    def test_with_pruning(self, xml_file, tmp_path, capsys):
+        out = tmp_path / "s.tsv"
+        code = main(["summarize", str(xml_file), "-o", str(out), "--prune", "0"])
+        assert code == 0
+        assert "pruned" in capsys.readouterr().out
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        code = main(["summarize", str(tmp_path / "nope.xml"), "-o", "x"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestEstimate:
+    @pytest.mark.parametrize("estimator", ["recursive", "voting", "fixed"])
+    def test_estimators(self, summary_file, estimator, capsys):
+        code = main(
+            [
+                "estimate",
+                str(summary_file),
+                "laptop(brand,price)",
+                "--estimator",
+                estimator,
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "estimate  : 2.00" in printed
+
+    def test_markov_on_path(self, summary_file, capsys):
+        code = main(
+            [
+                "estimate",
+                str(summary_file),
+                "/computer/laptops/laptop",
+                "--estimator",
+                "markov",
+            ]
+        )
+        assert code == 0
+        assert "estimate" in capsys.readouterr().out
+
+    def test_markov_on_branching_errors(self, summary_file, capsys):
+        code = main(
+            [
+                "estimate",
+                str(summary_file),
+                "laptop(brand,price)",
+                "--estimator",
+                "markov",
+            ]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_trace_printed(self, summary_file, capsys):
+        code = main(
+            ["explain", str(summary_file), "computer(laptops(laptop(brand,price)))"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "s(t1) * s(t2) / s(common)" in printed
+        assert "summary lookups" in printed
+
+    def test_voting_flag(self, summary_file, capsys):
+        code = main(
+            [
+                "explain",
+                str(summary_file),
+                "computer(laptops(laptop),desktops)",
+                "--voting",
+            ]
+        )
+        assert code == 0
+
+
+class TestExact:
+    def test_count(self, xml_file, capsys):
+        code = main(["exact", str(xml_file), "laptop(brand,price)"])
+        assert code == 0
+        assert "count : 2" in capsys.readouterr().out
+
+
+class TestMine:
+    def test_levels_printed(self, xml_file, capsys):
+        code = main(["mine", str(xml_file), "-k", "3"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "level" in printed
+        assert "    3  " in printed
+
+
+class TestDataset:
+    def test_generates_xml(self, tmp_path, capsys):
+        out = tmp_path / "nasa.xml"
+        code = main(["dataset", "nasa", "-n", "5", "-o", str(out)])
+        assert code == 0
+        assert out.exists()
+        assert "elements" in capsys.readouterr().out
+
+    def test_unknown_dataset_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dataset", "enron", "-o", "x"])
+
+
+class TestCatalogCli:
+    def test_register_list_estimate_forget(self, tmp_path, xml_file, capsys):
+        directory = str(tmp_path / "cat")
+        assert main(["catalog", directory, "register", "shop", str(xml_file)]) == 0
+        assert "registered 'shop'" in capsys.readouterr().out
+
+        assert main(["catalog", directory, "list"]) == 0
+        assert "shop" in capsys.readouterr().out
+
+        assert main(
+            ["catalog", directory, "estimate", "shop", "laptop(brand,price)"]
+        ) == 0
+        assert "~= 2.00" in capsys.readouterr().out
+
+        assert main(["catalog", directory, "forget", "shop"]) == 0
+        capsys.readouterr()
+        assert main(["catalog", directory, "list"]) == 0
+        assert "empty catalog" in capsys.readouterr().out
+
+    def test_register_with_budget(self, tmp_path, xml_file, capsys):
+        directory = str(tmp_path / "cat")
+        code = main(
+            ["catalog", directory, "register", "shop", str(xml_file), "--budget", "900"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "registered" in printed
+
+    def test_estimate_unknown_entry_errors(self, tmp_path, capsys):
+        code = main(["catalog", str(tmp_path / "cat"), "estimate", "ghost", "a(b)"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_module_entry_help(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])

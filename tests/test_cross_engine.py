@@ -1,0 +1,79 @@
+"""Cross-engine consistency: every counting/execution engine agrees.
+
+The library has four independent implementations of twig semantics —
+the counting DP, the backtracking enumerator, the holistic
+PathStack/TwigStack join, and (for linear paths) the structural merge
+join.  Agreement across all of them on realistic corpora and the
+curated template workloads is the strongest correctness evidence the
+suite has: the engines share no code beyond the tree substrate.
+"""
+
+import pytest
+
+from repro import LabeledTree, PathJoin, count_matches
+from repro.trees.twigjoin import count_via_enumeration
+from repro.trees.twigstack import TwigStackJoin
+from repro.workload.templates import dataset_queries
+
+
+@pytest.fixture(scope="module")
+def engines_docs(small_nasa, small_imdb, small_psd, small_xmark):
+    return {
+        "nasa": small_nasa,
+        "imdb": small_imdb,
+        "psd": small_psd,
+        "xmark": small_xmark,
+    }
+
+
+class TestAllEnginesAgree:
+    @pytest.mark.parametrize("name", ["nasa", "imdb", "psd", "xmark"])
+    def test_template_queries(self, engines_docs, name):
+        document = engines_docs[name]
+        twig_join = TwigStackJoin(document)
+        path_join = PathJoin(document)
+        for query in dataset_queries(name):
+            dp = count_matches(query.tree, document)
+            assert count_via_enumeration(query, document) == dp, query
+            assert twig_join.count(query) == dp, query
+            if query.is_path():
+                assert path_join.count(query.path_labels()) == dp, query
+
+    def test_handcrafted_adversarial_shapes(self):
+        """Shapes chosen to stress each engine's weak spot: duplicate
+        sibling labels (injectivity), recursion (stacks), and shared
+        spines (merge join)."""
+        document = LabeledTree.from_nested(
+            (
+                "r",
+                [
+                    ("a", [("a", ["b", "b"]), ("b", [("a", ["b"])])]),
+                    ("a", ["b", ("a", [("a", ["b", "b", "b"])])]),
+                    ("b", [("a", ["a", "b"])]),
+                ],
+            )
+        )
+        queries = [
+            ("a", ["b", "b"]),
+            ("a", [("a", ["b"])]),
+            ("a", [("a", ["b", "b"])]),
+            ("r", [("a", ["b"]), "b"]),
+            ("a", ["a", "b"]),
+        ]
+        twig_join = TwigStackJoin(document)
+        for spec in queries:
+            query = LabeledTree.from_nested(spec)
+            dp = count_matches(query, document)
+            assert count_via_enumeration(query, document) == dp, spec
+            assert twig_join.count(query) == dp, spec
+
+    def test_path_engines_on_recursive_chains(self):
+        document = LabeledTree.path(["a"] * 12)
+        path_join = PathJoin(document)
+        twig_join = TwigStackJoin(document)
+        for length in (1, 2, 5, 11, 12):
+            query = LabeledTree.path(["a"] * length)
+            dp = count_matches(query, document)
+            assert dp == 12 - length + 1
+            assert path_join.count(["a"] * length) == dp
+            assert twig_join.count(query) == dp

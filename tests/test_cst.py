@@ -1,0 +1,128 @@
+"""Unit tests for the Correlated Sub-path Tree baseline."""
+
+import pytest
+
+from repro import LabeledTree, TwigQuery, count_matches
+from repro.baselines.cst import (
+    CorrelatedPathTree,
+    _minhash,
+    _resemblance,
+    _root_to_leaf_paths,
+)
+
+
+@pytest.fixture(scope="module")
+def correlated_doc():
+    """Document where b and c always co-occur under a (full correlation),
+    while d occurs independently."""
+    records = []
+    for i in range(20):
+        kids = ["b", "c"] if i % 2 == 0 else []
+        if i % 4 == 0:
+            kids = kids + ["d"]
+        records.append(("a", kids))
+    return LabeledTree.from_nested(("r", records))
+
+
+class TestMinhash:
+    def test_identical_sets_full_resemblance(self):
+        sig_a = _minhash({1, 2, 3}, 16)
+        sig_b = _minhash({1, 2, 3}, 16)
+        assert _resemblance(sig_a, sig_b) == 1.0
+
+    def test_disjoint_sets_low_resemblance(self):
+        sig_a = _minhash(set(range(100)), 32)
+        sig_b = _minhash(set(range(1000, 1100)), 32)
+        assert _resemblance(sig_a, sig_b) < 0.3
+
+    def test_half_overlap(self):
+        sig_a = _minhash(set(range(200)), 64)
+        sig_b = _minhash(set(range(100, 300)), 64)
+        # Jaccard = 100/300 ~= 0.33
+        assert 0.1 < _resemblance(sig_a, sig_b) < 0.6
+
+    def test_deterministic(self):
+        assert _minhash({5, 7}, 8) == _minhash({5, 7}, 8)
+
+
+class TestPathDecomposition:
+    def test_single_path(self):
+        tree = LabeledTree.path(["a", "b", "c"])
+        assert _root_to_leaf_paths(tree) == [["a", "b", "c"]]
+
+    def test_branching(self):
+        tree = TwigQuery.parse("a(b(c),d)").tree
+        paths = {tuple(p) for p in _root_to_leaf_paths(tree)}
+        assert paths == {("a", "b", "c"), ("a", "d")}
+
+
+class TestPathEstimates:
+    def test_stored_paths_exact(self, figure1_doc):
+        cst = CorrelatedPathTree.build(figure1_doc, max_path_length=4)
+        for labels in (["laptop"], ["laptop", "brand"], ["computer", "laptops"]):
+            assert cst.estimate(TwigQuery.path(labels)) == count_matches(
+                LabeledTree.path(labels), figure1_doc
+            )
+
+    def test_long_path_markov_fallback(self, figure1_doc):
+        cst = CorrelatedPathTree.build(figure1_doc, max_path_length=2)
+        query = TwigQuery.path(["computer", "laptops", "laptop", "brand"])
+        true = count_matches(query.tree, figure1_doc)
+        assert cst.estimate(query) == pytest.approx(true, rel=0.6)
+
+    def test_absent_path_zero(self, figure1_doc):
+        cst = CorrelatedPathTree.build(figure1_doc)
+        assert cst.estimate(TwigQuery.path(["laptops", "price"])) == 0.0
+
+
+class TestTwigEstimates:
+    def test_correlated_branches_detected(self, correlated_doc):
+        """b and c fully co-occur: CST's signatures should push the
+        estimate well above the independence prediction."""
+        cst = CorrelatedPathTree.build(correlated_doc)
+        query = TwigQuery.parse("a(b,c)")
+        true = count_matches(query.tree, correlated_doc)  # 10
+        n_a = 20
+        independence = n_a * (10 / n_a) * (10 / n_a)  # 5
+        estimate = cst.estimate(query)
+        assert true == 10
+        assert estimate > independence * 1.2
+        assert estimate == pytest.approx(true, rel=0.5)
+
+    def test_independent_branch_unaffected(self, correlated_doc):
+        cst = CorrelatedPathTree.build(correlated_doc)
+        query = TwigQuery.parse("a(b,d)")
+        true = count_matches(query.tree, correlated_doc)  # 5 (d implies b)
+        assert cst.estimate(query) == pytest.approx(true, rel=0.8)
+
+    def test_zero_branch_zero_twig(self, correlated_doc):
+        cst = CorrelatedPathTree.build(correlated_doc)
+        assert cst.estimate(TwigQuery.parse("a(b,zzz)")) == 0.0
+
+    def test_capped_by_smallest_branch(self, correlated_doc):
+        cst = CorrelatedPathTree.build(correlated_doc)
+        estimate = cst.estimate(TwigQuery.parse("a(b,c,d)"))
+        # No more roots than the rarest branch (d: 5 roots).
+        assert estimate <= 5 * 1.0 * 1.0 * 1.0 + 1e-6
+
+    def test_on_dataset(self, small_nasa):
+        cst = CorrelatedPathTree.build(small_nasa)
+        query = TwigQuery.parse("dataset(title,author(lastName))")
+        true = count_matches(query.tree, small_nasa)
+        assert cst.estimate(query) == pytest.approx(true, rel=0.9)
+
+
+class TestConstructionValidation:
+    def test_invalid_params(self, figure1_doc):
+        with pytest.raises(ValueError):
+            CorrelatedPathTree.build(figure1_doc, max_path_length=0)
+        with pytest.raises(ValueError):
+            CorrelatedPathTree.build(figure1_doc, signature_size=0)
+
+    def test_byte_size_positive(self, figure1_doc):
+        cst = CorrelatedPathTree.build(figure1_doc)
+        assert cst.byte_size() > 0
+        assert cst.num_paths > 0
+
+    def test_repr(self, figure1_doc):
+        assert "CorrelatedPathTree" in repr(CorrelatedPathTree.build(figure1_doc))

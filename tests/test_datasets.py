@@ -1,0 +1,267 @@
+"""Unit tests for the synthetic dataset substrate."""
+
+import random
+
+import pytest
+
+from repro import generate_dataset
+from repro.datasets import (
+    ChildRule,
+    DocumentGenerator,
+    ElementSpec,
+    Mode,
+    Schema,
+    fixed,
+    generate_imdb,
+    generate_nasa,
+    generate_psd,
+    generate_xmark,
+    geometric,
+    optional,
+    uniform_int,
+    zipf_int,
+)
+
+
+class TestDistributions:
+    RNG = random.Random(42)
+
+    def test_fixed(self):
+        draw = fixed(3)
+        assert all(draw(self.RNG) == 3 for _ in range(10))
+
+    def test_uniform_int_range(self):
+        draw = uniform_int(2, 5)
+        values = {draw(self.RNG) for _ in range(200)}
+        assert values <= {2, 3, 4, 5}
+        assert len(values) == 4
+
+    def test_uniform_int_validation(self):
+        with pytest.raises(ValueError):
+            uniform_int(5, 2)
+
+    def test_geometric_mean_and_cap(self):
+        draw = geometric(2.0, cap=10)
+        values = [draw(random.Random(i)) for i in range(2000)]
+        assert all(0 <= v <= 10 for v in values)
+        assert 1.4 < sum(values) / len(values) < 2.6
+
+    def test_geometric_validation(self):
+        with pytest.raises(ValueError):
+            geometric(0.0)
+
+    def test_zipf_skew(self):
+        draw = zipf_int(10, exponent=1.5)
+        values = [draw(random.Random(i)) for i in range(2000)]
+        assert all(1 <= v <= 10 for v in values)
+        ones = sum(1 for v in values if v == 1)
+        tens = sum(1 for v in values if v == 10)
+        assert ones > 5 * max(tens, 1)
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            zipf_int(0)
+
+    def test_optional(self):
+        draw = optional(0.25)
+        values = [draw(random.Random(i)) for i in range(2000)]
+        assert set(values) <= {0, 1}
+        assert 0.15 < sum(values) / len(values) < 0.35
+
+    def test_optional_validation(self):
+        with pytest.raises(ValueError):
+            optional(1.5)
+
+
+class TestSchemaEngine:
+    def test_simple_schema(self):
+        schema = Schema(root="r").add(
+            ElementSpec.simple("r", [ChildRule("a", fixed(3))])
+        )
+        doc = DocumentGenerator(schema).generate(0)
+        assert doc.size == 4
+        assert doc.label_counts() == {"r": 1, "a": 3}
+
+    def test_implicit_leaves(self):
+        schema = Schema(root="r").add(
+            ElementSpec.simple("r", [ChildRule.one("unspecified")])
+        )
+        doc = DocumentGenerator(schema).generate(0)
+        assert doc.size == 2
+
+    def test_determinism(self):
+        schema = Schema(root="r").add(
+            ElementSpec.simple("r", [ChildRule("a", uniform_int(1, 5))])
+        )
+        generator = DocumentGenerator(schema)
+        assert generator.generate(3).isomorphic(generator.generate(3))
+
+    def test_different_seeds_differ(self):
+        schema = Schema(root="r").add(
+            ElementSpec.simple("r", [ChildRule("a", uniform_int(1, 50))])
+        )
+        generator = DocumentGenerator(schema)
+        docs = {generator.generate(s).size for s in range(8)}
+        assert len(docs) > 1
+
+    def test_max_nodes_budget(self):
+        schema = Schema(root="r").add(
+            ElementSpec.simple("r", [ChildRule("a", fixed(1000))])
+        )
+        doc = DocumentGenerator(schema, max_nodes=100).generate(0)
+        assert doc.size == 100
+
+    def test_recursive_schema_depth_capped(self):
+        schema = Schema(root="r").add(
+            ElementSpec.simple("r", [ChildRule.one("r")])
+        )
+        # Nodes at depth == max_depth are emitted but not expanded, so a
+        # pure chain has max_depth + 1 nodes.
+        doc = DocumentGenerator(schema, max_depth=5).generate(0)
+        assert doc.size == 6
+        assert doc.height() == 5
+
+    def test_mode_weights(self):
+        schema = Schema(root="r").add(
+            ElementSpec.simple("r", [ChildRule("e", fixed(400))])
+        )
+        schema.add(
+            ElementSpec(
+                "e",
+                (
+                    Mode((ChildRule.one("left"),), weight=0.8),
+                    Mode((ChildRule.one("right"),), weight=0.2),
+                ),
+            )
+        )
+        doc = DocumentGenerator(schema).generate(1)
+        counts = doc.label_counts()
+        assert counts["left"] > 2 * counts["right"]
+
+    def test_modes_are_exclusive(self):
+        # Within one element instance, children come from exactly one mode.
+        schema = Schema(root="r").add(
+            ElementSpec.simple("r", [ChildRule("e", fixed(200))])
+        )
+        schema.add(
+            ElementSpec(
+                "e",
+                (
+                    Mode((ChildRule.one("left"),), weight=0.5),
+                    Mode((ChildRule.one("right"),), weight=0.5),
+                ),
+            )
+        )
+        doc = DocumentGenerator(schema).generate(2)
+        for node in range(doc.size):
+            if doc.label(node) == "e":
+                kids = {doc.label(c) for c in doc.child_ids(node)}
+                assert kids in ({"left"}, {"right"})
+
+    def test_validation_rejects_weightless_spec(self):
+        schema = Schema(root="r")
+        schema.elements["r"] = ElementSpec("r", (Mode((), weight=0.0),))
+        with pytest.raises(ValueError):
+            DocumentGenerator(schema)
+
+    def test_generator_parameter_validation(self):
+        schema = Schema(root="r")
+        with pytest.raises(ValueError):
+            DocumentGenerator(schema, max_nodes=0)
+        with pytest.raises(ValueError):
+            DocumentGenerator(schema, max_depth=0)
+
+
+class TestPaperDatasets:
+    @pytest.mark.parametrize(
+        "generate,root",
+        [
+            (generate_nasa, "datasets"),
+            (generate_imdb, "imdb"),
+            (generate_psd, "ProteinDatabase"),
+            (generate_xmark, "site"),
+        ],
+    )
+    def test_roots_and_determinism(self, generate, root):
+        doc = generate(12, seed=5)
+        assert doc.label(0) == root
+        assert doc.isomorphic(generate(12, seed=5))
+
+    def test_scales_with_records(self):
+        assert generate_nasa(40, seed=1).size > generate_nasa(10, seed=1).size
+
+    def test_xmark_has_recursion(self):
+        doc = generate_xmark(40, seed=3)
+        # parlist inside a listitem proves the recursive markup fired.
+        nested = any(
+            doc.label(n) == "parlist"
+            and doc.parent(n) != -1
+            and doc.label(doc.parent(n)) == "listitem"
+            for n in range(doc.size)
+        )
+        assert nested
+
+    def test_imdb_mode_correlation(self):
+        doc = generate_imdb(200, seed=3)
+        directors_with_seasons = 0
+        creators_with_seasons = 0
+        for node in range(doc.size):
+            if doc.label(node) != "movie":
+                continue
+            kids = {doc.label(c) for c in doc.child_ids(node)}
+            if "seasons" in kids:
+                if "director" in kids:
+                    directors_with_seasons += 1
+                if "creator" in kids:
+                    creators_with_seasons += 1
+        assert creators_with_seasons > 0
+        assert directors_with_seasons == 0  # modes never mix
+
+    def test_generate_dataset_registry(self):
+        doc = generate_dataset("nasa", 10, seed=2)
+        assert doc.label(0) == "datasets"
+        default = generate_dataset("nasa", seed=2)
+        assert default.size > doc.size
+
+    def test_generate_dataset_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            generate_dataset("enron")
+
+
+class TestTreebank:
+    def test_grammar_recursion_is_deep(self):
+        from repro.datasets import generate_treebank
+
+        doc = generate_treebank(200, seed=4)
+        assert doc.label(0) == "corpus"
+        assert doc.height() >= 8
+        # Genuine self-recursion: an NP strictly inside another NP.
+        nested_np = any(
+            doc.label(n) == "NP"
+            and any(
+                doc.label(a) == "NP"
+                for a in _ancestors(doc, n)
+            )
+            for n in range(doc.size)
+        )
+        assert nested_np
+
+    def test_grammar_productions_respected(self):
+        from repro.datasets import generate_treebank
+
+        doc = generate_treebank(150, seed=6)
+        for node in range(doc.size):
+            if doc.label(node) == "PP":
+                kids = [doc.label(c) for c in doc.child_ids(node)]
+                assert kids == ["IN", "NP"] or kids == []  # depth-capped
+
+    def test_registered_in_generators(self):
+        doc = generate_dataset("treebank", 30, seed=1)
+        assert doc.label(0) == "corpus"
+
+
+def _ancestors(doc, node):
+    node = doc.parent(node)
+    while node != -1:
+        yield node
+        node = doc.parent(node)

@@ -1,0 +1,123 @@
+"""Unit tests for decomposition primitives (Lemmas 1-2 as code)."""
+
+import pytest
+
+from repro import LabeledTree, TreeBuildError, first_leaf_pair_split, fixed_cover
+from repro.core.decompose import leaf_pair_decompositions
+
+
+def _tree(spec):
+    return LabeledTree.from_nested(spec)
+
+
+class TestLeafPairDecompositions:
+    def test_sizes(self):
+        tree = _tree(("a", ["b", ("c", ["d"])]))
+        for split in leaf_pair_decompositions(tree):
+            assert split.t1.size == tree.size - 1
+            assert split.t2.size == tree.size - 1
+            assert split.common.size == tree.size - 2
+
+    def test_common_is_overlap(self):
+        # For each split the common part must be a subtree of both parts.
+        from repro import count_matches
+
+        tree = _tree(("a", [("b", ["c"]), "d", "e"]))
+        for split in leaf_pair_decompositions(tree):
+            assert count_matches(split.common, split.t1) >= 1
+            assert count_matches(split.common, split.t2) >= 1
+
+    def test_number_of_pairs(self):
+        # A 3-leaf star has C(3,2)=3 decompositions.
+        tree = _tree(("a", ["b", "c", "d"]))
+        assert len(list(leaf_pair_decompositions(tree))) == 3
+
+    def test_path_decomposes_at_ends(self):
+        # A path has exactly one pair: {root, deepest leaf}.
+        tree = LabeledTree.path(["a", "b", "c", "d"])
+        splits = list(leaf_pair_decompositions(tree))
+        assert len(splits) == 1
+        split = splits[0]
+        labels = {tuple(sorted(split.t1.labels)), tuple(sorted(split.t2.labels))}
+        assert labels == {("b", "c", "d"), ("a", "b", "c")}
+        assert sorted(split.common.labels) == ["b", "c"]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(TreeBuildError):
+            list(leaf_pair_decompositions(_tree(("a", ["b"]))))
+
+    def test_first_split_deterministic(self):
+        tree = _tree(("a", ["b", "c", "d"]))
+        first = first_leaf_pair_split(tree)
+        again = first_leaf_pair_split(tree)
+        assert first.t1.isomorphic(again.t1)
+        assert first.t2.isomorphic(again.t2)
+
+    def test_original_untouched(self):
+        tree = _tree(("a", ["b", "c"]))
+        list(leaf_pair_decompositions(tree))
+        assert tree.size == 3
+
+
+class TestFixedCover:
+    SHAPES = [
+        ("a", ["b", ("c", ["d", "e"]), ("f", [("g", ["h"])])]),
+        ("a", [("b", [("c", ["d"])]), "e"]),
+        ("a", ["b", "c", "d", "e", "f"]),
+        ("a", [("a", [("a", ["a"])]), "a"]),
+    ]
+
+    @pytest.mark.parametrize("spec", SHAPES)
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_lemma2_invariants(self, spec, k):
+        """Lemma 2: n-k+1 blocks of size k, each overlap of size k-1."""
+        tree = _tree(spec)
+        if k > tree.size:
+            pytest.skip("block larger than tree")
+        blocks = fixed_cover(tree, k)
+        assert len(blocks) == tree.size - k + 1
+        assert blocks[0].overlap is None
+        for piece in blocks:
+            assert piece.block.size == k
+        for piece in blocks[1:]:
+            assert piece.overlap.size == k - 1
+
+    @pytest.mark.parametrize("spec", SHAPES)
+    def test_overlap_contained_in_block(self, spec):
+        from repro import count_matches
+
+        tree = _tree(spec)
+        for piece in fixed_cover(tree, 3):
+            if piece.overlap is not None:
+                assert count_matches(piece.overlap, piece.block) >= 1
+
+    def test_cover_of_whole_tree(self):
+        tree = _tree(("a", ["b", "c"]))
+        blocks = fixed_cover(tree, 3)
+        assert len(blocks) == 1
+        assert blocks[0].block.isomorphic(tree)
+
+    def test_k_too_small(self):
+        with pytest.raises(ValueError):
+            fixed_cover(_tree(("a", ["b", "c"])), 1)
+
+    def test_k_too_large(self):
+        with pytest.raises(ValueError):
+            fixed_cover(_tree(("a", ["b"])), 3)
+
+    def test_blocks_are_subtrees_of_query(self):
+        from repro import count_matches
+
+        tree = _tree(("a", [("b", ["c", "d"]), ("e", ["f"])]))
+        for piece in fixed_cover(tree, 3):
+            assert count_matches(piece.block, tree) >= 1
+
+    def test_deep_path_cover(self):
+        tree = LabeledTree.path(list("abcdefg"))
+        blocks = fixed_cover(tree, 3)
+        assert len(blocks) == 5
+        # On a path, every block is itself a 3-path.
+        for piece in blocks:
+            assert all(
+                len(piece.block.child_ids(n)) <= 1 for n in range(piece.block.size)
+            )

@@ -1,0 +1,71 @@
+"""Robustness on very deep documents (beyond Python's recursion limit).
+
+The canonical-form computation, the codec, traversals, and the matcher
+are all iterative, so documents thousands of levels deep — deeper than
+``sys.getrecursionlimit()`` — must work.  Twig *queries* stay small by
+nature, so the estimators' recursion over query size is not at risk.
+"""
+
+import sys
+
+import pytest
+
+from repro import (
+    LabeledTree,
+    canon,
+    count_matches,
+    decode_tree,
+    encode_tree,
+)
+
+DEPTH = max(4000, sys.getrecursionlimit() * 3)
+
+
+@pytest.fixture(scope="module")
+def deep_path():
+    tree = LabeledTree("a")
+    node = 0
+    for i in range(DEPTH):
+        node = tree.add_child(node, "b" if i % 2 else "a")
+    return tree
+
+
+class TestDeepDocuments:
+    def test_canon_iterative(self, deep_path):
+        c = canon(deep_path)
+        assert c[0] == "a"
+
+    def test_codec_roundtrip(self, deep_path):
+        encoded = encode_tree(deep_path)
+        assert len(encoded) > DEPTH  # every node appears
+        again = decode_tree(encoded)
+        assert again.size == deep_path.size
+        # Compare encodings, not canon tuples: CPython's tuple equality
+        # recurses in C and cannot handle depth-4000 nesting.
+        assert encode_tree(again) == encoded
+
+    def test_traversals(self, deep_path):
+        assert len(list(deep_path.preorder())) == deep_path.size
+        assert len(list(deep_path.postorder())) == deep_path.size
+        assert deep_path.height() == DEPTH
+
+    def test_matching_on_deep_doc(self, deep_path):
+        query = LabeledTree.path(["a", "b", "a"])
+        count = count_matches(query, deep_path)
+        assert count > DEPTH / 3  # one match per a-b-a window
+
+    def test_canonical_preorder(self, deep_path):
+        from repro.trees.canonical import canonical_preorder
+
+        order = canonical_preorder(deep_path)
+        assert len(order) == deep_path.size
+
+    def test_regions_on_deep_doc(self, deep_path):
+        from repro.trees.regions import RegionIndex
+
+        index = RegionIndex(deep_path)
+        deepest = deep_path.size - 1
+        assert index.region(deepest).level == DEPTH
+
+    def test_isomorphism_check(self, deep_path):
+        assert deep_path.isomorphic(deep_path.copy())

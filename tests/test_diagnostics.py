@@ -1,0 +1,121 @@
+"""Unit tests for empirical error profiles."""
+
+import pytest
+
+from repro import LatticeSummary, RecursiveDecompositionEstimator, TwigQuery, count_matches
+from repro.core.diagnostics import ErrorProfile, EstimateInterval, _quantile
+
+
+class TestQuantile:
+    def test_extremes(self):
+        values = [3.0, 1.0, 2.0]
+        assert _quantile(values, 0.0) == 1.0
+        assert _quantile(values, 1.0) == 3.0
+
+    def test_median(self):
+        assert _quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+        assert _quantile([1.0, 3.0], 0.5) == 2.0
+
+    def test_single_value(self):
+        assert _quantile([7.0], 0.3) == 7.0
+
+
+class TestCalibration:
+    def test_profile_on_independent_doc(self):
+        # All-distinct labels: no duplicate-sibling patterns, so every
+        # one-step ratio is exactly 1.  (With duplicate same-label
+        # siblings, Theorem 1's product genuinely over-counts — e.g.
+        # r(a,a) estimates 9 vs the 6 injective matches — and the
+        # profile is designed to surface that.)
+        from repro import LabeledTree
+
+        doc = LabeledTree.from_nested(
+            ("x", [("a", ["b", "c"]), ("d", ["e", ("f", ["g"])])])
+        )
+        lattice = LatticeSummary.build(doc, 3)
+        profile = ErrorProfile(lattice)
+        assert profile.samples > 0
+        assert profile.low_ratio == pytest.approx(1.0, abs=0.05)
+        assert profile.high_ratio == pytest.approx(1.0, abs=0.05)
+        assert profile.geometric_mean_ratio() == pytest.approx(1.0, abs=0.05)
+
+    def test_duplicate_sibling_overcount_is_surfaced(self):
+        from repro import LabeledTree
+
+        doc = LabeledTree.from_nested(("r", ["a", "a", "a"]))
+        lattice = LatticeSummary.build(doc, 3)
+        profile = ErrorProfile(lattice)
+        # r(a,a): estimate 3*3/1 = 9 vs 6 injective matches -> ratio 1.5.
+        assert max(profile.ratios) == pytest.approx(1.5)
+
+    def test_correlated_doc_widens_band(self, small_imdb, small_nasa):
+        imdb_profile = ErrorProfile(LatticeSummary.build(small_imdb, 3))
+        nasa_profile = ErrorProfile(LatticeSummary.build(small_nasa, 3))
+        imdb_width = imdb_profile.high_ratio - imdb_profile.low_ratio
+        nasa_width = nasa_profile.high_ratio - nasa_profile.low_ratio
+        # The correlated corpus shows at least as much one-step error.
+        assert imdb_width >= nasa_width * 0.5  # robust: not catastrophically tighter
+
+    def test_coverage_validation(self, figure1_lattice):
+        with pytest.raises(ValueError):
+            ErrorProfile(figure1_lattice, coverage=1.5)
+
+    def test_repr(self, figure1_lattice):
+        assert "ErrorProfile" in repr(ErrorProfile(figure1_lattice))
+
+
+class TestPrediction:
+    def test_inside_lattice_band_is_point(self, figure1_lattice):
+        profile = ErrorProfile(figure1_lattice)
+        interval = profile.predict("laptop(brand,price)")
+        assert interval.steps == 0
+        assert interval.low == interval.estimate == interval.high
+        assert interval.relative_width == 0.0
+
+    def test_band_grows_with_steps(self, small_nasa_lattice):
+        profile = ErrorProfile(small_nasa_lattice)
+        small_q = "dataset(title,author(lastName),date)"  # size 5: 1 step
+        big_q = "datasets(dataset(title,author(lastName),date(year),identifier))"
+        small_interval = profile.predict(small_q)
+        big_interval = profile.predict(big_q)
+        assert small_interval.steps < big_interval.steps
+        if small_interval.estimate and big_interval.estimate:
+            assert (
+                big_interval.relative_width >= small_interval.relative_width - 1e-9
+            )
+
+    def test_zero_estimate_zero_band(self, figure1_lattice):
+        profile = ErrorProfile(figure1_lattice)
+        interval = profile.predict("laptop(tower,brand,price,screen,keyboard)")
+        assert interval.estimate == 0.0
+        assert interval.low == interval.high == 0.0
+
+    def test_point_estimate_matches_estimator(self, small_nasa_lattice):
+        profile = ErrorProfile(small_nasa_lattice, voting=True)
+        estimator = RecursiveDecompositionEstimator(small_nasa_lattice, voting=True)
+        query = TwigQuery.parse("dataset(title,author(lastName),date(year))")
+        assert profile.predict(query).estimate == estimator.estimate(query)
+
+    def test_contains(self):
+        interval = EstimateInterval(10.0, 8.0, 13.0, 2)
+        assert interval.contains(10.0)
+        assert interval.contains(8.0)
+        assert not interval.contains(7.9)
+
+    def test_empirical_coverage_on_holdout(self, small_psd):
+        """The band should cover the truth for most size-(k+1) patterns."""
+        from repro import DocumentIndex, mine_lattice
+
+        index = DocumentIndex(small_psd)
+        lattice = LatticeSummary.build(index, 3)
+        profile = ErrorProfile(lattice, coverage=0.9)
+        holdout = mine_lattice(index, 4).patterns(4)
+        covered = 0
+        total = 0
+        for pattern, true_count in sorted(holdout.items())[:60]:
+            interval = profile.predict(pattern)
+            total += 1
+            if interval.low - 1e-9 <= true_count <= interval.high + 1e-9:
+                covered += 1
+        assert total > 0
+        assert covered / total >= 0.6  # generous: holdout is one step deeper

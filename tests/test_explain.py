@@ -1,0 +1,83 @@
+"""Unit tests for decomposition traces."""
+
+import pytest
+
+from repro import RecursiveDecompositionEstimator, TwigQuery
+from repro.core.explain import explain
+
+
+class TestAgreementWithEstimator:
+    QUERIES = [
+        "laptop(brand,price)",
+        "computer(laptops(laptop(brand,price)))",
+        "computer(laptops(laptop(brand,price)),desktops(desktop))",
+        "laptop(tower)",  # certified zero
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    @pytest.mark.parametrize("voting", [False, True])
+    def test_estimate_matches(self, figure1_lattice, text, voting):
+        query = TwigQuery.parse(text)
+        estimator = RecursiveDecompositionEstimator(figure1_lattice, voting=voting)
+        trace = explain(figure1_lattice, query, voting=voting)
+        assert trace.estimate == estimator.estimate(query)
+
+    def test_agreement_on_nasa(self, small_nasa_lattice):
+        text = "datasets(dataset(author(lastName),date(year),title))"
+        query = TwigQuery.parse(text)
+        for voting in (False, True):
+            estimator = RecursiveDecompositionEstimator(
+                small_nasa_lattice, voting=voting
+            )
+            trace = explain(small_nasa_lattice, query, voting=voting)
+            assert trace.estimate == estimator.estimate(query)
+
+
+class TestTraceStructure:
+    def test_lookup_is_leaf(self, figure1_lattice):
+        trace = explain(figure1_lattice, "laptop(brand,price)")
+        assert trace.kind == "lookup"
+        assert trace.children == []
+        assert trace.depth() == 0
+
+    def test_certified_zero(self, figure1_lattice):
+        trace = explain(figure1_lattice, "laptop(tower)")
+        assert trace.kind == "certified-zero"
+        assert trace.estimate == 0.0
+
+    def test_decomposition_has_triples(self, figure1_lattice):
+        trace = explain(
+            figure1_lattice, "computer(laptops(laptop(brand,price)))"
+        )
+        assert trace.kind == "decomposition"
+        assert len(trace.children) == 3  # t1, t2, common for one choice
+
+    def test_voting_collects_all_choices(self, figure1_lattice):
+        query = TwigQuery.parse(
+            "computer(laptops(laptop(brand,price)),desktops(desktop))"
+        )
+        plain = explain(figure1_lattice, query, voting=False)
+        voted = explain(figure1_lattice, query, voting=True)
+        assert len(voted.children) >= len(plain.children)
+        assert len(voted.children) % 3 == 0
+
+    def test_lookups_returns_evidence(self, figure1_lattice):
+        trace = explain(
+            figure1_lattice, "computer(laptops(laptop(brand,price)))"
+        )
+        evidence = trace.lookups()
+        assert evidence
+        assert all(e.kind in ("lookup", "certified-zero") for e in evidence)
+
+    def test_render_mentions_patterns(self, figure1_lattice):
+        trace = explain(
+            figure1_lattice, "computer(laptops(laptop(brand,price)))"
+        )
+        text = trace.render()
+        assert "s(t1) * s(t2) / s(common)" in text
+        assert "laptop(brand,price)" in text
+        assert text.count("\n") >= 3
+
+    def test_pattern_text(self, figure1_lattice):
+        trace = explain(figure1_lattice, "laptop(brand)")
+        assert trace.pattern_text == "laptop(brand)"

@@ -1,0 +1,94 @@
+"""Unit tests for the fix-sized decomposition estimator."""
+
+import pytest
+
+from repro import (
+    FixedDecompositionEstimator,
+    LabeledTree,
+    LatticeSummary,
+    RecursiveDecompositionEstimator,
+    TwigQuery,
+    count_matches,
+)
+
+
+class TestWithinLattice:
+    def test_exact_for_stored_patterns(self, figure1_lattice):
+        estimator = FixedDecompositionEstimator(figure1_lattice)
+        for pattern, count in figure1_lattice.patterns():
+            assert estimator.estimate(pattern) == float(count)
+
+    def test_zero_for_absent_small_patterns(self, figure1_lattice):
+        estimator = FixedDecompositionEstimator(figure1_lattice)
+        assert estimator.estimate(LabeledTree("tablet")) == 0.0
+
+
+class TestLemma3:
+    def test_product_formula_explicit(self, figure1_doc, figure1_lattice):
+        """The estimate equals Π s(B_i) / Π s(overlap_i) over the cover."""
+        from repro.core.decompose import fixed_cover
+
+        query = TwigQuery.parse("computer(laptops(laptop(brand,price)))")
+        k = figure1_lattice.level
+        numerator, denominator = 1.0, 1.0
+        for piece in fixed_cover(query.tree, k):
+            numerator *= figure1_lattice.get(piece.block)
+            if piece.overlap is not None:
+                denominator *= figure1_lattice.get(piece.overlap)
+        estimator = FixedDecompositionEstimator(figure1_lattice)
+        assert estimator.estimate(query) == pytest.approx(numerator / denominator)
+
+    def test_block_count_zero_short_circuits(self, figure1_lattice):
+        estimator = FixedDecompositionEstimator(figure1_lattice)
+        query = TwigQuery.parse("computer(laptops(laptop(brand,tablet)))")
+        assert estimator.estimate(query) == 0.0
+
+
+class TestBlockSize:
+    def test_default_is_lattice_level(self, figure1_lattice):
+        assert FixedDecompositionEstimator(figure1_lattice).block_size == 4
+
+    def test_smaller_blocks_allowed(self, figure1_lattice, figure1_doc):
+        estimator = FixedDecompositionEstimator(figure1_lattice, block_size=2)
+        query = TwigQuery.parse("/computer/laptops/laptop")
+        assert estimator.estimate(query) >= 0.0
+
+    def test_invalid_block_size_rejected(self, figure1_lattice):
+        with pytest.raises(ValueError):
+            FixedDecompositionEstimator(figure1_lattice, block_size=1)
+        with pytest.raises(ValueError):
+            FixedDecompositionEstimator(figure1_lattice, block_size=9)
+
+
+class TestAgainstTruth:
+    def test_five_node_twig(self, figure1_doc, figure1_lattice):
+        query = TwigQuery.parse("computer(laptops(laptop(brand,price)))")
+        true = count_matches(query.tree, figure1_doc)
+        estimator = FixedDecompositionEstimator(figure1_lattice)
+        assert estimator.estimate(query) == pytest.approx(true)
+
+    def test_agrees_with_recursive_on_paths(self, small_nasa, small_nasa_lattice):
+        """Lemma 4 corollary: both schemes match on linear paths."""
+        fixed = FixedDecompositionEstimator(small_nasa_lattice)
+        recursive = RecursiveDecompositionEstimator(small_nasa_lattice)
+        paths = [
+            "/datasets/dataset/author/lastName",
+            "/datasets/dataset/date/year",
+            "/datasets/dataset/journal/author/lastName",
+            "/datasets/dataset/tableHead/tableLink/url",
+        ]
+        for text in paths:
+            query = TwigQuery.parse(text)
+            assert fixed.estimate(query) == pytest.approx(
+                recursive.estimate(query)
+            ), text
+
+
+class TestPrunedFallback:
+    def test_missing_block_falls_back_to_recursive(self, figure1_lattice):
+        from repro import prune_derivable
+
+        pruned = prune_derivable(figure1_lattice, 0.0)
+        estimator = FixedDecompositionEstimator(pruned)
+        query = TwigQuery.parse("computer(laptops(laptop(brand,price)))")
+        assert estimator.estimate(query) > 0.0

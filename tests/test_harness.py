@@ -1,0 +1,103 @@
+"""Unit tests for the benchmark harness (bundles + reporting)."""
+
+import pytest
+
+from repro.bench import (
+    PAPER_DATASETS,
+    emit_report,
+    format_table,
+    prepare_dataset,
+    report_dir,
+    sketch_budget_for,
+)
+from repro.datasets import generate_nasa
+
+
+class TestSketchBudget:
+    def test_proportional_scaling(self):
+        # Both documents must be above the 2KB floor (~10k elements at
+        # 0.2 bytes/element) for proportionality to show.
+        small = generate_nasa(400, seed=1)
+        large = generate_nasa(900, seed=1)
+        assert small.size * 0.2 > 2048
+        assert sketch_budget_for(large) > sketch_budget_for(small)
+
+    def test_floor(self):
+        tiny = generate_nasa(1, seed=1)
+        assert sketch_budget_for(tiny) == 2048
+
+
+class TestPrepareDataset:
+    def test_bundle_contents(self):
+        bundle = prepare_dataset("nasa", scale=20, seed=3, level=3)
+        assert bundle.name == "nasa"
+        assert bundle.document.size == bundle.index.size
+        assert bundle.lattice.level == 3
+        assert bundle.lattice_seconds > 0
+        assert bundle.sketch_seconds > 0
+
+    def test_cache_returns_same_object(self):
+        a = prepare_dataset("nasa", scale=20, seed=3, level=3)
+        b = prepare_dataset("nasa", scale=20, seed=3, level=3)
+        assert a is b
+
+    def test_cache_bypass(self):
+        a = prepare_dataset("nasa", scale=20, seed=3, level=3)
+        b = prepare_dataset("nasa", scale=20, seed=3, level=3, use_cache=False)
+        assert a is not b
+
+    def test_estimators_list(self):
+        bundle = prepare_dataset("nasa", scale=20, seed=3, level=3)
+        names = [e.name for e in bundle.estimators()]
+        assert names == [
+            "recursive-decomp",
+            "recursive-decomp + voting",
+            "fix-sized decomp",
+            "TreeSketch",
+        ]
+        assert len(bundle.estimators(include_sketch=False)) == 3
+
+    def test_workload_caching(self):
+        bundle = prepare_dataset("nasa", scale=20, seed=3, level=3)
+        first = bundle.positive([3, 4], per_level=5)
+        second = bundle.positive([3, 4], per_level=5)
+        assert first is second
+        negative = bundle.negative(4, per_level=5)
+        assert negative is bundle.negative(4, per_level=5)
+        assert all(count == 0 for count in negative.true_counts)
+
+    def test_paper_datasets_constant(self):
+        assert PAPER_DATASETS == ("nasa", "imdb", "psd", "xmark")
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(
+            "Title",
+            ["col", "value"],
+            [["a", 1.0], ["bbbb", 123456.0]],
+            note="a note",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Title"
+        assert lines[1] == "====="
+        assert "col" in lines[2]
+        assert "123,456" in text
+        assert "a note" in text
+
+    def test_format_table_float_styles(self):
+        text = format_table("t", ["x"], [[0.0], [3.14159], [42.5], [1234.0]])
+        assert "0" in text
+        assert "3.142" in text
+        assert "42.5" in text
+        assert "1,234" in text
+
+    def test_report_dir_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REPORT_DIR", raising=False)
+        assert report_dir() is None
+
+    def test_emit_report_writes_file(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_REPORT_DIR", str(tmp_path))
+        emit_report("sample", "hello table")
+        assert (tmp_path / "sample.txt").read_text() == "hello table\n"
+        assert "hello table" in capsys.readouterr().out

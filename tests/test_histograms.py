@@ -1,0 +1,131 @@
+"""Unit tests for range-predicate histograms."""
+
+import pytest
+
+from repro import LatticeSummary, RecursiveDecompositionEstimator, count_matches
+from repro.trees.histograms import (
+    RangeHistogram,
+    _overlap_fraction,
+    tree_from_xml_with_ranges,
+)
+
+PRICES = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 1100, 1200]
+
+CATALOG = "<shop>" + "".join(
+    f"<laptop><brand/><price>{p}</price></laptop>" for p in PRICES
+) + "</shop>"
+
+
+@pytest.fixture(scope="module")
+def hist():
+    return RangeHistogram.fit({"price": [float(p) for p in PRICES]}, buckets=4)
+
+
+@pytest.fixture(scope="module")
+def doc(hist):
+    return tree_from_xml_with_ranges(CATALOG, hist)
+
+
+class TestFitting:
+    def test_bucket_count(self, hist):
+        assert hist.num_bins("price") == 4
+
+    def test_equi_depth_boundaries(self, hist):
+        # Each of the 4 bins should catch ~3 of the 12 prices.
+        from collections import Counter
+
+        bins = Counter(hist.bin_label("price", float(p)) for p in PRICES)
+        assert len(bins) == 4
+        assert all(2 <= count <= 4 for count in bins.values())
+
+    def test_order_preserved(self, hist):
+        labels = [hist.bin_label("price", float(p)) for p in PRICES]
+        indexes = [int(label.split("#")[1]) for label in labels]
+        assert indexes == sorted(indexes)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            RangeHistogram.fit({"x": [1.0]}, buckets=0)
+        with pytest.raises(ValueError):
+            RangeHistogram.fit({"x": []})
+
+    def test_handles(self, hist):
+        assert hist.handles("price")
+        assert not hist.handles("brand")
+        with pytest.raises(KeyError):
+            hist.bin_label("brand", 1.0)
+
+    def test_repr(self, hist):
+        assert "price" in repr(hist)
+
+
+class TestParsing:
+    def test_bin_nodes_attached(self, doc):
+        bin_nodes = [l for l in doc.labels if l.startswith("price#")]
+        assert len(bin_nodes) == len(PRICES)
+
+    def test_unfitted_leaf_text_dropped(self, doc):
+        assert not any(l.startswith("brand#") for l in doc.labels)
+
+    def test_non_numeric_text_skipped(self, hist):
+        tree = tree_from_xml_with_ranges(
+            "<shop><laptop><price>cheap</price></laptop></shop>", hist
+        )
+        assert not any("#" in l for l in tree.labels)
+
+
+class TestRangeQueries:
+    def test_full_range_counts_everything(self, hist, doc):
+        queries = hist.range_twigs("/laptop[price]", "price", 0, 10_000)
+        total = sum(
+            weight * count_matches(query.tree, doc) for weight, query in queries
+        )
+        assert total == pytest.approx(len(PRICES))
+
+    def test_aligned_subrange_exact(self, hist, doc):
+        # A range covering whole bins is exact regardless of the uniform
+        # in-bin assumption.
+        boundaries = hist._bins["price"].boundaries
+        low, high = boundaries[0], boundaries[-1]
+        queries = hist.range_twigs("/laptop[price]", "price", low + 1e-9, high)
+        total = sum(
+            weight * count_matches(query.tree, doc) for weight, query in queries
+        )
+        true = sum(1 for p in PRICES if low < p <= high)
+        assert total == pytest.approx(true, rel=0.35)
+
+    def test_narrow_range_partial_weight(self, hist, doc):
+        queries = hist.range_twigs("/laptop[price]", "price", 450, 460)
+        assert len(queries) == 1
+        weight, _query = queries[0]
+        assert 0.0 < weight < 0.3
+
+    def test_estimation_pipeline(self, hist, doc):
+        lattice = LatticeSummary.build(doc, 4)
+        estimator = RecursiveDecompositionEstimator(lattice, voting=True)
+        queries = hist.range_twigs("/laptop[brand][price]", "price", 0, 10_000)
+        estimate = sum(w * estimator.estimate(q) for w, q in queries)
+        assert estimate == pytest.approx(len(PRICES), rel=0.3)
+
+    def test_empty_range_rejected(self, hist):
+        with pytest.raises(ValueError):
+            hist.range_twigs("/laptop[price]", "price", 100, 50)
+
+    def test_label_must_be_in_twig(self, hist):
+        with pytest.raises(ValueError):
+            hist.range_twigs("/laptop[brand]", "price", 0, 10)
+
+
+class TestOverlapFraction:
+    def test_disjoint(self):
+        assert _overlap_fraction(0, 10, 20, 30) == 0.0
+
+    def test_contained(self):
+        assert _overlap_fraction(0, 10, -5, 50) == 1.0
+
+    def test_half(self):
+        assert _overlap_fraction(0, 10, 5, 50) == pytest.approx(0.5)
+
+    def test_unbounded_bin(self):
+        assert _overlap_fraction(float("-inf"), 10, 5, 8) == 1.0
+        assert _overlap_fraction(10, float("inf"), 15, 20) == 1.0

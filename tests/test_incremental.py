@@ -1,0 +1,114 @@
+"""Unit tests for incremental lattice maintenance."""
+
+import pytest
+
+from repro import LabeledTree, mine_lattice
+from repro.core.incremental import IncrementalLattice
+
+
+def _full_counts(document: LabeledTree, level: int) -> dict:
+    return mine_lattice(document, level).all_patterns()
+
+
+class TestExactness:
+    def test_single_append_matches_rebuild(self):
+        doc = LabeledTree.from_nested(("db", [("rec", ["a", "b"])]))
+        inc = IncrementalLattice(doc, 3)
+        inc.append_record(LabeledTree.from_nested(("rec", ["a", "c"])))
+        assert dict(inc.summary().patterns()) == _full_counts(inc.document, 3)
+
+    def test_spanning_pattern_appears(self):
+        # Regression: db(x,y) never occurs in the old doc nor inside the
+        # record; it exists only as a spanning match through the root.
+        doc = LabeledTree.from_nested(("db", ["x"]))
+        inc = IncrementalLattice(doc, 3)
+        inc.append_record(LabeledTree("y"))
+        from repro.trees.canonical import canon_from_nested
+
+        assert inc.count(canon_from_nested(("db", ["x", "y"]))) == 1
+        assert dict(inc.summary().patterns()) == _full_counts(inc.document, 3)
+
+    def test_repeated_appends_match_rebuild(self):
+        doc = LabeledTree.from_nested(("db", [("rec", ["a"])]))
+        inc = IncrementalLattice(doc, 4)
+        records = [
+            LabeledTree.from_nested(("rec", ["a", "b"])),
+            LabeledTree.from_nested(("rec", [("a", ["c"])])),
+            LabeledTree.from_nested(("rec", ["b", "b"])),
+            LabeledTree("lone"),
+        ]
+        for record in records:
+            inc.append_record(record)
+            assert dict(inc.summary().patterns()) == _full_counts(
+                inc.document, 4
+            ), record
+
+    def test_record_with_root_label_collision(self):
+        # The record contains nodes labeled like the document root.
+        doc = LabeledTree.from_nested(("db", ["x"]))
+        inc = IncrementalLattice(doc, 3)
+        inc.append_record(LabeledTree.from_nested(("db", ["y"])))
+        assert dict(inc.summary().patterns()) == _full_counts(inc.document, 3)
+
+    def test_duplicate_record_shapes_multiply(self):
+        doc = LabeledTree.from_nested(("db", [("rec", ["a"])]))
+        inc = IncrementalLattice(doc, 3)
+        inc.append_record(LabeledTree.from_nested(("rec", ["a"])))
+        inc.append_record(LabeledTree.from_nested(("rec", ["a"])))
+        from repro.trees.canonical import canon_from_nested
+
+        # db(rec,rec): ordered injective pairs of three recs = 6.
+        assert inc.count(canon_from_nested(("db", ["rec", "rec"]))) == 6
+        assert dict(inc.summary().patterns()) == _full_counts(inc.document, 3)
+
+    def test_dataset_records(self, small_nasa):
+        # Graft a realistic record onto a realistic document.
+        inc = IncrementalLattice(small_nasa.copy(), 3)
+        record = LabeledTree.from_nested(
+            (
+                "dataset",
+                [
+                    "title",
+                    ("author", ["lastName", "firstName"]),
+                    ("date", ["year", "month", "day"]),
+                    "identifier",
+                ],
+            )
+        )
+        inc.append_record(record)
+        assert dict(inc.summary().patterns()) == _full_counts(inc.document, 3)
+
+
+class TestBookkeeping:
+    def test_appends_counter(self):
+        inc = IncrementalLattice(LabeledTree.from_nested(("db", ["x"])), 2)
+        assert inc.appends == 0
+        inc.append_record(LabeledTree("y"))
+        inc.append_record(LabeledTree("z"))
+        assert inc.appends == 2
+
+    def test_summary_snapshot_is_independent(self):
+        inc = IncrementalLattice(LabeledTree.from_nested(("db", ["x"])), 2)
+        snapshot = inc.summary()
+        inc.append_record(LabeledTree("y"))
+        assert snapshot.get(("y", ())) is None
+        assert inc.count(("y", ())) == 1
+
+    def test_document_grows(self):
+        doc = LabeledTree.from_nested(("db", ["x"]))
+        inc = IncrementalLattice(doc, 2)
+        inc.append_record(LabeledTree.from_nested(("rec", ["a", "b"])))
+        assert inc.document.size == 5
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            IncrementalLattice(LabeledTree("db"), 1)
+
+    def test_summary_usable_by_estimators(self):
+        from repro import RecursiveDecompositionEstimator, TwigQuery
+
+        inc = IncrementalLattice(LabeledTree.from_nested(("db", ["x"])), 3)
+        for _ in range(3):
+            inc.append_record(LabeledTree.from_nested(("rec", ["a", "b"])))
+        estimator = RecursiveDecompositionEstimator(inc.summary())
+        assert estimator.estimate(TwigQuery.parse("rec(a,b)")) == 3.0

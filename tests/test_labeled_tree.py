@@ -1,0 +1,245 @@
+"""Unit tests for the labeled-tree substrate."""
+
+import pytest
+
+from repro import LabeledTree, TreeBuildError
+
+
+class TestConstruction:
+    def test_single_node(self):
+        tree = LabeledTree("a")
+        assert tree.size == 1
+        assert tree.label(0) == "a"
+        assert tree.parent(0) == -1
+        assert tree.is_leaf(0)
+
+    def test_add_child_returns_new_id(self):
+        tree = LabeledTree("a")
+        b = tree.add_child(0, "b")
+        c = tree.add_child(b, "c")
+        assert (b, c) == (1, 2)
+        assert tree.parent(c) == b
+        assert list(tree.child_ids(0)) == [b]
+
+    def test_add_child_invalid_parent(self):
+        tree = LabeledTree("a")
+        with pytest.raises(TreeBuildError):
+            tree.add_child(5, "b")
+        with pytest.raises(TreeBuildError):
+            tree.add_child(-1, "b")
+
+    def test_from_nested_strings_are_leaves(self):
+        tree = LabeledTree.from_nested(("a", ["b", "c"]))
+        assert tree.size == 3
+        assert sorted(tree.label(c) for c in tree.child_ids(0)) == ["b", "c"]
+
+    def test_from_nested_deep(self):
+        tree = LabeledTree.from_nested(("a", [("b", [("c", ["d"])])]))
+        assert tree.size == 4
+        assert tree.height() == 3
+
+    def test_from_nested_rejects_garbage(self):
+        with pytest.raises(TreeBuildError):
+            LabeledTree.from_nested(42)
+        with pytest.raises(TreeBuildError):
+            LabeledTree.from_nested(("a", ["b"], "extra"))
+
+    def test_path_constructor(self):
+        tree = LabeledTree.path(["a", "b", "c"])
+        assert tree.size == 3
+        assert tree.height() == 2
+        assert [tree.label(n) for n in tree.preorder()] == ["a", "b", "c"]
+
+    def test_path_requires_labels(self):
+        with pytest.raises(TreeBuildError):
+            LabeledTree.path([])
+
+    def test_copy_is_independent(self):
+        tree = LabeledTree.from_nested(("a", ["b"]))
+        dup = tree.copy()
+        dup.add_child(0, "c")
+        assert tree.size == 2
+        assert dup.size == 3
+
+
+class TestAccessors:
+    def test_degree_counts_parent_edge(self):
+        tree = LabeledTree.from_nested(("a", ["b", ("c", ["d"])]))
+        assert tree.degree(0) == 2  # root: two children, no parent
+        assert tree.degree(1) == 1  # leaf b
+        assert tree.degree(2) == 2  # c: parent + one child
+
+    def test_leaves(self):
+        tree = LabeledTree.from_nested(("a", ["b", ("c", ["d"])]))
+        assert sorted(tree.label(n) for n in tree.leaves()) == ["b", "d"]
+
+    def test_depth_and_height(self):
+        tree = LabeledTree.from_nested(("a", [("b", [("c", ["d"])]), "e"]))
+        deepest = [n for n in range(tree.size) if tree.label(n) == "d"][0]
+        assert tree.depth(deepest) == 3
+        assert tree.height() == 3
+        assert tree.depth(0) == 0
+
+    def test_label_counts(self):
+        tree = LabeledTree.from_nested(("a", ["b", "b", ("b", ["a"])]))
+        assert tree.label_counts() == {"a": 2, "b": 3}
+        assert tree.distinct_labels() == {"a", "b"}
+
+    def test_edge_label_pairs(self):
+        tree = LabeledTree.from_nested(("a", ["b", ("b", ["c"])]))
+        assert tree.edge_label_pairs() == {("a", "b"), ("b", "c")}
+
+    def test_len_matches_size(self):
+        tree = LabeledTree.from_nested(("a", ["b", "c"]))
+        assert len(tree) == tree.size == 3
+
+
+class TestTraversals:
+    def test_preorder_parents_first(self):
+        tree = LabeledTree.from_nested(("a", [("b", ["c"]), "d"]))
+        order = list(tree.preorder())
+        position = {n: i for i, n in enumerate(order)}
+        for node in range(1, tree.size):
+            assert position[tree.parent(node)] < position[node]
+        assert len(order) == tree.size
+
+    def test_postorder_children_first(self):
+        tree = LabeledTree.from_nested(("a", [("b", ["c"]), "d"]))
+        order = list(tree.postorder())
+        position = {n: i for i, n in enumerate(order)}
+        for node in range(1, tree.size):
+            assert position[tree.parent(node)] > position[node]
+        assert len(order) == tree.size
+
+    def test_single_node_traversals(self):
+        tree = LabeledTree("x")
+        assert list(tree.preorder()) == [0]
+        assert list(tree.postorder()) == [0]
+
+
+class TestRemovableNodes:
+    def test_leaves_are_removable(self):
+        tree = LabeledTree.from_nested(("a", ["b", "c"]))
+        assert set(tree.removable_nodes()) == {1, 2}
+
+    def test_single_child_root_is_removable(self):
+        tree = LabeledTree.path(["a", "b", "c"])
+        assert 0 in tree.removable_nodes()
+        assert set(tree.removable_nodes()) == {0, 2}
+
+    def test_multi_child_root_not_removable(self):
+        tree = LabeledTree.from_nested(("a", ["b", "c"]))
+        assert 0 not in tree.removable_nodes()
+
+    def test_every_multi_node_tree_has_two(self):
+        shapes = [
+            ("a", ["b"]),
+            ("a", ["b", "c"]),
+            ("a", [("b", ["c"])]),
+            ("a", [("b", ["c", "d"]), "e"]),
+        ]
+        for spec in shapes:
+            tree = LabeledTree.from_nested(spec)
+            assert len(tree.removable_nodes()) >= 2
+
+    def test_single_node_tree_root_listed(self):
+        assert LabeledTree("a").removable_nodes() == [0]
+
+
+class TestRemoval:
+    def test_remove_leaf(self):
+        tree = LabeledTree.from_nested(("a", ["b", "c"]))
+        smaller = tree.remove_node(1)
+        assert smaller.size == 2
+        assert sorted(smaller.labels) == ["a", "c"]
+
+    def test_remove_single_child_root_promotes_child(self):
+        tree = LabeledTree.path(["a", "b", "c"])
+        smaller = tree.remove_node(0)
+        assert smaller.label(0) == "b"
+        assert smaller.size == 2
+
+    def test_remove_internal_node_rejected(self):
+        tree = LabeledTree.from_nested(("a", [("b", ["c"]), "d"]))
+        with pytest.raises(TreeBuildError):
+            tree.remove_node(1)  # b has parent and child
+
+    def test_remove_only_node_rejected(self):
+        with pytest.raises(TreeBuildError):
+            LabeledTree("a").remove_node(0)
+
+    def test_remove_does_not_mutate_original(self):
+        tree = LabeledTree.from_nested(("a", ["b", "c"]))
+        tree.remove_node(2)
+        assert tree.size == 3
+
+    def test_remove_nodes_pair(self):
+        tree = LabeledTree.from_nested(("a", ["b", "c", "d"]))
+        smaller = tree.remove_nodes([1, 3])
+        assert sorted(smaller.labels) == ["a", "c"]
+
+
+class TestInducedSubtree:
+    def test_connected_subset(self):
+        tree = LabeledTree.from_nested(("a", [("b", ["c", "d"]), "e"]))
+        sub = tree.induced_subtree([0, 1, 2])
+        assert sub.size == 3
+        assert sub.label(0) == "a"
+
+    def test_subtree_root_need_not_be_tree_root(self):
+        tree = LabeledTree.from_nested(("a", [("b", ["c", "d"]), "e"]))
+        sub = tree.induced_subtree([1, 2, 3])
+        assert sub.label(0) == "b"
+        assert sorted(sub.labels) == ["b", "c", "d"]
+
+    def test_disconnected_subset_rejected(self):
+        tree = LabeledTree.from_nested(("a", [("b", ["c"]), "d"]))
+        with pytest.raises(TreeBuildError):
+            tree.induced_subtree([2, 3])  # c and d: no connection inside set
+
+    def test_empty_subset_rejected(self):
+        tree = LabeledTree("a")
+        with pytest.raises(TreeBuildError):
+            tree.induced_subtree([])
+
+    def test_full_set_is_isomorphic_copy(self):
+        tree = LabeledTree.from_nested(("a", [("b", ["c"]), "d"]))
+        sub = tree.induced_subtree(range(tree.size))
+        assert sub.isomorphic(tree)
+
+    def test_subtree_at(self):
+        tree = LabeledTree.from_nested(("a", [("b", ["c", ("d", ["e"])]), "f"]))
+        sub = tree.subtree_at(1)
+        assert sub.label(0) == "b"
+        assert sub.size == 4
+
+    def test_with_child_copies(self):
+        tree = LabeledTree.from_nested(("a", ["b"]))
+        grown = tree.with_child(0, "c")
+        assert grown.size == 3
+        assert tree.size == 2
+
+
+class TestEquality:
+    def test_isomorphic_ignores_sibling_order(self):
+        left = LabeledTree.from_nested(("a", ["b", ("c", ["d"])]))
+        right = LabeledTree.from_nested(("a", [("c", ["d"]), "b"]))
+        assert left.isomorphic(right)
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_different_labels_not_equal(self):
+        assert LabeledTree("a") != LabeledTree("b")
+
+    def test_different_shapes_not_equal(self):
+        left = LabeledTree.from_nested(("a", [("b", ["c"])]))
+        right = LabeledTree.from_nested(("a", ["b", "c"]))
+        assert left != right
+
+    def test_eq_other_type(self):
+        assert LabeledTree("a").__eq__(42) is NotImplemented
+
+    def test_repr_and_pretty(self):
+        tree = LabeledTree.from_nested(("a", ["b"]))
+        assert "a(b)" in repr(tree)
+        assert tree.pretty() == "a\n  b"

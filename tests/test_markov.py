@@ -1,0 +1,132 @@
+"""Unit tests for the Markov path estimator and Lemma 4 equivalence."""
+
+import pytest
+
+from repro import (
+    FixedDecompositionEstimator,
+    LabeledTree,
+    LatticeSummary,
+    MarkovPathEstimator,
+    RecursiveDecompositionEstimator,
+    TwigQuery,
+    count_matches,
+)
+
+
+@pytest.fixture(scope="module")
+def path_doc():
+    """A document with varied path statistics."""
+    return LabeledTree.from_nested(
+        (
+            "r",
+            [
+                ("a", [("b", [("c", ["d"])])]),
+                ("a", [("b", [("c", ["d"]), ("c", [])])]),
+                ("a", [("b", [])]),
+                ("b", [("c", ["d"])]),
+            ],
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def path_lattice(path_doc):
+    return LatticeSummary.build(path_doc, 3)
+
+
+class TestClosedForm:
+    def test_short_path_is_lookup(self, path_doc, path_lattice):
+        estimator = MarkovPathEstimator(path_lattice)
+        for labels in (["a"], ["a", "b"], ["a", "b", "c"]):
+            expected = count_matches(LabeledTree.path(labels), path_doc)
+            assert estimator.estimate(TwigQuery.path(labels)) == float(expected)
+
+    def test_markov_formula_explicit(self, path_doc, path_lattice):
+        # s(r/a/b/c) estimated with m=3:
+        #   s(r,a,b) * s(a,b,c) / s(a,b)
+        estimator = MarkovPathEstimator(path_lattice, order=3)
+        s_rab = count_matches(LabeledTree.path(["r", "a", "b"]), path_doc)
+        s_abc = count_matches(LabeledTree.path(["a", "b", "c"]), path_doc)
+        s_ab = count_matches(LabeledTree.path(["a", "b"]), path_doc)
+        expected = s_rab * s_abc / s_ab
+        assert estimator.estimate(TwigQuery.path(["r", "a", "b", "c"])) == (
+            pytest.approx(expected)
+        )
+
+    def test_zero_overlap_gives_zero(self, path_lattice):
+        estimator = MarkovPathEstimator(path_lattice)
+        assert estimator.estimate(TwigQuery.path(["r", "x", "y", "z"])) == 0.0
+
+    def test_order_2_is_classic_markov(self, path_doc):
+        lattice = LatticeSummary.build(path_doc, 2)
+        estimator = MarkovPathEstimator(lattice, order=2)
+        # s(a/b/c) at order 2 = s(a,b) * s(b,c)/s(b)
+        s_ab = count_matches(LabeledTree.path(["a", "b"]), path_doc)
+        s_bc = count_matches(LabeledTree.path(["b", "c"]), path_doc)
+        s_b = count_matches(LabeledTree("b"), path_doc)
+        assert estimator.estimate(TwigQuery.path(["a", "b", "c"])) == (
+            pytest.approx(s_ab * s_bc / s_b)
+        )
+
+
+class TestLemma4Equivalence:
+    PATHS = [
+        ["r", "a", "b", "c"],
+        ["r", "a", "b", "c", "d"],
+        ["a", "b", "c", "d"],
+    ]
+
+    @pytest.mark.parametrize("labels", PATHS)
+    def test_all_three_estimators_agree(self, path_lattice, labels):
+        """Lemma 4: on paths, recursive == fix-sized == Markov."""
+        query = TwigQuery.path(labels)
+        markov = MarkovPathEstimator(path_lattice).estimate(query)
+        recursive = RecursiveDecompositionEstimator(path_lattice).estimate(query)
+        voting = RecursiveDecompositionEstimator(
+            path_lattice, voting=True
+        ).estimate(query)
+        fixed = FixedDecompositionEstimator(path_lattice).estimate(query)
+        assert recursive == pytest.approx(markov)
+        assert voting == pytest.approx(markov)
+        assert fixed == pytest.approx(markov)
+
+    def test_equivalence_on_nasa_paths(self, small_nasa_lattice):
+        paths = [
+            ["datasets", "dataset", "author", "lastName"],
+            ["datasets", "dataset", "journal", "author", "lastName"],
+            ["dataset", "tableHead", "tableLink", "url"],
+        ]
+        markov = MarkovPathEstimator(small_nasa_lattice)
+        recursive = RecursiveDecompositionEstimator(small_nasa_lattice)
+        for labels in paths:
+            query = TwigQuery.path(labels)
+            assert recursive.estimate(query) == pytest.approx(
+                markov.estimate(query)
+            ), labels
+
+
+class TestValidation:
+    def test_branching_query_rejected(self, path_lattice):
+        estimator = MarkovPathEstimator(path_lattice)
+        with pytest.raises(ValueError):
+            estimator.estimate(TwigQuery.parse("a(b,c)"))
+
+    def test_invalid_order_rejected(self, path_lattice):
+        with pytest.raises(ValueError):
+            MarkovPathEstimator(path_lattice, order=1)
+        with pytest.raises(ValueError):
+            MarkovPathEstimator(path_lattice, order=99)
+
+    def test_pruned_lattice_missing_path_raises(self, path_lattice):
+        from repro.trees.canonical import canon_size
+
+        kept = {
+            c: n for c, n in path_lattice.patterns() if canon_size(c) <= 2
+        }
+        pruned = path_lattice.replace_counts(kept, complete_sizes=(1, 2))
+        estimator = MarkovPathEstimator(pruned, order=3)
+        with pytest.raises(KeyError):
+            estimator.estimate(TwigQuery.path(["r", "a", "b", "c"]))
+
+    def test_repr(self, path_lattice):
+        assert "order=3" in repr(MarkovPathEstimator(path_lattice))

@@ -1,0 +1,69 @@
+"""Unit tests for the semi-join candidate filter."""
+
+from hypothesis import given, settings
+
+from repro import LabeledTree, TwigQuery, match_candidates
+from repro.trees.twigjoin import enumerate_matches
+
+from .test_properties import random_tree
+
+
+class TestFilterSoundness:
+    def test_every_match_within_candidates(self, figure1_doc):
+        query = TwigQuery.parse("laptop(brand,price)")
+        candidates = match_candidates(query, figure1_doc)
+        for match in enumerate_matches(query, figure1_doc):
+            for qnode, dnode in match.items():
+                assert dnode in candidates[qnode]
+
+    def test_labels_respected(self, figure1_doc):
+        query = TwigQuery.parse("computer(laptops(laptop))")
+        candidates = match_candidates(query, figure1_doc)
+        for qnode, survivors in candidates.items():
+            for dnode in survivors:
+                assert figure1_doc.label(dnode) == query.tree.label(qnode)
+
+    def test_no_match_all_empty(self, figure1_doc):
+        query = TwigQuery.parse("laptops(price)")
+        candidates = match_candidates(query, figure1_doc)
+        assert all(not survivors for survivors in candidates.values())
+
+    def test_top_down_prunes(self):
+        # Two 'b' nodes; only the one under 'a' survives for a(b).
+        doc = LabeledTree.from_nested(("r", [("a", ["b"]), ("c", ["b"])]))
+        query = TwigQuery.parse("a(b)")
+        candidates = match_candidates(query, doc)
+        b_survivors = candidates[1]
+        assert len(b_survivors) == 1
+        (survivor,) = b_survivors
+        assert doc.label(doc.parent(survivor)) == "a"
+
+    def test_superset_not_exact(self):
+        # Injectivity can eliminate filtered survivors: a(b,b) on a doc
+        # where one 'a' has a single b — its b survives the structural
+        # filter for neither... actually with one b the bottom-up prunes
+        # it.  Use the documented competitive case explicitly:
+        doc = LabeledTree.from_nested(("a", ["b"]))
+        query = LabeledTree.from_nested(("a", ["b", "b"]))
+        candidates = match_candidates(query, doc)
+        # No matches exist; bottom-up already detects it here.
+        assert all(not survivors for survivors in candidates.values())
+
+
+class TestFilterProperties:
+    @given(random_tree(max_size=4, labels="ab"), random_tree(max_size=8, labels="ab"))
+    @settings(max_examples=30, deadline=None)
+    def test_soundness_property(self, query, doc):
+        candidates = match_candidates(query, doc)
+        for match in enumerate_matches(query, doc):
+            for qnode, dnode in match.items():
+                assert dnode in candidates[qnode]
+
+    @given(random_tree(max_size=4, labels="ab"), random_tree(max_size=8, labels="ab"))
+    @settings(max_examples=30, deadline=None)
+    def test_empty_iff_no_root_candidates(self, query, doc):
+        from repro import count_matches
+
+        candidates = match_candidates(query, doc)
+        if count_matches(query, doc) > 0:
+            assert all(survivors for survivors in candidates.values())

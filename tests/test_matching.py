@@ -1,0 +1,198 @@
+"""Unit tests for exact twig match counting (Definition 1)."""
+
+import pytest
+
+from repro import DocumentIndex, LabeledTree, TwigQuery, count_matches
+from repro.trees.matching import (
+    count_matches_descendant,
+    count_rooted_matches,
+    injective_assignment_count,
+)
+
+from .conftest import brute_force_matches
+
+
+class TestDocumentIndex:
+    def test_nodes_by_label(self, figure1_doc):
+        index = DocumentIndex(figure1_doc)
+        assert index.label_count("laptop") == 2
+        assert index.label_count("brand") == 3
+        assert index.label_count("nonexistent") == 0
+
+    def test_child_labels(self, figure1_doc):
+        index = DocumentIndex(figure1_doc)
+        assert index.child_labels["laptop"] == {"brand", "price"}
+        assert index.child_labels["computer"] == {"laptops", "desktops"}
+        assert "brand" not in index.child_labels  # leaves have no children
+
+    def test_size(self, figure1_doc):
+        assert DocumentIndex(figure1_doc).size == figure1_doc.size
+
+
+class TestBasicCounting:
+    def test_figure1_twig(self, figure1_doc):
+        # The paper's running example: //laptop[brand][price] has 2 matches.
+        query = TwigQuery.parse("laptop(brand,price)")
+        assert count_matches(query.tree, figure1_doc) == 2
+
+    def test_single_label(self, figure1_doc):
+        assert count_matches(LabeledTree("brand"), figure1_doc) == 3
+        assert count_matches(LabeledTree("laptop"), figure1_doc) == 2
+
+    def test_absent_label(self, figure1_doc):
+        assert count_matches(LabeledTree("tablet"), figure1_doc) == 0
+
+    def test_single_edge(self, figure1_doc):
+        assert count_matches(LabeledTree.path(["laptop", "brand"]), figure1_doc) == 2
+        assert count_matches(LabeledTree.path(["desktop", "brand"]), figure1_doc) == 1
+
+    def test_full_path(self, figure1_doc):
+        path = LabeledTree.path(["computer", "laptops", "laptop", "price"])
+        assert count_matches(path, figure1_doc) == 2
+
+    def test_edge_pair_must_share_orientation(self, figure1_doc):
+        # brand under laptops directly: no such edge.
+        assert count_matches(LabeledTree.path(["laptops", "brand"]), figure1_doc) == 0
+
+    def test_accepts_twig_canon_or_tree(self, figure1_doc):
+        from repro import canon
+
+        tree = LabeledTree.path(["laptop", "brand"])
+        index = DocumentIndex(figure1_doc)
+        assert count_matches(tree, figure1_doc) == 2
+        assert count_matches(canon(tree), index) == 2
+
+    def test_self_match_at_least_one(self, figure1_doc):
+        assert count_matches(figure1_doc, figure1_doc) >= 1
+
+
+class TestInjectivity:
+    def test_duplicate_query_children_need_distinct_images(self):
+        # Data: a with two b children.  Query: a(b,b).  The two query
+        # b-nodes must map to the two distinct data b-nodes: 2 ordered
+        # injective assignments.
+        data = LabeledTree.from_nested(("a", ["b", "b"]))
+        query = LabeledTree.from_nested(("a", ["b", "b"]))
+        assert count_matches(query, data) == 2
+
+    def test_not_enough_distinct_children(self):
+        data = LabeledTree.from_nested(("a", ["b"]))
+        query = LabeledTree.from_nested(("a", ["b", "b"]))
+        assert count_matches(query, data) == 0
+
+    def test_permutation_count(self):
+        # a with 4 b children; query a(b,b,b): 4*3*2 = 24 injective maps.
+        data = LabeledTree.from_nested(("a", ["b"] * 4))
+        query = LabeledTree.from_nested(("a", ["b"] * 3))
+        assert count_matches(query, data) == 24
+
+    def test_mixed_labels(self):
+        data = LabeledTree.from_nested(("a", ["b", "b", "c"]))
+        query = LabeledTree.from_nested(("a", ["b", "c"]))
+        assert count_matches(query, data) == 2
+
+    def test_deep_duplicate_subtrees(self):
+        data = LabeledTree.from_nested(
+            ("a", [("b", ["c", "c"]), ("b", ["c"])])
+        )
+        # Query a(b(c), b(c)): choose an ordered pair of distinct b's and
+        # one c under each: 2*1 + 1*2 = 4.
+        query = LabeledTree.from_nested(("a", [("b", ["c"]), ("b", ["c"])]))
+        assert count_matches(query, data) == 4
+
+
+class TestAgainstBruteForce:
+    CASES = [
+        # (query spec, data spec)
+        (("a", ["b"]), ("a", ["b", "b"])),
+        (("a", ["b", "b"]), ("a", ["b", "b", "b"])),
+        (("a", [("b", ["c"])]), ("a", [("b", ["c", "c"]), ("b", [])])),
+        (("a", ["b", "c"]), ("a", ["b", "c", "b"])),
+        (
+            ("a", [("b", ["c"]), "d"]),
+            ("a", [("b", ["c"]), ("b", ["c"]), "d", "d"]),
+        ),
+        (("x", ["x"]), ("x", [("x", ["x"])])),
+    ]
+
+    @pytest.mark.parametrize("query_spec,data_spec", CASES)
+    def test_matches_brute_force(self, query_spec, data_spec):
+        query = LabeledTree.from_nested(query_spec)
+        data = LabeledTree.from_nested(data_spec)
+        assert count_matches(query, data) == brute_force_matches(query, data)
+
+
+class TestRootedMatches:
+    def test_rooted_map_values(self, figure1_doc):
+        rooted = count_rooted_matches(
+            LabeledTree.path(["laptop", "brand"]), DocumentIndex(figure1_doc)
+        )
+        assert sum(rooted.values()) == 2
+        assert all(count == 1 for count in rooted.values())
+        assert all(
+            figure1_doc.label(node) == "laptop" for node in rooted
+        )
+
+    def test_only_nonzero_entries(self, figure1_doc):
+        rooted = count_rooted_matches(
+            LabeledTree.from_nested(("laptop", ["brand", "price"])),
+            DocumentIndex(figure1_doc),
+        )
+        assert all(count > 0 for count in rooted.values())
+        assert len(rooted) == 2
+
+
+class TestInjectiveAssignmentCount:
+    def test_empty_children(self):
+        assert injective_assignment_count([], [1, 2]) == 1
+
+    def test_single_map(self):
+        assert injective_assignment_count([{1: 2, 2: 3}], [1, 2, 9]) == 5
+
+    def test_permanent_2x2(self):
+        maps = [{10: 1, 11: 2}, {10: 3, 11: 4}]
+        # permanent of [[1,2],[3,4]] = 1*4 + 2*3 = 10
+        assert injective_assignment_count(maps, [10, 11]) == 10
+
+    def test_permanent_with_zero_row(self):
+        maps = [{10: 1}, {}]
+        assert injective_assignment_count(maps, [10, 11]) == 0
+
+    def test_more_children_than_slots(self):
+        maps = [{10: 1}, {10: 1}]
+        assert injective_assignment_count(maps, [10]) == 0
+
+    def test_brute_force_permanent(self):
+        import itertools
+
+        maps = [{0: 2, 1: 1, 2: 3}, {0: 1, 2: 5}, {1: 4, 2: 1}]
+        data = [0, 1, 2, 3]
+        expected = 0
+        for assignment in itertools.permutations(data, len(maps)):
+            product = 1
+            for cmap, v in zip(maps, assignment):
+                product *= cmap.get(v, 0)
+            expected += product
+        assert injective_assignment_count(maps, data) == expected
+
+
+class TestDescendantExtension:
+    def test_matches_parent_child_when_tree_is_shallow(self):
+        data = LabeledTree.from_nested(("a", ["b", "b"]))
+        query = LabeledTree.from_nested(("a", ["b"]))
+        assert count_matches_descendant(query, data) == 2
+
+    def test_counts_deep_descendants(self):
+        data = LabeledTree.from_nested(("a", [("x", ["b"])]))
+        query = LabeledTree.from_nested(("a", ["b"]))
+        assert count_matches(query, data) == 0  # not parent-child
+        assert count_matches_descendant(query, data) == 1
+
+    def test_descendant_at_least_parent_child(self, figure1_doc):
+        query = LabeledTree.from_nested(("computer", ["brand"]))
+        assert count_matches_descendant(query, figure1_doc) == 3
+
+    def test_path_through_levels(self):
+        data = LabeledTree.path(["a", "b", "c", "d"])
+        query = LabeledTree.path(["a", "d"])
+        assert count_matches_descendant(query, data) == 1

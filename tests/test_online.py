@@ -1,0 +1,132 @@
+"""Unit tests for the workload-aware on-line summary."""
+
+import pytest
+
+from repro import (
+    LatticeSummary,
+    RecursiveDecompositionEstimator,
+    TwigQuery,
+    count_matches,
+)
+from repro.core.online import WorkloadAwareLattice
+
+
+class TestFeedback:
+    def test_learns_observed_pattern(self, figure1_doc):
+        online = WorkloadAwareLattice(figure1_doc, level=4)
+        query = TwigQuery.parse("laptop(brand,price)")
+        true = count_matches(query.tree, figure1_doc)
+
+        assert not online.knows(query)
+        assert online.observe(query, true)
+        assert online.knows(query)
+        assert online.estimate(query) == float(true)
+
+    def test_oversized_feedback_ignored(self, figure1_doc):
+        online = WorkloadAwareLattice(figure1_doc, level=3)
+        query = TwigQuery.parse("computer(laptops(laptop(brand,price)))")
+        assert not online.observe(query, 2)
+        assert not online.knows(query)
+
+    def test_tiny_feedback_ignored(self, figure1_doc):
+        online = WorkloadAwareLattice(figure1_doc, level=4)
+        assert not online.observe(TwigQuery.parse("laptop(brand)"), 2)
+
+    def test_negative_count_rejected(self, figure1_doc):
+        online = WorkloadAwareLattice(figure1_doc, level=4)
+        with pytest.raises(ValueError):
+            online.observe(TwigQuery.parse("laptop(brand,price)"), -1)
+
+    def test_observation_counter(self, figure1_doc):
+        online = WorkloadAwareLattice(figure1_doc, level=4)
+        online.observe(TwigQuery.parse("laptop(brand,price)"), 2)
+        online.observe(TwigQuery.parse("laptop(brand)"), 2)  # too small, still counted
+        assert online.observations == 2
+
+
+class TestColdVsWarm:
+    def test_accuracy_converges_with_feedback(self, small_imdb):
+        """After observing a workload, the online summary matches the
+        full lattice on it."""
+        from repro import DocumentIndex, positive_workloads
+
+        index = DocumentIndex(small_imdb)
+        workload = positive_workloads(index, [4], per_level=15, seed=31)[4]
+        online = WorkloadAwareLattice(small_imdb, level=4)
+        full = RecursiveDecompositionEstimator(LatticeSummary.build(index, 4))
+
+        cold_errors = sum(
+            abs(online.estimate(q) - c) / max(c, 1) for q, c in workload
+        )
+        for query, true in workload:
+            online.observe(query, true)
+        warm_errors = sum(
+            abs(online.estimate(q) - c) / max(c, 1) for q, c in workload
+        )
+        assert warm_errors <= cold_errors
+        assert warm_errors == 0.0  # exact: every pattern observed
+        for query, _true in workload:
+            assert online.estimate(query) == full.estimate(query)
+
+    def test_generalises_to_unobserved_supertwigs(self, figure1_doc):
+        online = WorkloadAwareLattice(figure1_doc, level=4)
+        parts = [
+            "laptops(laptop(brand,price))",
+            "computer(laptops(laptop))",
+            "laptop(brand,price)",
+        ]
+        for text in parts:
+            query = TwigQuery.parse(text)
+            online.observe(query, count_matches(query.tree, figure1_doc))
+        big = TwigQuery.parse("computer(laptops(laptop(brand,price)))")
+        true = count_matches(big.tree, figure1_doc)
+        assert online.estimate(big) == pytest.approx(true, rel=0.5)
+
+
+class TestBudget:
+    def test_budget_enforced_by_eviction(self, small_nasa):
+        from repro import DocumentIndex, positive_workloads
+
+        index = DocumentIndex(small_nasa)
+        workload = positive_workloads(index, [3, 4], per_level=40, seed=33)
+        base_only = WorkloadAwareLattice(small_nasa, level=4).byte_size()
+        online = WorkloadAwareLattice(
+            small_nasa, level=4, budget_bytes=base_only + 600
+        )
+        for size in (3, 4):
+            for query, true in workload[size]:
+                online.observe(query, true)
+        assert online.byte_size() <= online.budget_bytes
+        assert online.evictions > 0
+        assert online.learned_patterns > 0
+
+    def test_budget_too_small_rejected(self, small_nasa):
+        with pytest.raises(ValueError, match="cannot hold"):
+            WorkloadAwareLattice(small_nasa, level=4, budget_bytes=32)
+
+    def test_hot_patterns_survive_eviction(self, figure1_doc):
+        base_only = WorkloadAwareLattice(figure1_doc, level=4).byte_size()
+        online = WorkloadAwareLattice(
+            figure1_doc, level=4, budget_bytes=base_only + 120
+        )
+        hot = TwigQuery.parse("laptop(brand,price)")
+        online.observe(hot, 2)
+        for _ in range(5):
+            online.estimate(hot)  # accumulate hits
+        # Flood with one-shot patterns to force evictions.
+        fillers = [
+            "computer(laptops,desktops)",
+            "laptops(laptop(brand))",
+            "laptops(laptop(price))",
+            "desktops(desktop(brand))",
+            "desktop(brand,price)",
+        ]
+        for text in fillers:
+            query = TwigQuery.parse(text)
+            online.observe(query, count_matches(query.tree, figure1_doc))
+        assert online.knows(hot)
+
+    def test_repr(self, figure1_doc):
+        assert "WorkloadAwareLattice" in repr(
+            WorkloadAwareLattice(figure1_doc, level=4)
+        )

@@ -1,0 +1,116 @@
+"""Unit tests for the Markov table and path tree baselines."""
+
+import pytest
+
+from repro import LabeledTree, MarkovTable, PathTree, TwigQuery, count_matches
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return LabeledTree.from_nested(
+        (
+            "r",
+            [
+                ("a", [("b", ["c", "c"]), ("b", ["c"])]),
+                ("a", [("b", [])]),
+                ("x", [("b", ["c"])]),
+            ],
+        )
+    )
+
+
+class TestMarkovTable:
+    def test_short_paths_exact(self, doc):
+        table = MarkovTable.build(doc, order=2)
+        for labels in (["a"], ["b"], ["a", "b"], ["b", "c"], ["x", "b"]):
+            assert table.estimate(TwigQuery.path(labels)) == pytest.approx(
+                count_matches(LabeledTree.path(labels), doc)
+            )
+
+    def test_markov_assumption_on_long_path(self, doc):
+        table = MarkovTable.build(doc, order=2)
+        # s(a/b/c) ≈ s(a,b)*s(b,c)/s(b) = 3*4/4 = 3 (true count is 3).
+        assert table.estimate(TwigQuery.path(["a", "b", "c"])) == pytest.approx(3.0)
+
+    def test_higher_order_at_least_as_good(self, doc):
+        order3 = MarkovTable.build(doc, order=3)
+        query = TwigQuery.path(["r", "a", "b", "c"])
+        true = count_matches(query.tree, doc)
+        err3 = abs(order3.estimate(query) - true)
+        err2 = abs(MarkovTable.build(doc, order=2).estimate(query) - true)
+        assert err3 <= err2 + 1e-9
+
+    def test_absent_path_zero(self, doc):
+        table = MarkovTable.build(doc, order=2)
+        assert table.estimate(TwigQuery.path(["a", "z"])) == 0.0
+
+    def test_branching_rejected(self, doc):
+        table = MarkovTable.build(doc, order=2)
+        with pytest.raises(ValueError):
+            table.estimate(TwigQuery.parse("a(b,c)"))
+
+    def test_invalid_order(self, doc):
+        with pytest.raises(ValueError):
+            MarkovTable.build(doc, order=1)
+        with pytest.raises(ValueError):
+            MarkovTable({}, order=0)
+
+    def test_pruning_pools_into_star(self, doc):
+        full = MarkovTable.build(doc, order=2)
+        pruned = MarkovTable.build(doc, order=2, prune_below=2)
+        assert pruned.num_paths < full.num_paths
+        assert pruned.byte_size() < full.byte_size()
+        # Pruned paths answer from the star bucket: non-zero but inexact.
+        assert pruned.estimate(TwigQuery.path(["x", "b"])) > 0.0
+
+    def test_length1_paths_never_pruned(self, doc):
+        pruned = MarkovTable.build(doc, order=2, prune_below=100)
+        assert pruned.estimate(TwigQuery.path(["x"])) == 1.0
+
+    def test_repr(self, doc):
+        assert "order=2" in repr(MarkovTable.build(doc, order=2))
+
+
+class TestPathTree:
+    def test_exact_without_pruning(self, doc):
+        tree = PathTree.build(doc)
+        for labels in (
+            ["r"],
+            ["a", "b"],
+            ["a", "b", "c"],
+            ["r", "a", "b", "c"],
+            ["x", "b", "c"],
+            ["b", "c"],
+        ):
+            assert tree.estimate(TwigQuery.path(labels)) == pytest.approx(
+                count_matches(LabeledTree.path(labels), doc)
+            ), labels
+
+    def test_absent_path_zero(self, doc):
+        tree = PathTree.build(doc)
+        assert tree.estimate(TwigQuery.path(["r", "z"])) == 0.0
+
+    def test_branching_rejected(self, doc):
+        with pytest.raises(ValueError):
+            PathTree.build(doc).estimate(TwigQuery.parse("a(b,c)"))
+
+    def test_pruning_reduces_size(self):
+        # Many rare sibling labels to coalesce.
+        spec = ("r", [(f"rare{i}", ["x"]) for i in range(8)] + [("common", ["x"])] * 9)
+        doc = LabeledTree.from_nested(spec)
+        full = PathTree.build(doc)
+        pruned = PathTree.build(doc, prune_below=2)
+        assert pruned.num_nodes < full.num_nodes
+        assert pruned.byte_size() < full.byte_size()
+
+    def test_pruned_estimates_average_unequal_branches(self):
+        # rareA occurs once, rareB three times; pooling them into a star
+        # answers both with the average count 2 — the lossy step.
+        spec = ("r", [("rareA", [])] + [("rareB", [])] * 3)
+        doc = LabeledTree.from_nested(spec)
+        pruned = PathTree.build(doc, prune_below=4)
+        assert pruned.estimate(TwigQuery.path(["rareA"])) == pytest.approx(2.0)
+        assert pruned.estimate(TwigQuery.path(["rareB"])) == pytest.approx(2.0)
+
+    def test_repr(self, doc):
+        assert "PathTree" in repr(PathTree.build(doc))

@@ -1,0 +1,100 @@
+"""Unit tests for δ-derivable pattern pruning (Definition 2, Lemma 5)."""
+
+import pytest
+
+from repro import (
+    LatticeSummary,
+    RecursiveDecompositionEstimator,
+    prune_derivable,
+    pruning_report,
+)
+from repro.trees.canonical import canon_size
+
+
+class TestZeroDeltaPruning:
+    def test_levels_1_and_2_always_kept(self, figure1_lattice):
+        pruned = prune_derivable(figure1_lattice, 0.0)
+        for pattern, count in figure1_lattice.patterns():
+            if canon_size(pattern) <= 2:
+                assert pruned.get(pattern) == count
+
+    def test_removes_something(self, figure1_lattice):
+        pruned = prune_derivable(figure1_lattice, 0.0)
+        assert pruned.num_patterns < figure1_lattice.num_patterns
+
+    def test_lemma5_estimates_unchanged(self, figure1_lattice):
+        """Estimating any stored pattern from the pruned summary gives
+        exactly the same value as the full summary (Lemma 5)."""
+        pruned = prune_derivable(figure1_lattice, 0.0)
+        full_est = RecursiveDecompositionEstimator(figure1_lattice)
+        pruned_est = RecursiveDecompositionEstimator(pruned)
+        for pattern, _count in figure1_lattice.patterns():
+            assert pruned_est.estimate(pattern) == pytest.approx(
+                full_est.estimate(pattern), rel=1e-9
+            ), pattern
+
+    def test_lemma5_on_nasa(self, small_nasa_lattice):
+        pruned = prune_derivable(small_nasa_lattice, 0.0)
+        full_est = RecursiveDecompositionEstimator(small_nasa_lattice)
+        pruned_est = RecursiveDecompositionEstimator(pruned)
+        for pattern, _count in list(small_nasa_lattice.patterns())[::7]:
+            assert pruned_est.estimate(pattern) == pytest.approx(
+                full_est.estimate(pattern), rel=1e-9
+            )
+
+    def test_pruned_marked_incomplete(self, figure1_lattice):
+        pruned = prune_derivable(figure1_lattice, 0.0)
+        assert pruned.is_complete_at(1)
+        assert pruned.is_complete_at(2)
+        assert not pruned.is_complete_at(3)
+        assert not pruned.is_complete_at(4)
+
+
+class TestDeltaTradeoff:
+    def test_larger_delta_prunes_more(self, small_imdb_lattice):
+        sizes = [
+            prune_derivable(small_imdb_lattice, delta).num_patterns
+            for delta in (0.0, 0.1, 0.3)
+        ]
+        assert sizes[0] >= sizes[1] >= sizes[2]
+        assert sizes[2] < small_imdb_lattice.num_patterns
+
+    def test_kept_patterns_have_true_counts(self, small_imdb_lattice):
+        pruned = prune_derivable(small_imdb_lattice, 0.2)
+        for pattern, count in pruned.patterns():
+            assert count == small_imdb_lattice.get(pattern)
+
+    def test_negative_delta_rejected(self, figure1_lattice):
+        with pytest.raises(ValueError):
+            prune_derivable(figure1_lattice, -0.1)
+
+    def test_voting_flag_respected(self, figure1_lattice):
+        pruned = prune_derivable(figure1_lattice, 0.0, voting=True)
+        full_est = RecursiveDecompositionEstimator(figure1_lattice, voting=True)
+        pruned_est = RecursiveDecompositionEstimator(pruned, voting=True)
+        for pattern, _count in figure1_lattice.patterns():
+            assert pruned_est.estimate(pattern) == pytest.approx(
+                full_est.estimate(pattern), rel=1e-9
+            )
+
+
+class TestReport:
+    def test_report_accounting(self, figure1_lattice):
+        pruned, report = pruning_report(figure1_lattice, 0.0)
+        assert report.patterns_before == figure1_lattice.num_patterns
+        assert report.patterns_after == pruned.num_patterns
+        assert report.patterns_removed == (
+            report.patterns_before - report.patterns_after
+        )
+        assert 0.0 <= report.space_saving <= 1.0
+        assert report.bytes_after == pruned.byte_size()
+
+    def test_report_repr(self, figure1_lattice):
+        _pruned, report = pruning_report(figure1_lattice, 0.0)
+        assert "PruningReport" in repr(report)
+
+    def test_space_saving_zero_denominator(self):
+        report_cls = type(pruning_report(LatticeSummary(2, {("a", ()): 1}), 0.0)[1])
+        empty = LatticeSummary(2, {})
+        report = report_cls(0.0, empty, empty)
+        assert report.space_saving == 0.0

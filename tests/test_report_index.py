@@ -1,0 +1,42 @@
+"""Unit tests for the benchmark report index builder."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def _load_builder():
+    spec = importlib.util.spec_from_file_location(
+        "build_report_index", REPO / "benchmarks" / "build_report_index.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestReportIndex:
+    def test_builds_index_in_paper_order(self, tmp_path, monkeypatch):
+        module = _load_builder()
+        monkeypatch.setattr(module, "REPORTS", tmp_path)
+        (tmp_path / "fig11_example.txt").write_text("FIG11 BODY")
+        (tmp_path / "table1_datasets.txt").write_text("TABLE1 BODY")
+        (tmp_path / "zz_custom.txt").write_text("CUSTOM BODY")
+
+        out = module.build_index()
+        text = out.read_text()
+        assert out.name == "INDEX.md"
+        assert "TABLE1 BODY" in text
+        assert "FIG11 BODY" in text
+        assert "CUSTOM BODY" in text
+        # Paper order: table1 before fig11; unknown reports appended last.
+        assert text.index("table1_datasets") < text.index("fig11_example")
+        assert text.index("fig11_example") < text.index("zz_custom")
+
+    def test_empty_reports_dir(self, tmp_path, monkeypatch):
+        module = _load_builder()
+        monkeypatch.setattr(module, "REPORTS", tmp_path)
+        out = module.build_index()
+        assert out.exists()
+        assert "Benchmark report index" in out.read_text()

@@ -1,0 +1,60 @@
+"""Unit tests for workload templates and the workload file format."""
+
+import pytest
+
+from repro import count_matches, generate_dataset
+from repro.workload.templates import (
+    DATASET_TEMPLATES,
+    dataset_queries,
+    load_workload_file,
+    save_workload_file,
+)
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("name", sorted(DATASET_TEMPLATES))
+    def test_all_templates_parse(self, name):
+        queries = dataset_queries(name)
+        assert len(queries) == len(DATASET_TEMPLATES[name])
+        assert all(query.size >= 2 for query in queries)
+
+    @pytest.mark.parametrize("name", ["nasa", "imdb", "psd", "xmark", "treebank"])
+    def test_templates_hit_their_corpus(self, name):
+        """Most curated templates must have non-zero selectivity on a
+        small instance of their corpus (they describe real structure)."""
+        document = generate_dataset(name, 60 if name != "xmark" else 15, seed=3)
+        queries = dataset_queries(name)
+        hits = sum(1 for q in queries if count_matches(q.tree, document) > 0)
+        assert hits >= len(queries) * 0.7, name
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="no templates"):
+            dataset_queries("enron")
+
+
+class TestWorkloadFiles:
+    def test_roundtrip(self, tmp_path):
+        queries = dataset_queries("nasa")
+        path = tmp_path / "nasa.workload"
+        save_workload_file(queries, path, header="nasa smoke workload")
+        loaded = load_workload_file(path)
+        assert [q.canonical() for q in loaded] == [q.canonical() for q in queries]
+        assert path.read_text().startswith("# nasa smoke workload")
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "w.workload"
+        path.write_text(
+            "# header\n"
+            "\n"
+            "a(b,c)   # trailing comment\n"
+            "/x/y\n"
+        )
+        loaded = load_workload_file(path)
+        assert len(loaded) == 2
+        assert loaded[0].size == 3
+
+    def test_parse_error_reports_line(self, tmp_path):
+        path = tmp_path / "w.workload"
+        path.write_text("a(b\n")
+        with pytest.raises(ValueError, match="w.workload:1"):
+            load_workload_file(path)

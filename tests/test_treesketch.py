@@ -1,0 +1,137 @@
+"""Unit tests for the TreeSketch graph-synopsis baseline."""
+
+import pytest
+
+from repro import LabeledTree, TreeSketch, TwigQuery, count_matches
+from repro.baselines.treesketch import _l1, _stable_partition
+
+
+class TestStablePartition:
+    def test_identical_subtrees_share_group(self):
+        doc = LabeledTree.from_nested(
+            ("r", [("a", ["b", "b"]), ("a", ["b", "b"]), ("a", ["b"])])
+        )
+        groups = _stable_partition(doc)
+        a_nodes = [n for n in range(doc.size) if doc.label(n) == "a"]
+        assert groups[a_nodes[0]] == groups[a_nodes[1]]
+        assert groups[a_nodes[0]] != groups[a_nodes[2]]
+
+    def test_labels_never_share_group(self, figure1_doc):
+        groups = _stable_partition(figure1_doc)
+        by_group: dict[int, set[str]] = {}
+        for node, group in enumerate(groups):
+            by_group.setdefault(group, set()).add(figure1_doc.label(node))
+        assert all(len(labels) == 1 for labels in by_group.values())
+
+
+class TestExactnessWithoutMerging:
+    def test_unbudgeted_sketch_exact_on_regular_docs(self):
+        # When every a has the same number of b children, averaging loses
+        # nothing and the synopsis is exact for any twig.
+        doc = LabeledTree.from_nested(
+            ("r", [("a", ["b", "b"]), ("a", ["b", "b"]), ("a", ["b", "b"])])
+        )
+        sketch = TreeSketch.build(doc, budget_bytes=10**9)
+        for text in ("a", "a(b)", "r(a(b))", "a(b,b)"):
+            query = TwigQuery.parse(text)
+            true = count_matches(query.tree, doc)
+            if text == "a(b,b)":
+                # Injectivity is the one thing averaged products miss:
+                # sketch says 2*2=4 per a, truth says 2*1=2 per a.
+                assert sketch.estimate(query) == pytest.approx(2 * true)
+            else:
+                assert sketch.estimate(query) == pytest.approx(true)
+
+    def test_single_edge_always_exact(self, figure1_doc):
+        sketch = TreeSketch.build(figure1_doc, budget_bytes=10**9)
+        for text in ("laptop(brand)", "laptops(laptop)", "computer(desktops)"):
+            query = TwigQuery.parse(text)
+            assert sketch.estimate(query) == pytest.approx(
+                count_matches(query.tree, figure1_doc)
+            )
+
+
+class TestAveragingFailureMode:
+    def test_skew_overestimates_branching_twigs(self, skew_doc):
+        """The Figure 11 mechanism: averaged fan-outs + multiplication
+        overestimate under high variance, while single edges stay exact."""
+        tight = TreeSketch.build(skew_doc, budget_bytes=64, refinement_rounds=0)
+        # Single edge r->a and a->b totals survive averaging:
+        assert tight.estimate(TwigQuery.parse("a(b)")) == pytest.approx(14.0)
+        # Branching twig a(b,b): true = 3*(4*3) + 1*(2*1) = 38,
+        # averaged estimate = 4 * 3.5^2 = 49 (ignores injectivity AND
+        # the variance between the two kinds of a nodes).
+        true = count_matches(TwigQuery.parse("a(b,b)").tree, skew_doc)
+        assert true == 38
+        estimate = tight.estimate(TwigQuery.parse("a(b,b)"))
+        assert estimate == pytest.approx(49.0)
+        assert estimate > true
+
+
+class TestBudget:
+    def test_budget_respected(self, small_nasa):
+        budget = 4096
+        sketch = TreeSketch.build(small_nasa, budget)
+        assert sketch.byte_size() <= budget * 1.25  # round granularity slack
+
+    def test_smaller_budget_fewer_vertices(self, small_nasa):
+        large = TreeSketch.build(small_nasa, 64 * 1024)
+        small = TreeSketch.build(small_nasa, 2 * 1024)
+        assert small.num_vertices < large.num_vertices
+
+    def test_construction_time_recorded(self, figure1_doc):
+        sketch = TreeSketch.build(figure1_doc, 1024)
+        assert sketch.construction_seconds > 0
+
+
+class TestEstimation:
+    def test_absent_label_zero(self, figure1_doc):
+        sketch = TreeSketch.build(figure1_doc, 8 * 1024)
+        assert sketch.estimate(TwigQuery.parse("tablet(brand)")) == 0.0
+
+    def test_absent_edge_zero(self, figure1_doc):
+        sketch = TreeSketch.build(figure1_doc, 8 * 1024)
+        assert sketch.estimate(TwigQuery.parse("laptops(brand)")) == 0.0
+
+    def test_estimates_nonnegative(self, small_imdb):
+        sketch = TreeSketch.build(small_imdb, 4096)
+        for text in (
+            "movie(title,year)",
+            "movie(director(name),cast)",
+            "movie(seasons(season(episode)))",
+        ):
+            assert sketch.estimate(TwigQuery.parse(text)) >= 0.0
+
+    def test_refinement_improves_or_matches_accuracy(self, small_imdb):
+        """The k-means phase should not make the synopsis worse overall."""
+        rough = TreeSketch.build(small_imdb, 2048, refinement_rounds=0)
+        refined = TreeSketch.build(small_imdb, 2048, refinement_rounds=8)
+        queries = [
+            TwigQuery.parse("movie(director(name),cast(actor))"),
+            TwigQuery.parse("movie(seasons(season(episode)))"),
+            TwigQuery.parse("movie(title,year,genre)"),
+        ]
+        doc_errors = []
+        for sketch in (rough, refined):
+            total = 0.0
+            for query in queries:
+                true = count_matches(query.tree, small_imdb)
+                total += abs(sketch.estimate(query) - true) / max(true, 1)
+            doc_errors.append(total)
+        # Refinement must never be catastrophically worse (absolute slack
+        # because the greedy merge can already be near-exact here).
+        assert doc_errors[1] <= doc_errors[0] + 0.10
+
+    def test_repr(self, figure1_doc):
+        sketch = TreeSketch.build(figure1_doc, 1024)
+        assert "TreeSketch" in repr(sketch)
+
+
+class TestL1:
+    def test_symmetric(self):
+        a = {"x": 1.0, "y": 2.0}
+        b = {"y": 1.0, "z": 3.0}
+        assert _l1(a, b) == _l1(b, a) == 1.0 + 1.0 + 3.0
+
+    def test_zero_for_equal(self):
+        assert _l1({"x": 1.5}, {"x": 1.5}) == 0.0

@@ -1,0 +1,127 @@
+"""Unit tests for twig query parsing and classification."""
+
+import pytest
+
+from repro import LabeledTree, TwigParseError, TwigQuery
+
+
+class TestXPathParsing:
+    def test_simple_path(self):
+        query = TwigQuery.from_xpath("/a/b/c")
+        assert query.size == 3
+        assert query.is_path()
+        assert query.path_labels() == ["a", "b", "c"]
+
+    def test_leading_slash_optional(self):
+        assert TwigQuery.from_xpath("a/b") == TwigQuery.from_xpath("/a/b")
+
+    def test_single_predicate(self):
+        query = TwigQuery.from_xpath("/person[name]")
+        assert query.size == 2
+        assert not TwigQuery.from_xpath("/person[name]/age").is_path()
+
+    def test_multiple_predicates(self):
+        query = TwigQuery.from_xpath("/person[name][address]")
+        tree = query.tree
+        assert tree.size == 3
+        assert sorted(tree.label(c) for c in tree.child_ids(0)) == [
+            "address",
+            "name",
+        ]
+
+    def test_nested_predicate_path(self):
+        query = TwigQuery.from_xpath("/person[address/city]")
+        assert query.size == 3
+        assert query.tree.height() == 2
+
+    def test_predicate_with_own_predicates(self):
+        query = TwigQuery.from_xpath("/a[b[c][d]]/e")
+        assert query.size == 5
+
+    def test_predicate_then_step(self):
+        query = TwigQuery.from_xpath("/a[b]/c/d")
+        tree = query.tree
+        assert tree.size == 4
+        root_children = sorted(tree.label(c) for c in tree.child_ids(0))
+        assert root_children == ["b", "c"]
+
+    def test_descendant_axis_rejected(self):
+        with pytest.raises(TwigParseError):
+            TwigQuery.from_xpath("//anywhere")
+
+    def test_empty_rejected(self):
+        with pytest.raises(TwigParseError):
+            TwigQuery.from_xpath("/")
+        with pytest.raises(TwigParseError):
+            TwigQuery.from_xpath("")
+
+    def test_unbalanced_bracket_rejected(self):
+        with pytest.raises(TwigParseError):
+            TwigQuery.from_xpath("/a[b")
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(TwigParseError):
+            TwigQuery.from_xpath("/a[]")
+
+    def test_missing_step_label_rejected(self):
+        with pytest.raises(TwigParseError):
+            TwigQuery.from_xpath("/a//b")
+
+    def test_absolute_predicate_rejected(self):
+        with pytest.raises(TwigParseError):
+            TwigQuery.from_xpath("/a[/b]")
+
+
+class TestPatternParsing:
+    def test_pattern_codec(self):
+        query = TwigQuery.from_pattern("a(b,c(d))")
+        assert query.size == 4
+
+    def test_parse_dispatches_on_slash(self):
+        assert TwigQuery.parse("/a/b") == TwigQuery.parse("a(b)")
+        assert TwigQuery.parse("a(b,c)").size == 3
+
+    def test_parse_dispatches_on_bracket(self):
+        # A predicate without any '/' must still parse as XPath: this was
+        # a real bug — "person[creditcard]" used to become a single
+        # opaque label with selectivity 0.
+        assert TwigQuery.parse("person[creditcard]") == TwigQuery.parse(
+            "person(creditcard)"
+        )
+        assert TwigQuery.parse("a[b][c]").size == 3
+
+    def test_bad_pattern_raises_twig_error(self):
+        with pytest.raises(TwigParseError):
+            TwigQuery.from_pattern("a(b")
+
+
+class TestQuerySemantics:
+    def test_from_nested_and_path(self):
+        assert TwigQuery.from_nested(("a", ["b"])).size == 2
+        assert TwigQuery.path(["a", "b", "c"]).is_path()
+
+    def test_path_labels_requires_path(self):
+        from repro import TreeBuildError
+
+        branching = TwigQuery.parse("a(b,c)")
+        with pytest.raises(TreeBuildError):
+            branching.path_labels()
+
+    def test_equality_up_to_isomorphism(self):
+        assert TwigQuery.parse("a(b,c)") == TwigQuery.parse("a(c,b)")
+        assert hash(TwigQuery.parse("a(b,c)")) == hash(TwigQuery.parse("a(c,b)"))
+        assert TwigQuery.parse("a(b)") != TwigQuery.parse("a(c)")
+
+    def test_eq_other_type(self):
+        assert TwigQuery.parse("a").__eq__("a") is NotImplemented
+
+    def test_canonical_cached(self):
+        query = TwigQuery.parse("a(b,c)")
+        assert query.canonical() is query.canonical()
+
+    def test_repr_contains_encoding(self):
+        assert "a(b)" in repr(TwigQuery.parse("/a/b"))
+
+    def test_wraps_tree_without_copy(self):
+        tree = LabeledTree.from_nested(("a", ["b"]))
+        assert TwigQuery(tree).tree is tree

@@ -1,0 +1,157 @@
+"""Unit tests for region encoding and twig-join execution."""
+
+import pytest
+
+from repro import DocumentIndex, LabeledTree, TwigQuery, count_matches
+from repro.trees.regions import Region, RegionIndex
+from repro.trees.twigjoin import PathJoin, count_via_enumeration, enumerate_matches
+
+from .conftest import brute_force_matches
+
+
+class TestRegionEncoding:
+    def test_intervals_nest(self, figure1_doc):
+        index = RegionIndex(figure1_doc)
+        for node in range(figure1_doc.size):
+            region = index.region(node)
+            parent = figure1_doc.parent(node)
+            if parent != -1:
+                assert index.region(parent).is_ancestor_of(region)
+                assert index.region(parent).is_parent_of(region)
+
+    def test_non_relatives_disjoint(self, figure1_doc):
+        index = RegionIndex(figure1_doc)
+        laptops = index.stream("laptop")
+        assert len(laptops) == 2
+        a, b = laptops
+        assert not a.is_ancestor_of(b)
+        assert not b.is_ancestor_of(a)
+        assert a.end < b.start or b.end < a.start
+
+    def test_levels(self, figure1_doc):
+        index = RegionIndex(figure1_doc)
+        assert index.region(0).level == 0
+        for node in range(1, figure1_doc.size):
+            assert (
+                index.region(node).level
+                == index.region(figure1_doc.parent(node)).level + 1
+            )
+
+    def test_streams_in_document_order(self, figure1_doc):
+        index = RegionIndex(figure1_doc)
+        for stream in index.streams.values():
+            starts = [region.start for region in stream]
+            assert starts == sorted(starts)
+
+    def test_start_end_bounds(self):
+        tree = LabeledTree.from_nested(("a", [("b", ["c"]), "d"]))
+        index = RegionIndex(tree)
+        root = index.region(0)
+        assert root.start == 1
+        assert root.end == tree.size
+        for node in range(tree.size):
+            region = index.region(node)
+            assert region.start <= region.end
+
+    def test_ancestor_not_reflexive(self):
+        region = Region(1, 5, 0, 0)
+        assert not region.is_ancestor_of(region)
+        assert region.contains(region)
+
+    def test_missing_label_stream_empty(self, figure1_doc):
+        assert RegionIndex(figure1_doc).stream("nothere") == []
+
+
+class TestEnumerateMatches:
+    def test_count_agrees_with_dp(self, figure1_doc):
+        queries = [
+            "laptop(brand,price)",
+            "computer(laptops(laptop(brand)))",
+            "laptop(brand)",
+            "computer(laptops,desktops)",
+        ]
+        for text in queries:
+            query = TwigQuery.parse(text)
+            assert count_via_enumeration(query, figure1_doc) == count_matches(
+                query.tree, figure1_doc
+            ), text
+
+    def test_matches_are_valid(self, figure1_doc):
+        query = TwigQuery.parse("laptop(brand,price)")
+        for match in enumerate_matches(query, figure1_doc):
+            for qnode, dnode in match.items():
+                assert query.tree.label(qnode) == figure1_doc.label(dnode)
+                qparent = query.tree.parent(qnode)
+                if qparent != -1:
+                    assert figure1_doc.parent(dnode) == match[qparent]
+            assert len(set(match.values())) == len(match)  # injective
+
+    def test_duplicate_sibling_labels(self):
+        doc = LabeledTree.from_nested(("a", ["b", "b", "b"]))
+        query = LabeledTree.from_nested(("a", ["b", "b"]))
+        matches = list(enumerate_matches(query, doc))
+        assert len(matches) == 6  # ordered injective pairs
+        assert len({tuple(sorted(m.items())) for m in matches}) == 6
+
+    def test_limit(self, figure1_doc):
+        query = TwigQuery.parse("laptop(brand)")
+        assert len(list(enumerate_matches(query, figure1_doc, limit=1))) == 1
+
+    def test_no_matches(self, figure1_doc):
+        assert list(enumerate_matches(TwigQuery.parse("tablet(x)"), figure1_doc)) == []
+
+    def test_agrees_with_brute_force(self):
+        query = LabeledTree.from_nested(("a", [("b", ["c"]), "b"]))
+        doc = LabeledTree.from_nested(
+            ("a", [("b", ["c", "c"]), ("b", ["c"]), "b"])
+        )
+        assert count_via_enumeration(query, doc) == brute_force_matches(query, doc)
+
+    def test_accepts_document_index(self, figure1_doc):
+        index = DocumentIndex(figure1_doc)
+        query = TwigQuery.parse("laptop(brand)")
+        assert count_via_enumeration(query, index) == 2
+
+
+class TestPathJoin:
+    def test_counts_match_dp(self, figure1_doc):
+        join = PathJoin(figure1_doc)
+        paths = [
+            ["computer", "laptops", "laptop"],
+            ["laptops", "laptop", "brand"],
+            ["laptop", "price"],
+            ["computer", "laptops", "laptop", "brand"],
+        ]
+        for labels in paths:
+            expected = count_matches(LabeledTree.path(labels), figure1_doc)
+            assert join.count(labels) == expected, labels
+
+    def test_chains_are_real_paths(self, figure1_doc):
+        join = PathJoin(figure1_doc)
+        for chain in join.evaluate(["computer", "laptops", "laptop", "brand"]):
+            for parent, child in zip(chain, chain[1:]):
+                assert figure1_doc.parent(child) == parent
+
+    def test_absent_path(self, figure1_doc):
+        assert PathJoin(figure1_doc).count(["laptops", "price"]) == 0
+
+    def test_empty_path_rejected(self, figure1_doc):
+        with pytest.raises(ValueError):
+            PathJoin(figure1_doc).evaluate([])
+
+    def test_on_dataset(self, small_psd):
+        join = PathJoin(small_psd)
+        labels = ["ProteinEntry", "reference", "refinfo", "authors", "author"]
+        expected = count_matches(LabeledTree.path(labels), small_psd)
+        assert join.count(labels) == expected
+
+    def test_recursive_labels(self):
+        # Same label at several depths: regions must disambiguate.
+        doc = LabeledTree.from_nested(("a", [("a", [("a", ["b"]), "b"]), "b"]))
+        join = PathJoin(doc)
+        assert join.count(["a", "a"]) == count_matches(
+            LabeledTree.path(["a", "a"]), doc
+        )
+        assert join.count(["a", "b"]) == count_matches(
+            LabeledTree.path(["a", "b"]), doc
+        )

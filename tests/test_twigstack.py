@@ -1,0 +1,128 @@
+"""Unit tests for the holistic PathStack/TwigStack join engine."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import LabeledTree, TwigQuery, count_matches
+from repro.trees.regions import RegionIndex
+from repro.trees.twigstack import TwigStackJoin, path_stack_solutions
+
+from .test_properties import random_tree
+
+
+class TestPathStack:
+    def test_simple_chain(self, figure1_doc):
+        index = RegionIndex(figure1_doc)
+        chains = path_stack_solutions(index, ["laptops", "laptop", "brand"])
+        assert len(chains) == 2
+        for chain in chains:
+            assert figure1_doc.label(chain[0]) == "laptops"
+            assert figure1_doc.parent(chain[1]) == chain[0]
+            assert figure1_doc.parent(chain[2]) == chain[1]
+
+    def test_single_label(self, figure1_doc):
+        index = RegionIndex(figure1_doc)
+        assert len(path_stack_solutions(index, ["laptop"])) == 2
+
+    def test_missing_label(self, figure1_doc):
+        index = RegionIndex(figure1_doc)
+        assert path_stack_solutions(index, ["laptop", "tablet"]) == []
+
+    def test_empty_path_rejected(self, figure1_doc):
+        with pytest.raises(ValueError):
+            path_stack_solutions(RegionIndex(figure1_doc), [])
+
+    def test_repeated_labels_on_recursive_doc(self):
+        # The regression case: path a/a on nested same-label nodes.
+        doc = LabeledTree.from_nested(("a", [("a", [("a", ["b"]), "b"]), "b"]))
+        index = RegionIndex(doc)
+        chains = path_stack_solutions(index, ["a", "a"])
+        expected = count_matches(LabeledTree.path(["a", "a"]), doc)
+        assert len(chains) == expected == 2
+        chains3 = path_stack_solutions(index, ["a", "a", "a"])
+        assert len(chains3) == count_matches(LabeledTree.path(["a", "a", "a"]), doc)
+
+    def test_agrees_with_matcher_on_datasets(self, small_psd):
+        index = RegionIndex(small_psd)
+        for labels in (
+            ["ProteinEntry", "reference", "refinfo"],
+            ["reference", "refinfo", "authors", "author"],
+        ):
+            chains = path_stack_solutions(index, labels)
+            assert len(chains) == count_matches(LabeledTree.path(labels), small_psd)
+
+
+class TestTwigStackJoin:
+    QUERIES = [
+        "laptop(brand,price)",
+        "computer(laptops(laptop(brand)),desktops)",
+        "computer(laptops(laptop(brand,price)))",
+        "laptops(laptop)",
+    ]
+
+    @pytest.mark.parametrize("text", QUERIES)
+    def test_counts_match_definition1(self, figure1_doc, text):
+        join = TwigStackJoin(figure1_doc)
+        query = TwigQuery.parse(text)
+        assert join.count(query) == count_matches(query.tree, figure1_doc)
+
+    def test_solutions_are_valid_matches(self, figure1_doc):
+        join = TwigStackJoin(figure1_doc)
+        query = TwigQuery.parse("laptop(brand,price)")
+        for solution in join.solutions(query):
+            assert len(set(solution.values())) == len(solution)
+            for qnode, dnode in solution.items():
+                assert query.tree.label(qnode) == figure1_doc.label(dnode)
+
+    def test_injectivity_gap_on_duplicate_siblings(self):
+        """The documented semantic gap: raw merge counts non-injective
+        combinations that Definition 1 excludes."""
+        doc = LabeledTree.from_nested(("a", ["b", "b", "b"]))
+        query = LabeledTree.from_nested(("a", ["b", "b"]))
+        join = TwigStackJoin(doc)
+        injective = join.count(query)
+        raw = join.count(query, enforce_injectivity=False)
+        assert injective == 6  # ordered injective pairs
+        assert raw == 9  # 3 x 3 combinations
+        assert injective == count_matches(query, doc)
+
+    def test_no_solutions(self, figure1_doc):
+        join = TwigStackJoin(figure1_doc)
+        assert join.count(TwigQuery.parse("laptops(price)")) == 0
+        assert join.count(TwigQuery.parse("tablet(x)")) == 0
+
+    def test_on_dataset(self, small_nasa):
+        join = TwigStackJoin(small_nasa)
+        query = TwigQuery.parse("dataset(title,author(lastName),date(year))")
+        assert join.count(query) == count_matches(query.tree, small_nasa)
+
+
+class TestTwigStackProperties:
+    @given(
+        random_tree(max_size=5, labels="ab"),
+        random_tree(max_size=9, labels="ab"),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_injective_count_equals_dp(self, query, doc):
+        join = TwigStackJoin(doc)
+        assert join.count(query) == count_matches(query, doc)
+
+    @given(
+        random_tree(max_size=5, labels="ab"),
+        random_tree(max_size=9, labels="ab"),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_raw_count_at_least_injective(self, query, doc):
+        join = TwigStackJoin(doc)
+        assert join.count(query, enforce_injectivity=False) >= join.count(query)
+
+    @given(st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_pathstack_equals_matcher(self, data):
+        doc = data.draw(random_tree(min_size=2, max_size=10, labels="ab"))
+        length = data.draw(st.integers(1, 4))
+        labels = [data.draw(st.sampled_from("ab")) for _ in range(length)]
+        index = RegionIndex(doc)
+        assert len(path_stack_solutions(index, labels)) == count_matches(
+            LabeledTree.path(labels), doc
+        )

@@ -1,0 +1,95 @@
+"""Unit tests for the value-predicate extension."""
+
+import pytest
+
+from repro import LatticeSummary, RecursiveDecompositionEstimator, count_matches
+from repro.trees.values import (
+    tree_from_xml_with_values,
+    value_bucket,
+    value_label,
+    value_twig,
+)
+
+CATALOG = """
+<shop>
+  <laptop><brand>apex</brand><price>1200</price></laptop>
+  <laptop><brand>apex</brand><price>900</price></laptop>
+  <laptop><brand>bolt</brand><price>1200</price></laptop>
+</shop>
+"""
+
+
+class TestBucketing:
+    def test_deterministic(self):
+        assert value_bucket("1200") == value_bucket("1200")
+        assert value_bucket(" 1200 ") == value_bucket("1200")  # whitespace
+
+    def test_range(self):
+        for value in ("a", "b", "1200", "xyz"):
+            assert 0 <= value_bucket(value, 8) < 8
+
+    def test_bucket_count_validation(self):
+        with pytest.raises(ValueError):
+            value_bucket("x", 0)
+
+    def test_value_label_format(self):
+        label = value_label("price", "1200", 8)
+        assert label.startswith("price=b")
+
+
+class TestParsing:
+    def test_leaf_values_become_children(self):
+        tree = tree_from_xml_with_values(CATALOG)
+        # shop + 3 laptops + 6 leaves + 6 value nodes
+        assert tree.size == 16
+        value_nodes = [l for l in tree.labels if "=" in l]
+        assert len(value_nodes) == 6
+
+    def test_same_value_same_label(self):
+        tree = tree_from_xml_with_values(CATALOG)
+        counts = tree.label_counts()
+        assert counts[value_label("price", "1200")] == 2
+        assert counts[value_label("brand", "apex")] == 2
+
+    def test_interior_text_ignored(self):
+        tree = tree_from_xml_with_values("<a>junk<b>val</b></a>")
+        assert tree.size == 3  # a, b, b=bN ; 'junk' dropped
+
+
+class TestValueTwig:
+    def test_predicate_becomes_structure(self):
+        query = value_twig("/laptop[brand][price]", {"price": "1200"})
+        assert query.size == 4
+        labels = query.tree.labels
+        assert value_label("price", "1200") in labels
+
+    def test_missing_label_rejected(self):
+        with pytest.raises(ValueError, match="not found"):
+            value_twig("/laptop[brand]", {"price": "1200"})
+
+    def test_multiple_predicates(self):
+        query = value_twig(
+            "/laptop[brand][price]", {"price": "1200", "brand": "apex"}
+        )
+        assert query.size == 5
+
+
+class TestEndToEnd:
+    def test_exact_counts_with_values(self):
+        document = tree_from_xml_with_values(CATALOG)
+        q_1200 = value_twig("/laptop[price]", {"price": "1200"})
+        assert count_matches(q_1200.tree, document) == 2
+        q_apex_1200 = value_twig(
+            "/laptop[brand][price]", {"brand": "apex", "price": "1200"}
+        )
+        assert count_matches(q_apex_1200.tree, document) == 1
+        q_none = value_twig("/laptop[price]", {"price": "9999999"})
+        assert count_matches(q_none.tree, document) in (0, 2)  # hash collision possible
+
+    def test_estimation_with_values(self):
+        document = tree_from_xml_with_values(CATALOG)
+        lattice = LatticeSummary.build(document, 4)
+        estimator = RecursiveDecompositionEstimator(lattice, voting=True)
+        query = value_twig("/laptop[brand][price]", {"price": "1200"})
+        true = count_matches(query.tree, document)
+        assert estimator.estimate(query) == pytest.approx(true, rel=0.6)

@@ -1,0 +1,163 @@
+"""Unit tests for workload generation and evaluation metrics."""
+
+import pytest
+
+from repro import (
+    DocumentIndex,
+    RecursiveDecompositionEstimator,
+    count_matches,
+    evaluate_estimator,
+    negative_workload,
+    positive_workloads,
+)
+from repro.workload.metrics import (
+    EstimatorEvaluation,
+    absolute_relative_error,
+    error_cdf,
+    sanity_bound,
+)
+
+
+class TestPositiveWorkloads:
+    def test_sizes_and_counts(self, small_nasa):
+        workloads = positive_workloads(small_nasa, [3, 4, 5], per_level=10, seed=1)
+        assert set(workloads) == {3, 4, 5}
+        for size, workload in workloads.items():
+            assert workload.size == size
+            assert 0 < len(workload) <= 10
+            for query, count in workload:
+                assert query.size == size
+                assert count > 0
+
+    def test_true_counts_are_exact(self, small_nasa):
+        index = DocumentIndex(small_nasa)
+        workloads = positive_workloads(index, [4], per_level=8, seed=2)
+        for query, count in workloads[4]:
+            assert count == count_matches(query.tree, index)
+
+    def test_deterministic(self, small_nasa):
+        a = positive_workloads(small_nasa, [4], per_level=5, seed=9)
+        b = positive_workloads(small_nasa, [4], per_level=5, seed=9)
+        assert [q.canonical() for q, _ in a[4]] == [q.canonical() for q, _ in b[4]]
+
+    def test_input_validation(self, small_nasa):
+        with pytest.raises(ValueError):
+            positive_workloads(small_nasa, [])
+        with pytest.raises(ValueError):
+            positive_workloads(small_nasa, [0, 3])
+
+    def test_workload_helpers(self, small_nasa):
+        workload = positive_workloads(small_nasa, [3], per_level=5, seed=1)[3]
+        assert workload.non_zero() == len(workload)
+
+
+class TestNegativeWorkload:
+    def test_all_zero_selectivity(self, small_nasa):
+        index = DocumentIndex(small_nasa)
+        base = positive_workloads(index, [4], per_level=15, seed=3)[4]
+        negatives = negative_workload(index, base, seed=4)
+        assert len(negatives) > 0
+        for query, count in negatives:
+            assert count == 0
+            assert count_matches(query.tree, index) == 0
+
+    def test_sizes_preserved(self, small_nasa):
+        base = positive_workloads(small_nasa, [4], per_level=10, seed=3)[4]
+        negatives = negative_workload(small_nasa, base, seed=4)
+        assert all(q.size == 4 for q, _ in negatives)
+
+    def test_target_limits_count(self, small_nasa):
+        base = positive_workloads(small_nasa, [4], per_level=15, seed=3)[4]
+        negatives = negative_workload(small_nasa, base, seed=4, target=3)
+        assert len(negatives) <= 3
+
+    def test_queries_distinct(self, small_nasa):
+        base = positive_workloads(small_nasa, [4], per_level=15, seed=3)[4]
+        negatives = negative_workload(small_nasa, base, seed=4)
+        keys = [q.canonical() for q, _ in negatives]
+        assert len(keys) == len(set(keys))
+
+
+class TestSanityBound:
+    def test_floor_applied(self):
+        assert sanity_bound([1, 2, 3]) == 10.0
+
+    def test_percentile(self):
+        counts = list(range(1, 101))  # 1..100
+        assert sanity_bound(counts, percentile=10, floor=0) == 10.0
+        assert sanity_bound(counts, percentile=50, floor=0) == 50.0
+
+    def test_empty_uses_floor(self):
+        assert sanity_bound([]) == 10.0
+
+
+class TestErrorMetric:
+    def test_exact_estimate_zero_error(self):
+        assert absolute_relative_error(100, 100.0, 10.0) == 0.0
+
+    def test_percent_scale(self):
+        assert absolute_relative_error(100, 150.0, 10.0) == pytest.approx(50.0)
+
+    def test_sanity_bound_kicks_in_for_small_counts(self):
+        # true=1, est=2: raw error 100%, sanity-bounded error 10%.
+        assert absolute_relative_error(1, 2.0, 10.0) == pytest.approx(10.0)
+
+    def test_invalid_sanity(self):
+        with pytest.raises(ValueError):
+            absolute_relative_error(0, 1.0, 0.0)
+
+
+class TestErrorCdf:
+    def test_monotone_and_bounded(self):
+        cdf = error_cdf([0.5, 5.0, 50.0, 500.0])
+        fractions = [f for _t, f in cdf]
+        assert fractions == sorted(fractions)
+        assert 0.0 <= fractions[0] and fractions[-1] <= 1.0
+        assert fractions[-1] == 1.0
+
+    def test_custom_thresholds(self):
+        cdf = error_cdf([1.0, 2.0, 3.0], thresholds=[1.5, 2.5, 10.0])
+        assert cdf == [(1.5, 1 / 3), (2.5, 2 / 3), (10.0, 1.0)]
+
+    def test_empty_errors(self):
+        assert all(f == 1.0 for _t, f in error_cdf([]))
+
+
+class TestEvaluateEstimator:
+    def test_evaluation_fields(self, small_nasa, small_nasa_lattice):
+        workload = positive_workloads(small_nasa, [5], per_level=8, seed=5)[5]
+        estimator = RecursiveDecompositionEstimator(small_nasa_lattice)
+        evaluation = evaluate_estimator(estimator, workload)
+        assert evaluation.estimator_name == estimator.name
+        assert evaluation.workload_size == 5
+        assert len(evaluation.errors) == len(workload)
+        assert len(evaluation.response_seconds) == len(workload)
+        assert evaluation.average_error >= 0.0
+        assert evaluation.average_response_ms >= 0.0
+
+    def test_median_error(self):
+        evaluation = EstimatorEvaluation("e", 4, errors=[1.0, 3.0, 2.0])
+        assert evaluation.median_error == 2.0
+        evaluation.errors.append(4.0)
+        assert evaluation.median_error == 2.5
+
+    def test_empty_evaluation_defaults(self):
+        evaluation = EstimatorEvaluation("e", 4)
+        assert evaluation.average_error == 0.0
+        assert evaluation.median_error == 0.0
+        assert evaluation.average_response_ms == 0.0
+        assert evaluation.exact_zero_rate == 0.0
+
+    def test_exact_zero_rate_on_negatives(self, small_nasa, small_nasa_lattice):
+        base = positive_workloads(small_nasa, [4], per_level=10, seed=3)[4]
+        negatives = negative_workload(small_nasa, base, seed=4)
+        estimator = RecursiveDecompositionEstimator(small_nasa_lattice)
+        evaluation = evaluate_estimator(estimator, negatives)
+        # The paper reports > 95% exact zeros for TreeLattice.
+        assert evaluation.exact_zero_rate >= 0.95
+
+    def test_cdf_passthrough(self, small_nasa, small_nasa_lattice):
+        workload = positive_workloads(small_nasa, [4], per_level=5, seed=5)[4]
+        estimator = RecursiveDecompositionEstimator(small_nasa_lattice)
+        evaluation = evaluate_estimator(estimator, workload)
+        assert evaluation.cdf([100.0])[0][1] >= 0.0

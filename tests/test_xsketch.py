@@ -1,0 +1,76 @@
+"""Unit tests for the XSketch stability-synopsis baseline."""
+
+import pytest
+
+from repro import LabeledTree, TwigQuery, count_matches
+from repro.baselines.treesketch import _partition_stats
+from repro.baselines.xsketch import XSketch, backward_stable_partition
+
+
+class TestBackwardStablePartition:
+    def test_fixpoint_is_backward_stable(self, figure1_doc):
+        group_of = backward_stable_partition(figure1_doc, 10**9)
+        # Every group's nodes must share one parent group.
+        parent_groups: dict[int, set] = {}
+        for node in range(1, figure1_doc.size):
+            parent_groups.setdefault(group_of[node], set()).add(
+                group_of[figure1_doc.parent(node)]
+            )
+        assert all(len(groups) == 1 for groups in parent_groups.values())
+
+    def test_same_label_same_depth_context(self):
+        # Two 'b' nodes with different parent labels must split.
+        doc = LabeledTree.from_nested(("r", [("a", ["b"]), ("c", ["b"])]))
+        group_of = backward_stable_partition(doc, 10**9)
+        b_nodes = [n for n in range(doc.size) if doc.label(n) == "b"]
+        assert group_of[b_nodes[0]] != group_of[b_nodes[1]]
+
+    def test_budget_limits_refinement(self, small_nasa):
+        tight = backward_stable_partition(small_nasa, 512)
+        loose = backward_stable_partition(small_nasa, 10**9)
+        assert len(set(tight)) <= len(set(loose))
+
+    def test_labels_never_merge(self, figure1_doc):
+        group_of = backward_stable_partition(figure1_doc, 10**9)
+        by_group: dict[int, set] = {}
+        for node, group in enumerate(group_of):
+            by_group.setdefault(group, set()).add(figure1_doc.label(node))
+        assert all(len(labels) == 1 for labels in by_group.values())
+
+
+class TestXSketchEstimation:
+    def test_exact_on_backward_stable_paths(self, figure1_doc):
+        sketch = XSketch.build(figure1_doc, 10**9)
+        for labels in (
+            ["computer", "laptops", "laptop"],
+            ["laptop", "brand"],
+            ["computer", "laptops", "laptop", "price"],
+        ):
+            query = TwigQuery.path(labels)
+            assert sketch.estimate(query) == pytest.approx(
+                count_matches(query.tree, figure1_doc)
+            ), labels
+
+    def test_absent_structure_zero(self, figure1_doc):
+        sketch = XSketch.build(figure1_doc, 10**9)
+        assert sketch.estimate(TwigQuery.parse("laptops(price)")) == 0.0
+
+    def test_name_distinguishes_baselines(self, figure1_doc):
+        assert XSketch.build(figure1_doc, 4096).name == "XSketch"
+
+    def test_skew_failure_mode_shared(self, skew_doc):
+        # Under a tight budget XSketch averages fan-outs like its
+        # successor and overestimates branching twigs the same way.
+        sketch = XSketch.build(skew_doc, budget_bytes=64)
+        query = TwigQuery.parse("a(b,b)")
+        true = count_matches(query.tree, skew_doc)
+        assert sketch.estimate(query) > true
+
+    def test_construction_time_recorded(self, figure1_doc):
+        assert XSketch.build(figure1_doc, 4096).construction_seconds > 0
+
+    def test_accuracy_on_dataset_reasonable(self, small_psd):
+        sketch = XSketch.build(small_psd, 16 * 1024)
+        query = TwigQuery.parse("ProteinEntry(header,organism)")
+        true = count_matches(query.tree, small_psd)
+        assert sketch.estimate(query) == pytest.approx(true, rel=0.5)
