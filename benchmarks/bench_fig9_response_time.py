@@ -10,11 +10,22 @@ Shapes to reproduce:
 * voting degrades with query size (combinatorial growth in the number
   of decompositions considered) yet stays competitive;
 * the graph-synopsis comparator pays for traversing vertex fan-out.
+
+A companion ``fig9_observability_*`` report captures lattice hit rate
+and mean recursion depth per (estimator, size) so the latency shapes
+are explained by measured decomposition work, not just asserted.
 """
 
 from conftest import FIGURE_SIZES, PER_LEVEL
 
-from repro.bench import PAPER_DATASETS, emit_report, format_table, prepare_dataset
+from repro.bench import (
+    OBS_HEADERS,
+    PAPER_DATASETS,
+    emit_report,
+    format_table,
+    obs_cells,
+    prepare_dataset,
+)
 from repro.workload import evaluate_estimator
 
 
@@ -26,12 +37,21 @@ def test_fig9_response_time_all_datasets(benchmark):
         estimators = bundle.estimators()
         per_dataset: dict[tuple[str, int], float] = {}
         rows = []
+        obs_rows: list[list[object]] = []
         for size in FIGURE_SIZES:
             row: list[object] = [size]
             for estimator in estimators:
                 evaluation = evaluate_estimator(estimator, workloads[size])
                 per_dataset[(estimator.name, size)] = evaluation.average_response_ms
                 row.append(f"{evaluation.average_response_ms:.3f}")
+                # Separate captured pass: instrumentation overhead must
+                # not contaminate the latency numbers above.
+                captured = evaluate_estimator(
+                    estimator, workloads[size], capture_metrics=True
+                )
+                obs_rows.append(
+                    [size, estimator.name] + obs_cells(captured.metrics)
+                )
             rows.append(row)
         latency[name] = per_dataset
         emit_report(
@@ -40,6 +60,21 @@ def test_fig9_response_time_all_datasets(benchmark):
                 f"Figure 9 ({name}): average response time per query (ms)",
                 ["size"] + [e.name for e in estimators],
                 rows,
+            ),
+        )
+        emit_report(
+            f"fig9_observability_{name}",
+            format_table(
+                f"Figure 9 ({name}): lattice hit rate and recursion depth",
+                ["size", "estimator"] + OBS_HEADERS,
+                obs_rows,
+                note=(
+                    "hit% = summary lookups answered directly; depth = mean "
+                    "deepest decomposition level per query; est ms = mean "
+                    "instrumented estimate time.  Falling hit rates and "
+                    "deeper recursion explain the response-time growth in "
+                    "the table above."
+                ),
             ),
         )
 

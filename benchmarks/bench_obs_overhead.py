@@ -1,0 +1,141 @@
+"""Observability overhead — instrumented-but-disabled must be free.
+
+The instrumentation contract (``repro/obs/__init__.py``) is that every
+hot-path touch point is guarded by the module-level ``obs.enabled``
+flag, so the disabled pipeline pays one boolean check per site and no
+allocations.  This micro-benchmark holds the contract to its <5% budget:
+
+* ``baseline`` — a local, uninstrumented copy of the seed voting
+  estimator recursion (exactly the pre-observability code);
+* ``disabled`` — the shipped instrumented estimator with observability
+  off (the production default);
+* ``enabled`` — the same estimator inside a capture window, for scale.
+
+Timings take the best of several repetitions (min is the standard
+noise-robust statistic for micro-benchmarks), and the bit-identity of
+the three estimate streams is asserted alongside the overhead bound.
+"""
+
+import time
+
+from conftest import PER_LEVEL
+
+from repro import obs
+from repro.bench import emit_report, format_table, prepare_dataset
+from repro.core.decompose import leaf_pair_decompositions
+from repro.core.recursive import RecursiveDecompositionEstimator
+from repro.trees.canonical import canon
+
+REPEATS = 5
+OVERHEAD_BUDGET = 0.05
+
+
+class _SeedVotingEstimator:
+    """The seed repository's voting recursion, free of instrumentation."""
+
+    def __init__(self, lattice):
+        self.lattice = lattice
+
+    def estimate(self, query) -> float:
+        return self._estimate(query, {})
+
+    def _estimate(self, tree, memo) -> float:
+        key = canon(tree)
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+        value = self._lookup(key, tree.size)
+        if value is None:
+            value = self._decompose(tree, memo)
+        memo[key] = value
+        return value
+
+    def _lookup(self, key, size):
+        if size > self.lattice.level:
+            return None
+        stored = self.lattice.get(key)
+        if stored is not None:
+            return float(stored)
+        if self.lattice.is_complete_at(size):
+            return 0.0
+        if size < 3:
+            return 0.0
+        return None
+
+    def _decompose(self, tree, memo) -> float:
+        total = 0.0
+        count = 0
+        for split in leaf_pair_decompositions(tree):
+            denominator = self._estimate(split.common, memo)
+            if denominator <= 0.0:
+                estimate = 0.0
+            else:
+                estimate = (
+                    self._estimate(split.t1, memo)
+                    * self._estimate(split.t2, memo)
+                    / denominator
+                )
+            total += estimate
+            count += 1
+        return total / count if count else 0.0
+
+
+def _best_run_seconds(estimate, queries) -> tuple[float, list[float]]:
+    """Best-of-REPEATS wall time and the estimate stream it produced."""
+    best = float("inf")
+    values: list[float] = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        values = [estimate(query.tree) for query in queries]
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, values
+
+
+def test_disabled_observability_overhead_under_budget():
+    bundle = prepare_dataset("nasa")
+    workload = bundle.positive([7, 8], PER_LEVEL)
+    queries = workload[7].queries + workload[8].queries
+
+    assert not obs.enabled, "observability must default to off"
+    baseline = _SeedVotingEstimator(bundle.lattice)
+    instrumented = RecursiveDecompositionEstimator(bundle.lattice, voting=True)
+
+    # Interleave-independent measurements; min-of-N absorbs scheduler noise.
+    baseline_s, baseline_values = _best_run_seconds(baseline.estimate, queries)
+    disabled_s, disabled_values = _best_run_seconds(instrumented.estimate, queries)
+
+    with obs.observed():
+        enabled_s, enabled_values = _best_run_seconds(
+            instrumented.estimate, queries
+        )
+
+    # Observability never changes a single bit of any estimate.
+    assert disabled_values == baseline_values
+    assert enabled_values == baseline_values
+
+    overhead = disabled_s / baseline_s - 1.0
+    emit_report(
+        "obs_overhead",
+        format_table(
+            "Observability overhead (voting estimator, nasa size 7-8)",
+            ["mode", "seconds", "vs seed"],
+            [
+                ["seed (uninstrumented)", f"{baseline_s:.4f}", "1.00x"],
+                ["instrumented, disabled", f"{disabled_s:.4f}",
+                 f"{disabled_s / baseline_s:.2f}x"],
+                ["instrumented, enabled", f"{enabled_s:.4f}",
+                 f"{enabled_s / baseline_s:.2f}x"],
+            ],
+            note=(
+                f"disabled-mode overhead {overhead * 100:+.1f}% "
+                f"(budget {OVERHEAD_BUDGET * 100:.0f}%); "
+                f"{len(queries)} queries, best of {REPEATS} runs"
+            ),
+        ),
+    )
+    assert overhead < OVERHEAD_BUDGET, (
+        f"disabled observability costs {overhead * 100:.1f}% "
+        f"(budget {OVERHEAD_BUDGET * 100:.0f}%)"
+    )

@@ -25,6 +25,7 @@ See README.md for the architecture overview and DESIGN.md for the paper
 mapping.
 """
 
+from . import obs
 from .baselines import CorrelatedPathTree, MarkovTable, PathTree, TreeSketch, XSketch
 from .core import (
     ErrorProfile,
@@ -93,6 +94,8 @@ from .workload import (
 __version__ = "1.0.0"
 
 __all__ = [
+    # observability
+    "obs",
     # trees
     "LabeledTree",
     "TreeBuildError",

@@ -6,7 +6,7 @@ from .harness import (
     prepare_dataset,
     sketch_budget_for,
 )
-from .reporting import emit_report, format_table, report_dir
+from .reporting import OBS_HEADERS, emit_report, format_table, obs_cells, report_dir
 
 __all__ = [
     "PAPER_DATASETS",
@@ -16,4 +16,6 @@ __all__ = [
     "emit_report",
     "format_table",
     "report_dir",
+    "OBS_HEADERS",
+    "obs_cells",
 ]

@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..baselines.treesketch import TreeSketch
 from ..core.fixed import FixedDecompositionEstimator
 from ..core.lattice import LatticeSummary
@@ -58,6 +59,9 @@ class DatasetBundle:
     lattice_seconds: float
     sketch_seconds: float
     seed: int = 0
+    #: Observability snapshot of the lattice construction (per-level
+    #: mining counters/timings); ``{}`` for bundles built before capture.
+    build_metrics: dict = field(default_factory=dict)
     _positive: dict[tuple, dict[int, QueryWorkload]] = field(default_factory=dict)
     _negative: dict[tuple, QueryWorkload] = field(default_factory=dict)
 
@@ -75,6 +79,23 @@ class DatasetBundle:
         if include_sketch:
             out.append(self.sketch)
         return out
+
+    def mining_level_rows(self) -> list[list[object]]:
+        """``[size, candidates, kept, seconds]`` rows from build metrics."""
+        candidates = self.build_metrics.get("mining_candidates_total", {})
+        kept = self.build_metrics.get("mining_patterns_kept_total", {})
+        seconds = self.build_metrics.get("mining_level_seconds", {})
+        rows = []
+        for size in sorted(candidates, key=int):
+            rows.append(
+                [
+                    int(size),
+                    candidates.get(size, 0),
+                    kept.get(size, 0),
+                    seconds.get(size, 0.0),
+                ]
+            )
+        return rows
 
     # ------------------------------------------------------------------
     # Workloads (cached)
@@ -116,6 +137,14 @@ class DatasetBundle:
         return cached
 
 
+def _samples_by_size(registry: obs.MetricsRegistry, name: str) -> dict[str, float]:
+    """Flatten a ``size``-labelled metric to ``{size: value}``."""
+    metric = registry.get(name)
+    if metric is None:
+        return {}
+    return {labels["size"]: value for labels, value in metric.samples()}
+
+
 _BUNDLES: dict[tuple, DatasetBundle] = {}
 
 
@@ -145,8 +174,17 @@ def prepare_dataset(
     index = DocumentIndex(document)
 
     start = time.perf_counter()
-    lattice = LatticeSummary.build(index, level)
+    with obs.observed() as (registry, _):
+        lattice = LatticeSummary.build(index, level)
     lattice_seconds = time.perf_counter() - start
+    build_metrics = {
+        metric: _samples_by_size(registry, metric)
+        for metric in (
+            "mining_candidates_total",
+            "mining_patterns_kept_total",
+            "mining_level_seconds",
+        )
+    }
 
     budget = sketch_budget if sketch_budget is not None else sketch_budget_for(document)
     start = time.perf_counter()
@@ -164,6 +202,7 @@ def prepare_dataset(
         lattice_seconds=lattice_seconds,
         sketch_seconds=sketch_seconds,
         seed=seed,
+        build_metrics=build_metrics,
     )
     if use_cache:
         _BUNDLES[key] = bundle

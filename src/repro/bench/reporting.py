@@ -12,7 +12,38 @@ from __future__ import annotations
 import os
 from pathlib import Path
 
-__all__ = ["format_table", "emit_report", "report_dir"]
+__all__ = [
+    "format_table",
+    "emit_report",
+    "report_dir",
+    "OBS_HEADERS",
+    "obs_cells",
+]
+
+#: Column headers matching :func:`obs_cells` — appended to benchmark
+#: tables whose evaluations captured observability metrics.
+OBS_HEADERS = ["hit%", "depth", "est ms"]
+
+
+def obs_cells(metrics: dict | None) -> list[object]:
+    """Table cells for one captured evaluation (``-`` when not captured).
+
+    ``metrics`` is the dict produced by
+    :func:`repro.obs.summarize_estimation` (stored on
+    ``EstimatorEvaluation.metrics``); the cells line up with
+    :data:`OBS_HEADERS`.
+    """
+    if not metrics:
+        return ["-", "-", "-"]
+    calls = metrics.get("estimate_calls", 0)
+    per_query_ms = (
+        metrics["estimate_seconds"] / calls * 1000.0 if calls else 0.0
+    )
+    return [
+        f"{metrics['lattice_hit_rate'] * 100:.1f}",
+        f"{metrics['mean_recursion_depth']:.2f}",
+        f"{per_query_ms:.3f}",
+    ]
 
 
 def format_table(

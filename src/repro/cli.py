@@ -8,7 +8,15 @@ Subcommands mirror the deployment workflow:
 * ``explain`` — show the full decomposition trace of an estimate;
 * ``exact`` — exact match count straight off the document (ground truth);
 * ``mine`` — report occurring-pattern counts per level (Table 2 style);
+* ``stats`` — summary structure plus live estimation metrics;
 * ``dataset`` — generate one of the paper's synthetic stand-in corpora.
+
+``summarize`` and ``estimate`` accept ``--metrics-json PATH`` and
+``--trace PATH`` to capture the run's metrics registry and structured
+estimation trace (see ``docs/observability.md``).
+
+Exit codes: 0 success; 2 usage errors (unparseable query, missing or
+corrupt summary file); 1 any other handled failure.
 
 Run ``python -m repro <subcommand> --help`` for the flags of each.
 """
@@ -16,9 +24,11 @@ Run ``python -m repro <subcommand> --help`` for the flags of each.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
+from . import obs
 from .core.explain import explain as explain_query
 from .core.fixed import FixedDecompositionEstimator
 from .core.lattice import LatticeSummary
@@ -29,9 +39,28 @@ from .datasets import DATASET_GENERATORS, generate_dataset
 from .mining.freqt import pattern_counts_by_level
 from .trees.matching import count_matches
 from .trees.serialize import tree_from_xml_file, tree_to_xml_file
-from .trees.twig import TwigQuery
+from .trees.twig import TwigParseError, TwigQuery
 
 __all__ = ["main", "build_parser"]
+
+
+class CliUsageError(Exception):
+    """Bad input the user can fix (exit status 2): unparseable query,
+    missing or corrupt summary file."""
+
+
+def _parse_query(text: str) -> TwigQuery:
+    try:
+        return TwigQuery.parse(text)
+    except TwigParseError as exc:
+        raise CliUsageError(f"cannot parse query {text!r}: {exc}") from exc
+
+
+def _load_summary(path: str) -> LatticeSummary:
+    try:
+        return LatticeSummary.load(path)
+    except (OSError, ValueError) as exc:
+        raise CliUsageError(f"cannot load summary {path!r}: {exc}") from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--attributes", action="store_true", help="model attributes as child nodes"
     )
+    _add_observability_flags(p)
     p.set_defaults(handler=_cmd_summarize)
 
     p = sub.add_parser("estimate", help="estimate a twig query from a summary")
@@ -66,7 +96,28 @@ def build_parser() -> argparse.ArgumentParser:
         default="voting",
         help="estimation scheme (default: recursive + voting)",
     )
+    _add_observability_flags(p)
     p.set_defaults(handler=_cmd_estimate)
+
+    p = sub.add_parser(
+        "stats", help="summary structure plus live estimation metrics"
+    )
+    p.add_argument("summary", help="summary file written by 'summarize'")
+    p.add_argument(
+        "queries", nargs="*", help="twig queries to estimate while measuring"
+    )
+    p.add_argument(
+        "--estimator",
+        choices=("recursive", "voting", "fixed", "markov"),
+        default="voting",
+    )
+    p.add_argument(
+        "--format",
+        choices=("table", "json", "prometheus"),
+        default="table",
+        help="metrics output format (default: table)",
+    )
+    p.set_defaults(handler=_cmd_stats)
 
     p = sub.add_parser("explain", help="show the decomposition trace of an estimate")
     p.add_argument("summary", help="summary file written by 'summarize'")
@@ -129,12 +180,48 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="capture the run's metrics registry as JSON",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="capture the structured estimation trace as JSONL",
+    )
+
+
+def _run_observed(args, body) -> int:
+    """Run ``body`` under a capture window when either flag was given."""
+    metrics_path = getattr(args, "metrics_json", None)
+    trace_path = getattr(args, "trace", None)
+    if not metrics_path and not trace_path:
+        return body()
+    with obs.observed(trace=bool(trace_path)) as (registry, tracer):
+        code = body()
+    if metrics_path:
+        obs.write_metrics_json(registry, metrics_path)
+        print(f"metrics written to {metrics_path}")
+    if trace_path:
+        tracer.write(trace_path)
+        print(f"trace written to {trace_path} ({len(tracer)} events)")
+    return code
+
+
 # ----------------------------------------------------------------------
 # Handlers
 # ----------------------------------------------------------------------
 
 
 def _cmd_summarize(args) -> int:
+    return _run_observed(args, lambda: _do_summarize(args))
+
+
+def _do_summarize(args) -> int:
     start = time.perf_counter()
     document = tree_from_xml_file(args.xml, include_attributes=args.attributes)
     parse_seconds = time.perf_counter() - start
@@ -168,8 +255,12 @@ def _estimator_for(name: str, summary: LatticeSummary):
 
 
 def _cmd_estimate(args) -> int:
-    summary = LatticeSummary.load(args.summary)
-    query = TwigQuery.parse(args.query)
+    return _run_observed(args, lambda: _do_estimate(args))
+
+
+def _do_estimate(args) -> int:
+    summary = _load_summary(args.summary)
+    query = _parse_query(args.query)
     estimator = _estimator_for(args.estimator, summary)
     start = time.perf_counter()
     estimate = estimator.estimate(query)
@@ -182,8 +273,8 @@ def _cmd_estimate(args) -> int:
 
 
 def _cmd_explain(args) -> int:
-    summary = LatticeSummary.load(args.summary)
-    trace = explain_query(summary, args.query, voting=args.voting)
+    summary = _load_summary(args.summary)
+    trace = explain_query(summary, _parse_query(args.query), voting=args.voting)
     print(trace.render())
     print()
     print(f"estimate: {trace.estimate:.4f} from {len(trace.lookups())} summary lookups")
@@ -192,7 +283,7 @@ def _cmd_explain(args) -> int:
 
 def _cmd_exact(args) -> int:
     document = tree_from_xml_file(args.xml, include_attributes=args.attributes)
-    query = TwigQuery.parse(args.query)
+    query = _parse_query(args.query)
     start = time.perf_counter()
     count = count_matches(query.tree, document)
     elapsed_ms = (time.perf_counter() - start) * 1000
@@ -208,6 +299,54 @@ def _cmd_mine(args) -> int:
     print("level  patterns")
     for level, count in counts.items():
         print(f"{level:>5}  {count}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    summary = _load_summary(args.summary)
+    queries = [_parse_query(text) for text in args.queries]
+
+    print(f"summary   : {args.summary}")
+    print(f"level     : {summary.level}")
+    print(f"patterns  : {summary.num_patterns}  ({summary.byte_size()} bytes)")
+    complete = ",".join(map(str, sorted(summary.complete_sizes))) or "-"
+    print(f"complete  : {complete}")
+    print("level  patterns")
+    for size, count in summary.level_sizes().items():
+        print(f"{size:>5}  {count}")
+    if not queries:
+        return 0
+
+    estimator = _estimator_for(args.estimator, summary)
+    with obs.observed() as (registry, _):
+        print()
+        for query, text in zip(queries, args.queries):
+            print(f"{text} ~= {estimator.estimate(query):.2f}")
+    print()
+    if args.format == "json":
+        print(json.dumps(obs.registry_to_dict(registry), indent=2, sort_keys=True))
+    elif args.format == "prometheus":
+        print(obs.to_prometheus_text(registry), end="")
+    else:
+        stats = obs.summarize_estimation(registry)
+        print("estimation metrics")
+        print(f"  lattice lookups : {stats['lattice_lookups']:.0f}")
+        print(
+            f"  hit rate        : {stats['lattice_hit_rate']:.1%}"
+            f"  (hits {stats['lattice_hits']:.0f}, "
+            f"certified zeros {stats['lattice_complete_zeros']:.0f}, "
+            f"pruned misses {stats['lattice_pruned_misses']:.0f})"
+        )
+        print(f"  memo hit rate   : {stats['memo_hit_rate']:.1%}")
+        print(f"  decompositions  : {stats['decompose_steps']:.0f}")
+        print(
+            f"  recursion depth : mean {stats['mean_recursion_depth']:.2f}, "
+            f"max {stats['max_recursion_depth']:.0f}"
+        )
+        print(
+            f"  estimate time   : {stats['estimate_seconds'] * 1000:.3f}ms over "
+            f"{stats['estimate_calls']} queries"
+        )
     return 0
 
 
@@ -276,6 +415,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except CliUsageError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except (ValueError, KeyError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

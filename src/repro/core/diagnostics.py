@@ -28,6 +28,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from .. import obs
 from ..trees.canonical import canon_size
 from .estimator import coerce_query_tree
 from .lattice import LatticeSummary
@@ -91,6 +92,28 @@ class ErrorProfile:
         else:  # degenerate summary: no size >= 3 patterns to calibrate on
             self.low_ratio = 1.0
             self.high_ratio = 1.0
+            if obs.enabled:
+                obs.registry.counter(
+                    "error_profile_uncalibrated_total",
+                    "ErrorProfiles built without calibration samples; their "
+                    "[1.0, 1.0] bands carry no coverage guarantee.",
+                ).inc()
+                obs.event(
+                    "error_profile_uncalibrated",
+                    level=lattice.level,
+                    patterns=lattice.num_patterns,
+                )
+
+    @property
+    def calibrated(self) -> bool:
+        """False when no size >= 3 pattern existed to calibrate on.
+
+        An uncalibrated profile degenerates to the ``[1.0, 1.0]`` band:
+        every prediction collapses to its point estimate and
+        :meth:`EstimateInterval.contains` tells you nothing.  Check this
+        before trusting interval coverage.
+        """
+        return bool(self.ratios)
 
     def _calibrate(self) -> list[float]:
         """Observed one-step ratios on every stored pattern of size >= 3.

@@ -15,11 +15,13 @@ scheme's maximal ones.
 
 from __future__ import annotations
 
+from .. import obs
+from ..trees.canonical import canon
 from ..trees.labeled_tree import LabeledTree
 from .decompose import fixed_cover
 from .estimator import SelectivityEstimator
 from .lattice import LatticeSummary
-from .recursive import RecursiveDecompositionEstimator
+from .recursive import RecursiveDecompositionEstimator, _record_lookup
 
 __all__ = ["FixedDecompositionEstimator"]
 
@@ -52,28 +54,60 @@ class FixedDecompositionEstimator(SelectivityEstimator):
         self._fallback = RecursiveDecompositionEstimator(lattice)
 
     def _estimate_tree(self, tree: LabeledTree) -> float:
+        if not obs.enabled:
+            return self._cover_estimate(tree)
+        with obs.registry.timer(
+            "estimate_seconds", "Per-query estimation wall time."
+        ).time():
+            return self._cover_estimate(tree)
+
+    def _cover_estimate(self, tree: LabeledTree) -> float:
         if tree.size <= self.block_size:
             return self._pattern_count(tree)
         numerator = 1.0
         denominator = 1.0
+        blocks = 0
         for piece in fixed_cover(tree, self.block_size):
+            blocks += 1
             block_count = self._pattern_count(piece.block)
             if block_count <= 0.0:
+                self._record_cover(tree, blocks)
                 return 0.0
             numerator *= block_count
             if piece.overlap is not None:
+                if obs.enabled:
+                    obs.registry.counter(
+                        "fixed_overlap_lookups_total",
+                        "Overlap-subtree counts read by the fix-sized cover.",
+                    ).inc()
                 overlap_count = self._pattern_count(piece.overlap)
                 if overlap_count <= 0.0:
+                    self._record_cover(tree, blocks)
                     return 0.0
                 denominator *= overlap_count
+        self._record_cover(tree, blocks)
         return numerator / denominator
+
+    @staticmethod
+    def _record_cover(tree: LabeledTree, blocks: int) -> None:
+        if obs.enabled:
+            obs.registry.histogram(
+                "fixed_cover_blocks", "Covering blocks per fix-sized estimate."
+            ).observe(blocks)
+            obs.event("fixed_cover", size=tree.size, blocks=blocks)
 
     def _pattern_count(self, pattern: LabeledTree) -> float:
         stored = self.lattice.get(pattern)
         if stored is not None:
+            if obs.enabled:
+                _record_lookup("hit", canon(pattern), pattern.size)
             return float(stored)
         if self.lattice.is_complete_at(pattern.size):
+            if obs.enabled:
+                _record_lookup("complete_zero", canon(pattern), pattern.size)
             return 0.0
+        if obs.enabled:
+            _record_lookup("pruned_miss", canon(pattern), pattern.size)
         return self._fallback.estimate(pattern)
 
     def __repr__(self) -> str:

@@ -30,6 +30,9 @@ the cost when records are small relative to the document.
 
 from __future__ import annotations
 
+import time
+
+from .. import obs
 from ..mining.freqt import mine_lattice
 from ..trees.canonical import Canon, canon, canon_to_tree
 from ..trees.labeled_tree import LabeledTree, TreeBuildError
@@ -97,6 +100,7 @@ class IncrementalLattice:
         """
         if record.size < 1:
             raise TreeBuildError("cannot append an empty record")
+        started = time.perf_counter()
 
         # Class 3, before-side.
         before = self._root_anchored_counts()
@@ -110,10 +114,40 @@ class IncrementalLattice:
 
         # Class 3: spanning matches = delta of root-anchored counts.
         after = self._root_anchored_counts()
+        touched = 0
         for pattern in after.keys() | before.keys():
             delta = after.get(pattern, 0) - before.get(pattern, 0)
             if delta:
+                touched += 1
                 self._counts[pattern] = self._counts.get(pattern, 0) + delta
+        if obs.enabled:
+            self._record_append(record.size, touched, started)
+
+    def _record_append(self, record_size: int, spanning: int, started: float) -> None:
+        elapsed = time.perf_counter() - started
+        obs.registry.counter(
+            "incremental_appends_total", "Records appended since process start."
+        ).inc()
+        obs.registry.histogram(
+            "incremental_record_size", "Node counts of appended records."
+        ).observe(record_size)
+        obs.registry.histogram(
+            "incremental_spanning_updates",
+            "Root-anchored patterns whose counts changed per append.",
+        ).observe(spanning)
+        obs.registry.timer(
+            "incremental_append_seconds", "Wall time per incremental append."
+        ).observe(elapsed)
+        obs.registry.gauge(
+            "incremental_document_nodes", "Document size after the last append."
+        ).set(self._document.size)
+        obs.event(
+            "incremental_append",
+            record_size=record_size,
+            spanning_updates=spanning,
+            document_nodes=self._document.size,
+            seconds=round(elapsed, 6),
+        )
 
     def _root_anchored_counts(self) -> dict[Canon, int]:
         """Counts of every lattice-sized pattern *anchored at the root*.

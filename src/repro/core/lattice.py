@@ -18,6 +18,7 @@ import time
 from pathlib import Path
 from typing import Iterable, Iterator
 
+from .. import obs
 from ..mining.freqt import MiningResult, mine_lattice
 from ..trees.canonical import (
     Canon,
@@ -70,7 +71,18 @@ class LatticeSummary:
         start = time.perf_counter()
         mined = mine_lattice(document, level)
         elapsed = time.perf_counter() - start
-        return cls.from_mining(mined, construction_seconds=elapsed)
+        summary = cls.from_mining(mined, construction_seconds=elapsed)
+        if obs.enabled:
+            obs.registry.timer(
+                "lattice_build_seconds", "Full summary construction wall time."
+            ).observe(elapsed)
+            obs.event(
+                "lattice_build",
+                level=level,
+                patterns=summary.num_patterns,
+                seconds=round(elapsed, 6),
+            )
+        return summary
 
     @classmethod
     def from_mining(
@@ -104,7 +116,14 @@ class LatticeSummary:
         depends on :meth:`is_complete_at` for the pattern's size.
         """
         key = self._to_canon(pattern)
-        return self._counts.get(key)
+        got = self._counts.get(key)
+        if obs.enabled:
+            obs.registry.counter(
+                "lattice_gets_total",
+                "Raw hash-table probes against the summary.",
+                labels=("stored",),
+            ).inc(stored="yes" if got is not None else "no")
+        return got
 
     def count(self, pattern: Canon | LabeledTree | TwigQuery) -> int:
         """Count of ``pattern``; a miss at a complete level is 0.

@@ -15,9 +15,25 @@ ablation benchmarks; it rejects branching queries by design.
 
 from __future__ import annotations
 
+from .. import obs
 from ..trees.labeled_tree import LabeledTree
 from .estimator import SelectivityEstimator
 from .lattice import LatticeSummary
+
+
+def _record_gram(outcome: str, labels: list[str]) -> None:
+    """Metrics + trace for one m-gram lookup (only called when enabled)."""
+    obs.registry.counter(
+        "markov_gram_lookups_total",
+        "Markov m-gram path lookups by outcome.",
+        labels=("outcome",),
+    ).inc(outcome=outcome)
+    obs.event(
+        "markov_gram_lookup",
+        outcome=outcome,
+        path="/".join(labels),
+        length=len(labels),
+    )
 
 __all__ = ["MarkovPathEstimator"]
 
@@ -47,6 +63,14 @@ class MarkovPathEstimator(SelectivityEstimator):
         self.order = order
 
     def _estimate_tree(self, tree: LabeledTree) -> float:
+        if not obs.enabled:
+            return self._path_estimate(tree)
+        with obs.registry.timer(
+            "estimate_seconds", "Per-query estimation wall time."
+        ).time():
+            return self._path_estimate(tree)
+
+    def _path_estimate(self, tree: LabeledTree) -> float:
         labels = self._path_labels(tree)
         m = self.order
         if len(labels) <= m:
@@ -80,9 +104,15 @@ class MarkovPathEstimator(SelectivityEstimator):
     def _path_count(self, labels: list[str]) -> int:
         stored = self.lattice.get(LabeledTree.path(labels))
         if stored is not None:
+            if obs.enabled:
+                _record_gram("hit", labels)
             return stored
         if self.lattice.is_complete_at(len(labels)):
+            if obs.enabled:
+                _record_gram("complete_zero", labels)
             return 0
+        if obs.enabled:
+            _record_gram("pruned_miss", labels)
         raise KeyError(
             f"path {'/'.join(labels)} pruned from an incomplete lattice level; "
             "Markov estimation needs the full path statistics"

@@ -23,6 +23,7 @@ workload can guide what is to be maintained in the summary structure."
 
 from __future__ import annotations
 
+from .. import obs
 from ..mining.freqt import mine_lattice
 from ..trees.canonical import Canon, canon_size, encode_canon
 from ..trees.labeled_tree import LabeledTree
@@ -94,6 +95,8 @@ class WorkloadAwareLattice(SelectivityEstimator):
         if tree.size > self.level or tree.size <= 2:
             # Too large to store; too small to need storing.
             self.observations += 1
+            if obs.enabled:
+                self._record_observation(tree.size, stored=False)
             return False
         from ..trees.canonical import canon
 
@@ -103,7 +106,33 @@ class WorkloadAwareLattice(SelectivityEstimator):
         self._hits[key] = self._hits.get(key, 0.0) + 1.0
         self._view = None
         self._enforce_budget()
+        if obs.enabled:
+            self._record_observation(tree.size, stored=True)
         return True
+
+    def _record_observation(self, size: int, *, stored: bool) -> None:
+        obs.registry.counter(
+            "online_observations_total",
+            "Query feedback observations by storage outcome.",
+            labels=("stored",),
+        ).inc(stored="yes" if stored else "no")
+        obs.registry.histogram(
+            "online_observed_pattern_size",
+            "Pattern sizes arriving via query feedback.",
+        ).observe(size)
+        obs.registry.gauge(
+            "online_learned_patterns", "Patterns currently learned from feedback."
+        ).set(len(self._learned))
+        obs.registry.gauge(
+            "online_bytes", "Bytes held by the workload-aware store."
+        ).set(self.byte_size())
+        obs.event(
+            "online_observe",
+            size=size,
+            stored=stored,
+            learned=len(self._learned),
+            evictions=self.evictions,
+        )
 
     def _enforce_budget(self) -> None:
         while (
@@ -120,6 +149,11 @@ class WorkloadAwareLattice(SelectivityEstimator):
             del self._learned[victim]
             self._hits.pop(victim, None)
             self.evictions += 1
+            if obs.enabled:
+                obs.registry.counter(
+                    "online_evictions_total",
+                    "Learned patterns evicted to stay under budget.",
+                ).inc()
             for key in self._hits:
                 self._hits[key] *= 0.5
             self._view = None

@@ -15,7 +15,8 @@ misses the true count by more than ``δ``.
 
 from __future__ import annotations
 
-from ..trees.canonical import Canon, canon_size
+from .. import obs
+from ..trees.canonical import Canon, canon_size, encode_canon
 from .lattice import LatticeSummary
 from .recursive import RecursiveDecompositionEstimator
 
@@ -57,9 +58,31 @@ def prune_derivable(
             true_count = lattice.get(pattern)
             estimate = estimator.estimate(pattern)
             error = abs(true_count - estimate) / true_count
-            if error > delta + _FLOAT_SLACK:
+            derivable = error <= delta + _FLOAT_SLACK
+            if not derivable:
                 kept[pattern] = true_count
+            if obs.enabled:
+                _record_decision(pattern, size, derivable, error)
     return lattice.replace_counts(kept, complete_sizes=(1, 2))
+
+
+def _record_decision(
+    pattern: Canon, size: int, derivable: bool, error: float
+) -> None:
+    """Metrics + trace for one keep/drop verdict (only when enabled)."""
+    decision = "dropped" if derivable else "kept"
+    obs.registry.counter(
+        "prune_decisions_total",
+        "δ-derivability verdicts per level.",
+        labels=("size", "decision"),
+    ).inc(size=size, decision=decision)
+    obs.event(
+        "prune_decision",
+        pattern=encode_canon(pattern),
+        size=size,
+        decision=decision,
+        error=round(error, 9),
+    )
 
 
 class PruningReport:

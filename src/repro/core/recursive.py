@@ -20,13 +20,26 @@ recursion depth.
 
 from __future__ import annotations
 
-from ..trees.canonical import Canon, canon
+from .. import obs
+from ..trees.canonical import Canon, canon, encode_canon
 from ..trees.labeled_tree import LabeledTree
 from .decompose import leaf_pair_decompositions
 from .estimator import SelectivityEstimator
 from .lattice import LatticeSummary
 
 __all__ = ["RecursiveDecompositionEstimator"]
+
+
+def _record_lookup(outcome: str, key: Canon, size: int) -> None:
+    """Metrics + trace for one summary lookup (only called when enabled)."""
+    obs.registry.counter(
+        "lattice_lookups_total",
+        "Summary lookups by outcome (hit / complete_zero / pruned_miss).",
+        labels=("outcome",),
+    ).inc(outcome=outcome)
+    obs.event(
+        "lattice_lookup", outcome=outcome, pattern=encode_canon(key), size=size
+    )
 
 
 class RecursiveDecompositionEstimator(SelectivityEstimator):
@@ -48,21 +61,46 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
         self.name = (
             "recursive-decomp + voting" if voting else "recursive-decomp"
         )
+        self._max_depth = 0
 
     def _estimate_tree(self, tree: LabeledTree) -> float:
         memo: dict[Canon, float] = {}
-        return self._estimate(tree, memo)
+        if not obs.enabled:
+            return self._estimate(tree, memo, 0)
+        self._max_depth = 0
+        with obs.registry.timer(
+            "estimate_seconds", "Per-query estimation wall time."
+        ).time():
+            value = self._estimate(tree, memo, 0)
+        obs.registry.histogram(
+            "recursion_depth", "Deepest decomposition level reached per query."
+        ).observe(self._max_depth)
+        return value
 
-    def _estimate(self, tree: LabeledTree, memo: dict[Canon, float]) -> float:
+    def _estimate(
+        self, tree: LabeledTree, memo: dict[Canon, float], depth: int
+    ) -> float:
         key = canon(tree)
         cached = memo.get(key)
         if cached is not None:
+            if obs.enabled:
+                self._record_memo("hit")
             return cached
+        if obs.enabled:
+            self._record_memo("miss")
         value = self._lookup(key, tree.size)
         if value is None:
-            value = self._decompose(tree, memo)
+            value = self._decompose(tree, memo, depth)
         memo[key] = value
         return value
+
+    @staticmethod
+    def _record_memo(outcome: str) -> None:
+        obs.registry.counter(
+            "memo_lookups_total",
+            "Per-query memo table lookups by outcome.",
+            labels=("outcome",),
+        ).inc(outcome=outcome)
 
     def _lookup(self, key: Canon, size: int) -> float | None:
         """Try the summary; ``None`` means "must decompose"."""
@@ -70,34 +108,57 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
             return None
         stored = self.lattice.get(key)
         if stored is not None:
+            if obs.enabled:
+                _record_lookup("hit", key, size)
             return float(stored)
         if self.lattice.is_complete_at(size):
             # The summary stores every occurring pattern of this size, so
             # absence certifies a true zero (the negative-workload case).
+            if obs.enabled:
+                _record_lookup("complete_zero", key, size)
             return 0.0
         if size < 3:
             # Defensive: pruned summaries always retain levels 1-2; a
             # missing 1- or 2-pattern therefore does not occur.
+            if obs.enabled:
+                _record_lookup("complete_zero", key, size)
             return 0.0
+        if obs.enabled:
+            _record_lookup("pruned_miss", key, size)
         return None  # pruned away: fall through to decomposition
 
-    def _decompose(self, tree: LabeledTree, memo: dict[Canon, float]) -> float:
+    def _decompose(
+        self, tree: LabeledTree, memo: dict[Canon, float], depth: int
+    ) -> float:
         total = 0.0
         count = 0
         for split in leaf_pair_decompositions(tree):
-            denominator = self._estimate(split.common, memo)
+            denominator = self._estimate(split.common, memo, depth + 1)
             if denominator <= 0.0:
                 estimate = 0.0
             else:
                 estimate = (
-                    self._estimate(split.t1, memo)
-                    * self._estimate(split.t2, memo)
+                    self._estimate(split.t1, memo, depth + 1)
+                    * self._estimate(split.t2, memo, depth + 1)
                     / denominator
                 )
             total += estimate
             count += 1
             if not self.voting:
                 break
+        if obs.enabled:
+            if depth + 1 > self._max_depth:
+                self._max_depth = depth + 1
+            obs.registry.counter(
+                "decompose_steps_total", "Decomposition nodes expanded."
+            ).inc()
+            obs.registry.histogram(
+                "voting_fanout",
+                "Leaf-pair decompositions averaged per expanded node.",
+            ).observe(count)
+            obs.event(
+                "decompose_step", size=tree.size, depth=depth, fanout=count
+            )
         return total / count if count else 0.0
 
     def __repr__(self) -> str:

@@ -1,0 +1,118 @@
+"""Observability runtime: the switch the instrumented hot paths check.
+
+Instrumentation across the TreeLattice pipeline follows one pattern::
+
+    from .. import obs
+    ...
+    if obs.enabled:
+        obs.registry.counter("lattice_lookups_total", labels=("outcome",)).inc(
+            outcome="hit"
+        )
+        obs.event("lattice_lookup", outcome="hit", size=size)
+
+``obs.enabled`` is a module-level boolean, so a disabled pipeline pays a
+single attribute read plus a falsy branch per instrumentation point and
+allocates nothing (benchmarked in ``benchmarks/bench_obs_overhead.py``;
+the enabled/disabled estimate-identity property is tested in
+``tests/test_obs.py``).
+
+State is process-global by design — the estimators have no request
+context to thread a registry through, and the CLI / benchmark harness
+capture windows are naturally sequential.  :func:`observed` scopes a
+capture: it enables observability with a fresh registry (and optional
+tracer), yields them, and restores the previous state on exit, so
+nested captures and library callers cannot clobber each other.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .export import (
+    parse_prometheus_text,
+    registry_to_dict,
+    summarize_estimation,
+    to_prometheus_text,
+    write_metrics_json,
+)
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+from .trace import TraceRecorder
+
+__all__ = [
+    "enabled",
+    "registry",
+    "tracer",
+    "enable",
+    "disable",
+    "event",
+    "observed",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "TraceRecorder",
+    "registry_to_dict",
+    "write_metrics_json",
+    "to_prometheus_text",
+    "parse_prometheus_text",
+    "summarize_estimation",
+]
+
+#: Master switch read by every instrumented call site.  Mutate only via
+#: :func:`enable` / :func:`disable` / :func:`observed`.
+enabled: bool = False
+
+#: The active registry.  Rebound (not mutated) by :func:`observed`, so
+#: call sites must read it through the module (``obs.registry``).
+registry: MetricsRegistry = MetricsRegistry()
+
+#: The active trace recorder, or ``None`` when tracing is off.
+tracer: TraceRecorder | None = None
+
+
+def enable(*, trace: bool = False) -> MetricsRegistry:
+    """Turn instrumentation on; optionally start a trace recorder."""
+    global enabled, tracer
+    enabled = True
+    if trace and tracer is None:
+        tracer = TraceRecorder()
+    return registry
+
+
+def disable() -> None:
+    """Turn instrumentation off (the registry keeps its contents)."""
+    global enabled, tracer
+    enabled = False
+    tracer = None
+
+
+def event(name: str, **fields) -> None:
+    """Record a trace event when a recorder is active; no-op otherwise."""
+    if tracer is not None:
+        tracer.record(name, **fields)
+
+
+@contextmanager
+def observed(*, trace: bool = False):
+    """Scoped capture window: fresh registry (and tracer), state restored.
+
+    Yields ``(registry, tracer)``; ``tracer`` is ``None`` unless
+    ``trace=True``.  On exit the previous enabled/registry/tracer state
+    comes back, so captures nest and never leak into library callers.
+    """
+    global enabled, registry, tracer
+    previous = (enabled, registry, tracer)
+    registry = MetricsRegistry()
+    tracer = TraceRecorder() if trace else None
+    enabled = True
+    try:
+        yield registry, tracer
+    finally:
+        enabled, registry, tracer = previous

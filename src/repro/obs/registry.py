@@ -1,0 +1,297 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms, timers.
+
+The registry is deliberately tiny — a dict of named metrics with
+get-or-create accessors — because it sits on the estimator hot paths.
+Instrumented call sites guard every touch with the module-level
+``repro.obs.enabled`` flag, so when observability is off the estimators
+pay one boolean check and allocate nothing.
+
+Metric families follow the Prometheus data model:
+
+* :class:`Counter` — monotonically increasing totals, optionally split
+  by a fixed tuple of label names (``lattice_lookups_total{outcome=...}``);
+* :class:`Gauge` — last-written values (``online_bytes``);
+* :class:`Histogram` — observations bucketed by *fixed* upper-bound
+  boundaries chosen at creation (``recursion_depth``), plus running
+  count/sum/min/max;
+* :class:`Timer` — a histogram of elapsed seconds fed by a re-entrant
+  ``with timer.time():`` context manager (nesting records each frame's
+  own elapsed time independently).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from bisect import bisect_left
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+]
+
+#: Upper bounds (seconds) for timer histograms: 10µs .. 30s.
+DEFAULT_TIME_BUCKETS = (
+    0.00001, 0.0001, 0.0005, 0.001, 0.005, 0.01,
+    0.05, 0.1, 0.5, 1.0, 5.0, 30.0,
+)
+
+#: Upper bounds for generic count-like histograms (depths, fan-outs, sizes).
+DEFAULT_COUNT_BUCKETS = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128)
+
+_NO_LABELS: tuple[str, ...] = ()
+
+
+class _Metric:
+    """Shared naming/label plumbing of all metric families."""
+
+    kind = "metric"
+    __slots__ = ("name", "help", "label_names")
+
+    def __init__(self, name: str, help: str = "", label_names: tuple = _NO_LABELS):
+        if not name or any(ch.isspace() for ch in name):
+            raise ValueError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+
+    def _key(self, labels: dict) -> tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[n]) for n in self.label_names)
+
+
+class Counter(_Metric):
+    """A monotonically increasing total, optionally split by labels."""
+
+    kind = "counter"
+    __slots__ = ("_values",)
+
+    def __init__(self, name: str, help: str = "", label_names: tuple = _NO_LABELS):
+        super().__init__(name, help, label_names)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    @property
+    def total(self) -> float:
+        """Sum over every label combination."""
+        return sum(self._values.values())
+
+    def samples(self) -> Iterator[tuple[dict[str, str], float]]:
+        for key, value in sorted(self._values.items()):
+            yield dict(zip(self.label_names, key)), value
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (last write wins)."""
+
+    kind = "gauge"
+    __slots__ = ("_values",)
+
+    def __init__(self, name: str, help: str = "", label_names: tuple = _NO_LABELS):
+        super().__init__(name, help, label_names)
+        self._values: dict[tuple[str, ...], float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._values[self._key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def samples(self) -> Iterator[tuple[dict[str, str], float]]:
+        for key, value in sorted(self._values.items()):
+            yield dict(zip(self.label_names, key)), value
+
+
+class Histogram(_Metric):
+    """Observations bucketed by fixed, sorted upper-bound boundaries.
+
+    ``bucket_counts[i]`` counts observations ``<= boundaries[i]`` and not
+    in any earlier bucket; the implicit final bucket catches the rest
+    (the Prometheus ``+Inf`` bucket).
+    """
+
+    kind = "histogram"
+    __slots__ = ("boundaries", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        boundaries: tuple = DEFAULT_COUNT_BUCKETS,
+    ):
+        super().__init__(name, help)
+        bounds = tuple(float(b) for b in boundaries)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("boundaries must be non-empty, sorted, distinct")
+        self.boundaries = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.boundaries, value)] += 1
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """Prometheus-style ``(le, cumulative_count)`` pairs, +Inf last."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.boundaries, self.bucket_counts):
+            running += bucket
+            out.append((bound, running))
+        out.append((math.inf, self.count))
+        return out
+
+
+class Timer(_Metric):
+    """A histogram of elapsed wall-clock seconds.
+
+    ``with timer.time(): ...`` measures one frame; each ``time()`` call
+    returns a fresh context object, so nested and concurrent frames each
+    record their own duration.
+    """
+
+    kind = "timer"
+    __slots__ = ("histogram",)
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        boundaries: tuple = DEFAULT_TIME_BUCKETS,
+    ):
+        super().__init__(name, help)
+        self.histogram = Histogram(name, help, boundaries=boundaries)
+
+    def time(self) -> "_TimerFrame":
+        return _TimerFrame(self)
+
+    def observe(self, seconds: float) -> None:
+        self.histogram.observe(seconds)
+
+    @property
+    def calls(self) -> int:
+        return self.histogram.count
+
+    @property
+    def total_seconds(self) -> float:
+        return self.histogram.sum
+
+
+class _TimerFrame:
+    """One timed region; safe to nest because state lives per-frame."""
+
+    __slots__ = ("_timer", "_start", "elapsed")
+
+    def __init__(self, timer: Timer):
+        self._timer = timer
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "_TimerFrame":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = time.perf_counter() - self._start
+        self._timer.observe(self.elapsed)
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create accessors.
+
+    Accessors are idempotent: the first call fixes the metric's family,
+    help string, labels and buckets; later calls with the same name
+    return the existing instance (and raise if the family differs, which
+    catches name collisions early).
+    """
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+
+    # -- get-or-create -------------------------------------------------
+
+    def counter(
+        self, name: str, help: str = "", labels: tuple = _NO_LABELS
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, label_names=labels)
+
+    def gauge(self, name: str, help: str = "", labels: tuple = _NO_LABELS) -> Gauge:
+        return self._get_or_create(Gauge, name, help, label_names=labels)
+
+    def histogram(
+        self, name: str, help: str = "", buckets: tuple = DEFAULT_COUNT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, boundaries=buckets)
+
+    def timer(
+        self, name: str, help: str = "", buckets: tuple = DEFAULT_TIME_BUCKETS
+    ) -> Timer:
+        return self._get_or_create(Timer, name, help, boundaries=buckets)
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> "_Metric":
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    # -- introspection -------------------------------------------------
+
+    def get(self, name: str) -> "_Metric | None":
+        return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def __iter__(self) -> Iterator["_Metric"]:
+        for name in sorted(self._metrics):
+            yield self._metrics[name]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def clear(self) -> None:
+        """Drop every metric (a fresh start for a new capture window)."""
+        self._metrics.clear()

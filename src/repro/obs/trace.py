@@ -1,0 +1,85 @@
+"""Structured estimation traces: span-like events in arrival order.
+
+Where the metrics registry aggregates, the trace recorder keeps the
+*sequence*: every instrumented decision (a lattice lookup and its
+outcome, a decomposition step, a pruning verdict) appends one flat
+``dict`` event.  Events are machine-readable by construction — each
+carries a monotonically increasing ``seq``, a wall-clock offset ``ts``
+in seconds since the recorder started, the current span ``depth``, the
+``event`` name, and the call site's keyword fields.
+
+:meth:`TraceRecorder.span` wraps a region: it raises the depth for
+nested events and emits one closing event with the region's
+``duration_ms``.  The JSONL serialisation (one event per line) is the
+on-disk format consumed by ``repro estimate --trace PATH``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+__all__ = ["TraceRecorder"]
+
+
+class TraceRecorder:
+    """An append-only recorder of structured trace events."""
+
+    def __init__(self):
+        self.events: list[dict] = []
+        self._start = time.perf_counter()
+        self._depth = 0
+        self._seq = 0
+
+    def record(self, event: str, **fields) -> dict:
+        """Append one event; returns the stored dict (already sequenced)."""
+        entry = {
+            "seq": self._seq,
+            "ts": round(time.perf_counter() - self._start, 9),
+            "depth": self._depth,
+            "event": event,
+        }
+        entry.update(fields)
+        self._seq += 1
+        self.events.append(entry)
+        return entry
+
+    def span(self, event: str, **fields) -> "_Span":
+        """Context manager: nested events gain depth, exit emits the span."""
+        return _Span(self, event, fields)
+
+    # -- views ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def by_event(self, name: str) -> list[dict]:
+        return [e for e in self.events if e["event"] == name]
+
+    def to_jsonl(self) -> str:
+        return "\n".join(json.dumps(e, sort_keys=True) for e in self.events)
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(self.to_jsonl() + "\n", encoding="utf-8")
+
+
+class _Span:
+    __slots__ = ("_recorder", "_event", "_fields", "_start")
+
+    def __init__(self, recorder: TraceRecorder, event: str, fields: dict):
+        self._recorder = recorder
+        self._event = event
+        self._fields = fields
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        self._recorder._depth += 1
+        return self
+
+    def __exit__(self, *exc) -> None:
+        recorder = self._recorder
+        recorder._depth -= 1
+        elapsed_ms = (time.perf_counter() - self._start) * 1000.0
+        recorder.record(self._event, duration_ms=round(elapsed_ms, 6), **self._fields)

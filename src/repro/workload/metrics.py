@@ -21,6 +21,7 @@ import math
 import time
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..core.estimator import SelectivityEstimator
 from .generator import QueryWorkload
 
@@ -84,6 +85,10 @@ class EstimatorEvaluation:
     estimates: list[float] = field(default_factory=list)
     response_seconds: list[float] = field(default_factory=list)
     sanity: float = 10.0
+    #: Estimation statistics captured by the observability layer when
+    #: ``evaluate_estimator(..., capture_metrics=True)`` ran; see
+    #: :func:`repro.obs.summarize_estimation` for the keys.
+    metrics: dict | None = None
 
     @property
     def average_error(self) -> float:
@@ -119,14 +124,33 @@ class EstimatorEvaluation:
     def cdf(self, thresholds: list[float] | None = None) -> list[tuple[float, float]]:
         return error_cdf(self.errors, thresholds)
 
+    @property
+    def lattice_hit_rate(self) -> float:
+        """Fraction of summary lookups answered directly (captured runs)."""
+        return self.metrics["lattice_hit_rate"] if self.metrics else 0.0
+
+    @property
+    def mean_recursion_depth(self) -> float:
+        """Mean deepest decomposition level per query (captured runs)."""
+        return self.metrics["mean_recursion_depth"] if self.metrics else 0.0
+
 
 def evaluate_estimator(
     estimator: SelectivityEstimator,
     workload: QueryWorkload,
     *,
     sanity: float | None = None,
+    capture_metrics: bool = False,
 ) -> EstimatorEvaluation:
-    """Run ``estimator`` over ``workload``, recording errors and latency."""
+    """Run ``estimator`` over ``workload``, recording errors and latency.
+
+    With ``capture_metrics=True`` the run executes inside an
+    observability capture window and the evaluation's :attr:`metrics`
+    carries the distilled registry (hit rates, recursion depth, timers),
+    letting benchmark reports explain latency differences rather than
+    just stating them.  Note that instrumentation adds measurement
+    overhead to ``response_seconds``; keep it off for pure latency runs.
+    """
     if sanity is None:
         sanity = sanity_bound(workload.true_counts)
     evaluation = EstimatorEvaluation(
@@ -134,6 +158,21 @@ def evaluate_estimator(
         workload_size=workload.size,
         sanity=sanity,
     )
+    if capture_metrics:
+        with obs.observed() as (registry, _):
+            _run_workload(estimator, workload, evaluation, sanity)
+        evaluation.metrics = obs.summarize_estimation(registry)
+    else:
+        _run_workload(estimator, workload, evaluation, sanity)
+    return evaluation
+
+
+def _run_workload(
+    estimator: SelectivityEstimator,
+    workload: QueryWorkload,
+    evaluation: EstimatorEvaluation,
+    sanity: float,
+) -> None:
     for query, true_count in workload:
         start = time.perf_counter()
         estimate = estimator.estimate(query)
@@ -143,4 +182,3 @@ def evaluate_estimator(
         evaluation.errors.append(
             absolute_relative_error(true_count, estimate, sanity)
         )
-    return evaluation

@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -168,6 +170,160 @@ class TestCatalogCli:
         code = main(["catalog", str(tmp_path / "cat"), "estimate", "ghost", "a(b)"])
         assert code == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestUsageErrors:
+    """Bad user input exits with status 2 and one stderr line."""
+
+    def _assert_usage_error(self, code, capsys):
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert err.count("\n") == 1  # exactly one line
+
+    def test_estimate_unparseable_query(self, summary_file, capsys):
+        code = main(["estimate", str(summary_file), "a(b"])
+        self._assert_usage_error(code, capsys)
+
+    def test_estimate_missing_summary(self, tmp_path, capsys):
+        code = main(["estimate", str(tmp_path / "nope.summary"), "a(b)"])
+        self._assert_usage_error(code, capsys)
+
+    def test_estimate_corrupt_summary(self, tmp_path, capsys):
+        bad = tmp_path / "corrupt.summary"
+        bad.write_text("this is not a lattice summary\n")
+        code = main(["estimate", str(bad), "a(b)"])
+        self._assert_usage_error(code, capsys)
+
+    def test_explain_unparseable_query(self, summary_file, capsys):
+        code = main(["explain", str(summary_file), "a(b"])
+        self._assert_usage_error(code, capsys)
+
+    def test_exact_unparseable_query(self, xml_file, capsys):
+        code = main(["exact", str(xml_file), "((("])
+        self._assert_usage_error(code, capsys)
+
+    def test_stats_missing_summary(self, tmp_path, capsys):
+        code = main(["stats", str(tmp_path / "nope.summary")])
+        self._assert_usage_error(code, capsys)
+
+    def test_stats_unparseable_query(self, summary_file, capsys):
+        code = main(["stats", str(summary_file), "a(b"])
+        self._assert_usage_error(code, capsys)
+
+    def test_message_names_the_offender(self, summary_file, capsys):
+        main(["estimate", str(summary_file), "a(b"])
+        assert "a(b" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_estimate_metrics_json(self, summary_file, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        code = main(
+            [
+                "estimate",
+                str(summary_file),
+                "computer(laptops(laptop(brand,price)),desktops)",
+                "--metrics-json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "metrics written" in capsys.readouterr().out
+        snapshot = json.loads(out.read_text())
+        lookups = snapshot["lattice_lookups_total"]
+        assert lookups["type"] == "counter"
+        assert sum(v["value"] for v in lookups["values"]) > 0
+        assert snapshot["recursion_depth"]["count"] == 1
+        assert snapshot["estimate_seconds"]["count"] == 1
+
+    def test_estimate_trace(self, summary_file, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "estimate",
+                str(summary_file),
+                "computer(laptops(laptop(brand,price)),desktops)",
+                "--trace",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "trace written" in capsys.readouterr().out
+        events = [json.loads(line) for line in out.read_text().splitlines()]
+        assert events
+        assert all({"seq", "ts", "depth", "event"} <= set(e) for e in events)
+        assert any(e["event"] == "lattice_lookup" for e in events)
+
+    def test_summarize_metrics_json(self, xml_file, tmp_path):
+        out = tmp_path / "metrics.json"
+        code = main(
+            [
+                "summarize",
+                str(xml_file),
+                "-o",
+                str(tmp_path / "s.tsv"),
+                "--metrics-json",
+                str(out),
+            ]
+        )
+        assert code == 0
+        snapshot = json.loads(out.read_text())
+        assert snapshot["lattice_build_seconds"]["count"] == 1
+        assert "mining_candidates_total" in snapshot
+
+
+class TestStats:
+    def test_structure_only(self, summary_file, capsys):
+        code = main(["stats", str(summary_file)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "level     : 4" in printed
+        assert "patterns" in printed
+        assert "complete" in printed
+
+    def test_with_queries_table(self, summary_file, capsys):
+        code = main(["stats", str(summary_file), "laptop(brand,price)"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "laptop(brand,price) ~= 2.00" in printed
+        assert "estimation metrics" in printed
+        assert "hit rate" in printed
+        assert "recursion depth" in printed
+
+    def test_json_format(self, summary_file, capsys):
+        code = main(
+            [
+                "stats",
+                str(summary_file),
+                "laptop(brand,price)",
+                "--format",
+                "json",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        payload = printed[printed.index("{") :]
+        snapshot = json.loads(payload)
+        assert "lattice_lookups_total" in snapshot
+
+    def test_prometheus_format(self, summary_file, capsys):
+        from repro.obs import parse_prometheus_text
+
+        code = main(
+            [
+                "stats",
+                str(summary_file),
+                "laptop(brand,price)",
+                "--format",
+                "prometheus",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        exposition = printed[printed.index("# TYPE") :]
+        parsed = parse_prometheus_text(exposition)
+        assert any(name.startswith("lattice_lookups") for name in parsed)
 
 
 class TestParser:

@@ -64,6 +64,51 @@ class TestCalibration:
         assert "ErrorProfile" in repr(ErrorProfile(figure1_lattice))
 
 
+class TestCalibratedProperty:
+    def test_true_on_normal_summary(self, figure1_lattice):
+        profile = ErrorProfile(figure1_lattice)
+        assert profile.calibrated is True
+        assert profile.samples > 0
+
+    def _degenerate_profile(self):
+        # A two-node document mines no size >= 3 pattern, so there is
+        # nothing to calibrate one-step ratios on.
+        from repro import LabeledTree
+
+        doc = LabeledTree.from_nested(("a", ["b"]))
+        lattice = LatticeSummary.build(doc, 3)
+        return ErrorProfile(lattice)
+
+    def test_false_on_degenerate_summary(self):
+        profile = self._degenerate_profile()
+        assert profile.calibrated is False
+        assert profile.samples == 0
+        assert profile.low_ratio == profile.high_ratio == 1.0
+
+    def test_degenerate_band_collapses_to_point(self):
+        profile = self._degenerate_profile()
+        interval = profile.predict("a(b,b,b,b)")  # size 5: 2 chained steps
+        assert interval.low == interval.estimate == interval.high
+
+    def test_degenerate_profile_warns_via_metrics(self):
+        from repro import obs
+
+        with obs.observed(trace=True) as (registry, tracer):
+            self._degenerate_profile()
+        counter = registry.get("error_profile_uncalibrated_total")
+        assert counter is not None and counter.total == 1
+        events = tracer.by_event("error_profile_uncalibrated")
+        assert len(events) == 1
+        assert events[0]["level"] == 3
+
+    def test_no_warning_when_calibrated(self, figure1_lattice):
+        from repro import obs
+
+        with obs.observed() as (registry, _):
+            ErrorProfile(figure1_lattice)
+        assert registry.get("error_profile_uncalibrated_total") is None
+
+
 class TestPrediction:
     def test_inside_lattice_band_is_point(self, figure1_lattice):
         profile = ErrorProfile(figure1_lattice)

@@ -1,0 +1,433 @@
+"""Unit tests for the observability layer (metrics, traces, exporters)."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    FixedDecompositionEstimator,
+    LabeledTree,
+    LatticeSummary,
+    MarkovPathEstimator,
+    RecursiveDecompositionEstimator,
+    obs,
+    prune_derivable,
+)
+from repro.obs import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    TraceRecorder,
+    parse_prometheus_text,
+    registry_to_dict,
+    summarize_estimation,
+    to_prometheus_text,
+)
+
+
+# ----------------------------------------------------------------------
+# Registry primitives
+# ----------------------------------------------------------------------
+
+
+class TestCounter:
+    def test_inc_and_total(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits_total")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value() == 4
+        assert counter.total == 4
+
+    def test_labelled_values_are_independent(self):
+        counter = Counter("lookups_total", label_names=("outcome",))
+        counter.inc(outcome="hit")
+        counter.inc(2, outcome="miss")
+        assert counter.value(outcome="hit") == 1
+        assert counter.value(outcome="miss") == 2
+        assert counter.total == 3
+
+    def test_wrong_labels_rejected(self):
+        counter = Counter("lookups_total", label_names=("outcome",))
+        with pytest.raises(ValueError):
+            counter.inc(colour="red")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x_total").inc(-1)
+
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total")
+        b = registry.counter("x_total")
+        assert a is b
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("bytes")
+        gauge.set(100)
+        gauge.inc(20)
+        gauge.dec(50)
+        assert gauge.value() == 70
+
+
+class TestHistogramBucketEdges:
+    def test_value_on_boundary_counts_in_that_bucket(self):
+        histogram = Histogram("depth", boundaries=(1, 2, 5))
+        histogram.observe(2)  # exactly on a boundary: le=2 bucket
+        assert histogram.bucket_counts == [0, 1, 0, 0]
+
+    def test_value_above_last_boundary_goes_to_inf(self):
+        histogram = Histogram("depth", boundaries=(1, 2, 5))
+        histogram.observe(9)
+        assert histogram.bucket_counts == [0, 0, 0, 1]
+
+    def test_value_below_first_boundary(self):
+        histogram = Histogram("depth", boundaries=(1, 2, 5))
+        histogram.observe(0)
+        histogram.observe(1)  # boundary inclusive
+        assert histogram.bucket_counts == [2, 0, 0, 0]
+
+    def test_cumulative_ends_with_inf_total(self):
+        histogram = Histogram("depth", boundaries=(1, 2))
+        for value in (0, 1, 2, 3, 100):
+            histogram.observe(value)
+        cumulative = histogram.cumulative()
+        assert cumulative[0] == (1.0, 2)
+        assert cumulative[1] == (2.0, 3)
+        assert cumulative[-1][0] == math.inf
+        assert cumulative[-1][1] == histogram.count == 5
+
+    def test_running_stats(self):
+        histogram = Histogram("x", boundaries=(10,))
+        for value in (4, 6, 2):
+            histogram.observe(value)
+        assert histogram.sum == 12
+        assert histogram.mean == 4
+        assert histogram.min == 2
+        assert histogram.max == 6
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("x", boundaries=(5, 1))
+        with pytest.raises(ValueError):
+            Histogram("x", boundaries=(1, 1))
+        with pytest.raises(ValueError):
+            Histogram("x", boundaries=())
+
+
+class TestTimerNesting:
+    def test_nested_frames_record_independently(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("work_seconds")
+        with timer.time() as outer:
+            with timer.time() as inner:
+                sum(range(1000))
+        assert timer.calls == 2
+        assert inner.elapsed <= outer.elapsed
+        assert timer.total_seconds == pytest.approx(
+            inner.elapsed + outer.elapsed
+        )
+
+    def test_sequential_frames(self):
+        registry = MetricsRegistry()
+        timer = registry.timer("work_seconds")
+        with timer.time():
+            pass
+        with timer.time():
+            pass
+        assert timer.calls == 2
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+
+def _sample_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    lookups = registry.counter(
+        "lattice_lookups_total", "Lookups by outcome.", labels=("outcome",)
+    )
+    lookups.inc(5, outcome="hit")
+    lookups.inc(2, outcome="pruned_miss")
+    registry.gauge("online_bytes", "Store size.").set(4096)
+    depth = registry.histogram("recursion_depth", buckets=(1, 2, 4))
+    for value in (0, 1, 3, 9):
+        depth.observe(value)
+    registry.timer("estimate_seconds").observe(0.25)
+    return registry
+
+
+class TestPrometheusRoundTrip:
+    def test_counters_and_gauges_round_trip(self):
+        text = to_prometheus_text(_sample_registry())
+        parsed = parse_prometheus_text(text)
+        assert parsed["lattice_lookups_total"][(("outcome", "hit"),)] == 5
+        assert parsed["lattice_lookups_total"][(("outcome", "pruned_miss"),)] == 2
+        assert parsed["online_bytes"][()] == 4096
+
+    def test_histogram_expansion_round_trips(self):
+        text = to_prometheus_text(_sample_registry())
+        parsed = parse_prometheus_text(text)
+        buckets = parsed["recursion_depth_bucket"]
+        assert buckets[(("le", "1"),)] == 2
+        assert buckets[(("le", "2"),)] == 2
+        assert buckets[(("le", "4"),)] == 3
+        assert buckets[(("le", "+Inf"),)] == 4
+        assert parsed["recursion_depth_count"][()] == 4
+        assert parsed["recursion_depth_sum"][()] == 13
+
+    def test_timer_exports_as_histogram(self):
+        text = to_prometheus_text(_sample_registry())
+        assert "# TYPE estimate_seconds histogram" in text
+        parsed = parse_prometheus_text(text)
+        assert parsed["estimate_seconds_count"][()] == 1
+        assert parsed["estimate_seconds_sum"][()] == pytest.approx(0.25)
+
+    def test_label_escaping_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", labels=("q",)).inc(q='a"b\\c\nd')
+        parsed = parse_prometheus_text(to_prometheus_text(registry))
+        assert parsed["odd_total"][(("q", 'a"b\\c\nd'),)] == 1
+
+    def test_unwritten_unlabelled_counter_exposes_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet_total")
+        parsed = parse_prometheus_text(to_prometheus_text(registry))
+        assert parsed["quiet_total"][()] == 0
+
+
+class TestJsonExport:
+    def test_snapshot_is_json_serialisable(self):
+        snapshot = registry_to_dict(_sample_registry())
+        text = json.dumps(snapshot)
+        assert "lattice_lookups_total" in text
+
+    def test_snapshot_contents(self):
+        snapshot = registry_to_dict(_sample_registry())
+        lookups = snapshot["lattice_lookups_total"]
+        assert lookups["type"] == "counter"
+        assert {"labels": {"outcome": "hit"}, "value": 5} in lookups["values"]
+        depth = snapshot["recursion_depth"]
+        assert depth["count"] == 4
+        assert depth["buckets"][-1] == {"le": "+Inf", "count": 4}
+        assert snapshot["online_bytes"]["value"] == 4096
+
+
+# ----------------------------------------------------------------------
+# Trace recorder
+# ----------------------------------------------------------------------
+
+
+class TestTraceRecorder:
+    def test_sequencing_and_fields(self):
+        recorder = TraceRecorder()
+        recorder.record("lattice_lookup", outcome="hit", size=3)
+        recorder.record("decompose_step", size=5)
+        assert [e["seq"] for e in recorder.events] == [0, 1]
+        assert recorder.by_event("lattice_lookup")[0]["outcome"] == "hit"
+
+    def test_span_depth_and_duration(self):
+        recorder = TraceRecorder()
+        with recorder.span("estimate", query="a(b)"):
+            recorder.record("lattice_lookup", outcome="hit")
+        lookup, span = recorder.events
+        assert lookup["depth"] == 1
+        assert span["depth"] == 0
+        assert span["event"] == "estimate"
+        assert span["duration_ms"] >= 0
+        assert span["query"] == "a(b)"
+
+    def test_jsonl_is_parseable(self):
+        recorder = TraceRecorder()
+        recorder.record("x", value=1)
+        recorder.record("y", value=2)
+        lines = recorder.to_jsonl().splitlines()
+        assert [json.loads(line)["event"] for line in lines] == ["x", "y"]
+
+    def test_write(self, tmp_path):
+        recorder = TraceRecorder()
+        recorder.record("x")
+        path = tmp_path / "trace.jsonl"
+        recorder.write(path)
+        assert json.loads(path.read_text().strip())["event"] == "x"
+
+
+# ----------------------------------------------------------------------
+# Runtime switch
+# ----------------------------------------------------------------------
+
+
+class TestRuntime:
+    def test_disabled_by_default(self):
+        assert obs.enabled is False
+
+    def test_observed_scopes_and_restores(self):
+        outer_registry = obs.registry
+        with obs.observed() as (registry, tracer):
+            assert obs.enabled
+            assert obs.registry is registry
+            assert registry is not outer_registry
+            assert tracer is None
+        assert obs.enabled is False
+        assert obs.registry is outer_registry
+
+    def test_observed_with_trace(self):
+        with obs.observed(trace=True) as (_, tracer):
+            assert obs.tracer is tracer
+            obs.event("ping", n=1)
+        assert tracer.by_event("ping")[0]["n"] == 1
+        assert obs.tracer is None
+
+    def test_observed_nests(self):
+        with obs.observed() as (outer, _):
+            obs.registry.counter("outer_total").inc()
+            with obs.observed() as (inner, _):
+                obs.registry.counter("inner_total").inc()
+            assert obs.registry is outer
+        assert outer.get("inner_total") is None
+        assert inner.counter("inner_total").value() == 1
+
+    def test_event_without_tracer_is_noop(self):
+        obs.event("ignored", x=1)  # must not raise
+
+    def test_restored_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.observed():
+                raise RuntimeError("boom")
+        assert obs.enabled is False
+
+
+# ----------------------------------------------------------------------
+# Pipeline integration
+# ----------------------------------------------------------------------
+
+
+class TestPipelineMetrics:
+    def test_estimation_populates_core_metrics(self, small_nasa_lattice):
+        estimator = RecursiveDecompositionEstimator(
+            small_nasa_lattice, voting=True
+        )
+        query = "dataset(title,author(lastName),date(year),identifier)"
+        with obs.observed(trace=True) as (registry, tracer):
+            estimator.estimate(query)
+        lookups = registry.get("lattice_lookups_total")
+        assert lookups is not None and lookups.total > 0
+        assert registry.get("recursion_depth").count == 1
+        assert registry.get("recursion_depth").max >= 1
+        assert registry.get("estimate_seconds").calls == 1
+        assert registry.get("decompose_steps_total").total > 0
+        assert registry.get("voting_fanout").count > 0
+        assert registry.get("memo_lookups_total").total > 0
+        assert len(tracer.by_event("decompose_step")) > 0
+        assert len(tracer.by_event("lattice_lookup")) > 0
+
+    def test_pruned_summary_records_pruned_misses(self, small_nasa_lattice):
+        pruned = prune_derivable(small_nasa_lattice, 0.5)
+        estimator = RecursiveDecompositionEstimator(pruned, voting=True)
+        holdout = max(
+            (pattern for pattern, _ in small_nasa_lattice.patterns()),
+            key=lambda c: len(str(c)),
+        )
+        with obs.observed() as (registry, _):
+            estimator.estimate(holdout)
+        stats = summarize_estimation(registry)
+        assert stats["lattice_lookups"] > 0
+        assert 0.0 <= stats["lattice_hit_rate"] <= 1.0
+
+    def test_mining_metrics_recorded(self, figure1_doc):
+        with obs.observed() as (registry, _):
+            LatticeSummary.build(figure1_doc, 3)
+        candidates = registry.get("mining_candidates_total")
+        kept = registry.get("mining_patterns_kept_total")
+        assert candidates.value(size=2) >= kept.value(size=2) > 0
+        assert candidates.value(size=3) >= kept.value(size=3) > 0
+        assert registry.get("lattice_build_seconds").calls == 1
+
+    def test_prune_decisions_recorded(self, figure1_lattice):
+        with obs.observed() as (registry, _):
+            prune_derivable(figure1_lattice, 0.0)
+        decisions = registry.get("prune_decisions_total")
+        assert decisions is not None
+        total_level3 = decisions.value(size=3, decision="kept") + decisions.value(
+            size=3, decision="dropped"
+        )
+        assert total_level3 == len(figure1_lattice.patterns_of_size(3))
+
+    def test_summarize_estimation_on_empty_registry(self):
+        stats = summarize_estimation(MetricsRegistry())
+        assert stats["lattice_lookups"] == 0
+        assert stats["lattice_hit_rate"] == 0.0
+        assert stats["mean_recursion_depth"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# Property: observability never changes an estimate
+# ----------------------------------------------------------------------
+
+
+LABELS = "abc"
+
+
+@st.composite
+def random_tree(draw, min_size=1, max_size=8, labels=LABELS):
+    size = draw(st.integers(min_size, max_size))
+    parent_choices = [draw(st.integers(0, i - 1)) for i in range(1, size)]
+    node_labels = [draw(st.sampled_from(labels)) for _ in range(size)]
+    tree = LabeledTree(node_labels[0])
+    for i in range(1, size):
+        tree.add_child(parent_choices[i - 1], node_labels[i])
+    return tree
+
+
+class TestObservabilityNeutrality:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        doc=random_tree(min_size=3, max_size=10),
+        query=random_tree(min_size=1, max_size=7),
+    )
+    def test_estimates_bit_identical_enabled_or_disabled(self, doc, query):
+        lattice = LatticeSummary.build(doc, 3)
+        estimators = [
+            RecursiveDecompositionEstimator(lattice),
+            RecursiveDecompositionEstimator(lattice, voting=True),
+            FixedDecompositionEstimator(lattice),
+        ]
+        plain = [estimator.estimate(query) for estimator in estimators]
+        with obs.observed(trace=True):
+            observed = [estimator.estimate(query) for estimator in estimators]
+        again = [estimator.estimate(query) for estimator in estimators]
+        assert observed == plain  # bit-identical, not approx
+        assert again == plain
+
+    @settings(max_examples=20, deadline=None)
+    @given(doc=random_tree(min_size=3, max_size=10), data=st.data())
+    def test_markov_estimates_unchanged(self, doc, data):
+        lattice = LatticeSummary.build(doc, 3)
+        length = data.draw(st.integers(1, 5))
+        labels = [data.draw(st.sampled_from(LABELS)) for _ in range(length)]
+        path = LabeledTree.path(labels)
+        estimator = MarkovPathEstimator(lattice)
+        plain = estimator.estimate(path)
+        with obs.observed():
+            observed = estimator.estimate(path)
+        assert observed == plain
+
+    def test_pruning_unchanged_by_observability(self, small_imdb_lattice):
+        plain = prune_derivable(small_imdb_lattice, 0.1)
+        with obs.observed(trace=True):
+            observed = prune_derivable(small_imdb_lattice, 0.1)
+        assert dict(observed.patterns()) == dict(plain.patterns())
