@@ -61,7 +61,7 @@ class CorrelatedPathTree(SelectivityEstimator):
         stats: dict[tuple[str, ...], _PathStat],
         max_path_length: int,
         signature_size: int,
-    ):
+    ) -> None:
         self._stats = stats
         self.max_path_length = max_path_length
         self.signature_size = signature_size
@@ -181,7 +181,7 @@ class CorrelatedPathTree(SelectivityEstimator):
                 return 0.0
             child_stats.append(stat)
             below = self._per_anchor(tree, kid)
-            if below == 0.0:
+            if below <= 0.0:
                 return 0.0
             multiplicities.append((stat.count / stat.root_set_size) * below)
 
@@ -246,8 +246,10 @@ def _resemblance(a: list[int], b: list[int]) -> float:
 
 def _pairwise_intersection(a: _PathStat, b: _PathStat) -> float:
     """|A ∩ B| from signatures: R * |A ∪ B| with |A ∪ B| from R."""
+    if a.signature is None or b.signature is None:
+        return 0.0
     r = _resemblance(a.signature, b.signature)
-    if r == 0.0:
+    if r <= 0.0:
         return 0.0
     union = (a.root_set_size + b.root_set_size) / (1.0 + r)
     return r * union

@@ -36,7 +36,7 @@ class MarkovTable(SelectivityEstimator):
         order: int,
         *,
         prune_below: int = 0,
-    ):
+    ) -> None:
         if order < 2:
             raise ValueError("Markov order must be >= 2")
         self.order = order

@@ -43,7 +43,7 @@ class PathTree(SelectivityEstimator):
 
     name = "path-tree"
 
-    def __init__(self, root: PathTreeNode):
+    def __init__(self, root: PathTreeNode) -> None:
         self.root = root
 
     # ------------------------------------------------------------------

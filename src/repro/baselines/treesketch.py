@@ -62,7 +62,7 @@ class TreeSketch(SelectivityEstimator):
         *,
         budget_bytes: int,
         construction_seconds: float = 0.0,
-    ):
+    ) -> None:
         self.vertices = vertices
         self.budget_bytes = budget_bytes
         self.construction_seconds = construction_seconds
@@ -167,7 +167,7 @@ class TreeSketch(SelectivityEstimator):
                 if self.vertices[child_vid].label != kid_label:
                     continue
                 branch += weight * self._embed(kid, child_vid, memo)
-            if branch == 0.0:
+            if branch <= 0.0:
                 result = 0.0
                 break
             result *= branch
@@ -186,7 +186,7 @@ def _stable_partition(document: LabeledTree) -> list[int]:
     Returns ``group id`` per node; nodes share a group iff their whole
     subtree shapes (labels + child-class multisets) coincide.
     """
-    classes: dict[tuple, int] = {}
+    classes: dict[tuple[str, tuple[int, ...]], int] = {}
     group_of = [0] * document.size
     for node in document.postorder():
         child_classes = sorted(group_of[c] for c in document.child_ids(node))
@@ -311,7 +311,7 @@ class _GroupStats:
 
     __slots__ = ("extent", "sums", "sumsqs")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.extent = 0
         self.sums: dict[str, float] = {}
         self.sumsqs: dict[str, float] = {}
@@ -346,7 +346,7 @@ class _GroupStats:
             merged_sse += sq - s * s / n
         return merged_sse - self.sse() - other.sse()
 
-    def centroid_key(self) -> tuple:
+    def centroid_key(self) -> tuple[tuple[str, float], ...]:
         extent = self.extent
         return tuple(
             sorted((label, s / extent) for label, s in self.sums.items())

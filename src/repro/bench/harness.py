@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 
 from .. import obs
 from ..baselines.treesketch import TreeSketch
+from ..core.estimator import SelectivityEstimator
 from ..core.fixed import FixedDecompositionEstimator
 from ..core.lattice import LatticeSummary
 from ..core.recursive import RecursiveDecompositionEstimator
@@ -61,17 +62,21 @@ class DatasetBundle:
     seed: int = 0
     #: Observability snapshot of the lattice construction (per-level
     #: mining counters/timings); ``{}`` for bundles built before capture.
-    build_metrics: dict = field(default_factory=dict)
-    _positive: dict[tuple, dict[int, QueryWorkload]] = field(default_factory=dict)
-    _negative: dict[tuple, QueryWorkload] = field(default_factory=dict)
+    build_metrics: dict[str, dict[str, float]] = field(default_factory=dict)
+    _positive: dict[tuple[tuple[int, ...], int, int], dict[int, QueryWorkload]] = field(
+        default_factory=dict
+    )
+    _negative: dict[tuple[int, int, int], QueryWorkload] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # Estimators
     # ------------------------------------------------------------------
 
-    def estimators(self, *, include_sketch: bool = True):
+    def estimators(
+        self, *, include_sketch: bool = True
+    ) -> list[SelectivityEstimator]:
         """The paper's four estimators over this bundle, in figure order."""
-        out = [
+        out: list[SelectivityEstimator] = [
             RecursiveDecompositionEstimator(self.lattice),
             RecursiveDecompositionEstimator(self.lattice, voting=True),
             FixedDecompositionEstimator(self.lattice),
@@ -85,7 +90,7 @@ class DatasetBundle:
         candidates = self.build_metrics.get("mining_candidates_total", {})
         kept = self.build_metrics.get("mining_patterns_kept_total", {})
         seconds = self.build_metrics.get("mining_level_seconds", {})
-        rows = []
+        rows: list[list[object]] = []
         for size in sorted(candidates, key=int):
             rows.append(
                 [
@@ -140,12 +145,12 @@ class DatasetBundle:
 def _samples_by_size(registry: obs.MetricsRegistry, name: str) -> dict[str, float]:
     """Flatten a ``size``-labelled metric to ``{size: value}``."""
     metric = registry.get(name)
-    if metric is None:
+    if not isinstance(metric, (obs.Counter, obs.Gauge)):
         return {}
     return {labels["size"]: value for labels, value in metric.samples()}
 
 
-_BUNDLES: dict[tuple, DatasetBundle] = {}
+_BUNDLES: dict[tuple[str, int | None, int, int, int | None, int], DatasetBundle] = {}
 
 
 def prepare_dataset(

@@ -28,7 +28,10 @@ import json
 import sys
 import time
 
+from typing import Callable
+
 from . import obs
+from .core.estimator import SelectivityEstimator
 from .core.explain import explain as explain_query
 from .core.fixed import FixedDecompositionEstimator
 from .core.lattice import LatticeSummary
@@ -195,7 +198,7 @@ def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _run_observed(args, body) -> int:
+def _run_observed(args: argparse.Namespace, body: Callable[[], int]) -> int:
     """Run ``body`` under a capture window when either flag was given."""
     metrics_path = getattr(args, "metrics_json", None)
     trace_path = getattr(args, "trace", None)
@@ -206,7 +209,7 @@ def _run_observed(args, body) -> int:
     if metrics_path:
         obs.write_metrics_json(registry, metrics_path)
         print(f"metrics written to {metrics_path}")
-    if trace_path:
+    if trace_path and tracer is not None:
         tracer.write(trace_path)
         print(f"trace written to {trace_path} ({len(tracer)} events)")
     return code
@@ -217,11 +220,11 @@ def _run_observed(args, body) -> int:
 # ----------------------------------------------------------------------
 
 
-def _cmd_summarize(args) -> int:
+def _cmd_summarize(args: argparse.Namespace) -> int:
     return _run_observed(args, lambda: _do_summarize(args))
 
 
-def _do_summarize(args) -> int:
+def _do_summarize(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     document = tree_from_xml_file(args.xml, include_attributes=args.attributes)
     parse_seconds = time.perf_counter() - start
@@ -244,7 +247,7 @@ def _do_summarize(args) -> int:
     return 0
 
 
-def _estimator_for(name: str, summary: LatticeSummary):
+def _estimator_for(name: str, summary: LatticeSummary) -> SelectivityEstimator:
     if name == "recursive":
         return RecursiveDecompositionEstimator(summary)
     if name == "voting":
@@ -254,11 +257,11 @@ def _estimator_for(name: str, summary: LatticeSummary):
     return MarkovPathEstimator(summary)
 
 
-def _cmd_estimate(args) -> int:
+def _cmd_estimate(args: argparse.Namespace) -> int:
     return _run_observed(args, lambda: _do_estimate(args))
 
 
-def _do_estimate(args) -> int:
+def _do_estimate(args: argparse.Namespace) -> int:
     summary = _load_summary(args.summary)
     query = _parse_query(args.query)
     estimator = _estimator_for(args.estimator, summary)
@@ -272,7 +275,7 @@ def _do_estimate(args) -> int:
     return 0
 
 
-def _cmd_explain(args) -> int:
+def _cmd_explain(args: argparse.Namespace) -> int:
     summary = _load_summary(args.summary)
     trace = explain_query(summary, _parse_query(args.query), voting=args.voting)
     print(trace.render())
@@ -281,7 +284,7 @@ def _cmd_explain(args) -> int:
     return 0
 
 
-def _cmd_exact(args) -> int:
+def _cmd_exact(args: argparse.Namespace) -> int:
     document = tree_from_xml_file(args.xml, include_attributes=args.attributes)
     query = _parse_query(args.query)
     start = time.perf_counter()
@@ -293,7 +296,7 @@ def _cmd_exact(args) -> int:
     return 0
 
 
-def _cmd_mine(args) -> int:
+def _cmd_mine(args: argparse.Namespace) -> int:
     document = tree_from_xml_file(args.xml, include_attributes=args.attributes)
     counts = pattern_counts_by_level(document, args.level)
     print("level  patterns")
@@ -302,7 +305,7 @@ def _cmd_mine(args) -> int:
     return 0
 
 
-def _cmd_stats(args) -> int:
+def _cmd_stats(args: argparse.Namespace) -> int:
     summary = _load_summary(args.summary)
     queries = [_parse_query(text) for text in args.queries]
 
@@ -350,7 +353,7 @@ def _cmd_stats(args) -> int:
     return 0
 
 
-def _cmd_catalog_register(args) -> int:
+def _cmd_catalog_register(args: argparse.Namespace) -> int:
     from .core.catalog import SummaryCatalog
 
     catalog = SummaryCatalog(args.directory)
@@ -366,7 +369,7 @@ def _cmd_catalog_register(args) -> int:
     return 0
 
 
-def _cmd_catalog_list(args) -> int:
+def _cmd_catalog_list(args: argparse.Namespace) -> int:
     from .core.catalog import SummaryCatalog
 
     catalog = SummaryCatalog(args.directory)
@@ -382,7 +385,7 @@ def _cmd_catalog_list(args) -> int:
     return 0
 
 
-def _cmd_catalog_estimate(args) -> int:
+def _cmd_catalog_estimate(args: argparse.Namespace) -> int:
     from .core.catalog import SummaryCatalog
 
     catalog = SummaryCatalog(args.directory)
@@ -391,7 +394,7 @@ def _cmd_catalog_estimate(args) -> int:
     return 0
 
 
-def _cmd_catalog_forget(args) -> int:
+def _cmd_catalog_forget(args: argparse.Namespace) -> int:
     from .core.catalog import SummaryCatalog
 
     catalog = SummaryCatalog(args.directory)
@@ -400,7 +403,7 @@ def _cmd_catalog_forget(args) -> int:
     return 0
 
 
-def _cmd_dataset(args) -> int:
+def _cmd_dataset(args: argparse.Namespace) -> int:
     document = generate_dataset(args.name, args.scale, seed=args.seed)
     written = tree_to_xml_file(document, args.output)
     print(

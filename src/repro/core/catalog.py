@@ -24,6 +24,7 @@ from pathlib import Path
 
 from ..trees.labeled_tree import LabeledTree
 from ..trees.twig import TwigQuery
+from .estimator import QueryLike, SelectivityEstimator
 from .explain import Explanation, explain
 from .fixed import FixedDecompositionEstimator
 from .lattice import LatticeSummary
@@ -50,7 +51,7 @@ class SummaryCatalog:
         ``None`` for a purely in-memory catalog.
     """
 
-    def __init__(self, directory: str | Path | None = None):
+    def __init__(self, directory: str | Path | None = None) -> None:
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -92,6 +93,7 @@ class SummaryCatalog:
     def _fit_to_budget(
         summary: LatticeSummary, budget_bytes: int, voting: bool
     ) -> LatticeSummary:
+        pruned = summary
         for delta in (0.0, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50):
             pruned = prune_derivable(summary, delta, voting=voting)
             if pruned.byte_size() <= budget_bytes:
@@ -143,11 +145,13 @@ class SummaryCatalog:
     ) -> int:
         return self._estimator(name, estimator).estimate_count(query)
 
-    def explain(self, name: str, query, *, voting: bool = True) -> Explanation:
+    def explain(
+        self, name: str, query: QueryLike, *, voting: bool = True
+    ) -> Explanation:
         """Decomposition trace of an estimate against the named summary."""
         return explain(self._require(name), query, voting=voting)
 
-    def _estimator(self, name: str, kind: str):
+    def _estimator(self, name: str, kind: str) -> SelectivityEstimator:
         summary = self._require(name)
         if kind == "recursive":
             return RecursiveDecompositionEstimator(summary)
@@ -175,9 +179,9 @@ class SummaryCatalog:
     def __len__(self) -> int:
         return len(self._summaries)
 
-    def describe(self) -> list[dict]:
+    def describe(self) -> list[dict[str, object]]:
         """One metadata row per entry (what a SHOW CATALOG would print)."""
-        rows = []
+        rows: list[dict[str, object]] = []
         for name in self.names():
             summary = self._summaries[name]
             rows.append(

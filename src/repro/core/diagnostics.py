@@ -29,8 +29,8 @@ import math
 from dataclasses import dataclass
 
 from .. import obs
-from ..trees.canonical import canon_size
-from .estimator import coerce_query_tree
+from ..trees.canonical import Canon, canon_size
+from .estimator import QueryLike, coerce_query_tree
 from .lattice import LatticeSummary
 from .recursive import RecursiveDecompositionEstimator
 
@@ -52,7 +52,7 @@ class EstimateInterval:
     @property
     def relative_width(self) -> float:
         """Band width relative to the estimate (0 for exact lookups)."""
-        if self.estimate == 0:
+        if self.estimate <= 0:
             return 0.0
         return (self.high - self.low) / self.estimate
 
@@ -77,7 +77,7 @@ class ErrorProfile:
         *,
         coverage: float = 0.9,
         voting: bool = False,
-    ):
+    ) -> None:
         if not 0.0 < coverage < 1.0:
             raise ValueError("coverage must be in (0, 1)")
         self.lattice = lattice
@@ -123,13 +123,13 @@ class ErrorProfile:
         step against exact sub-counts.
         """
         ratios: list[float] = []
-        by_size: dict[int, dict] = {}
+        by_size: dict[int, dict[Canon, int]] = {}
         for pattern, count in self.lattice.patterns():
             by_size.setdefault(canon_size(pattern), {})[pattern] = count
         for size in sorted(by_size):
             if size < 3:
                 continue
-            smaller: dict = {}
+            smaller: dict[Canon, int] = {}
             for s in range(1, size):
                 smaller.update(by_size.get(s, {}))
             capped = LatticeSummary(
@@ -145,12 +145,12 @@ class ErrorProfile:
     # Prediction
     # ------------------------------------------------------------------
 
-    def predict(self, query) -> EstimateInterval:
+    def predict(self, query: QueryLike) -> EstimateInterval:
         """Point estimate plus the empirically calibrated band."""
         tree = coerce_query_tree(query)
         estimate = self._estimator.estimate(tree)
         steps = max(0, tree.size - self.lattice.level)
-        if steps == 0 or estimate == 0.0:
+        if steps == 0 or estimate <= 0.0:
             return EstimateInterval(estimate, estimate, estimate, steps)
         # Multiplicative propagation: each chained step contributes an
         # independent ratio draw, so the band endpoints compound.

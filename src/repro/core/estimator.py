@@ -14,10 +14,13 @@ from ..trees.canonical import Canon, canon_to_tree
 from ..trees.labeled_tree import LabeledTree
 from ..trees.twig import TwigQuery
 
-__all__ = ["SelectivityEstimator", "coerce_query_tree"]
+__all__ = ["QueryLike", "SelectivityEstimator", "coerce_query_tree"]
+
+#: Any accepted query form (see :func:`coerce_query_tree`).
+QueryLike = TwigQuery | LabeledTree | Canon | str
 
 
-def coerce_query_tree(query: TwigQuery | LabeledTree | Canon | str) -> LabeledTree:
+def coerce_query_tree(query: QueryLike) -> LabeledTree:
     """Normalise any accepted query form to a :class:`LabeledTree`."""
     if isinstance(query, TwigQuery):
         return query.tree
@@ -42,11 +45,11 @@ class SelectivityEstimator(ABC):
     #: Short human-readable name used in benchmark reports.
     name: str = "estimator"
 
-    def estimate(self, query: TwigQuery | LabeledTree | Canon | str) -> float:
+    def estimate(self, query: QueryLike) -> float:
         """Estimated selectivity of ``query`` (non-negative float)."""
         return self._estimate_tree(coerce_query_tree(query))
 
-    def estimate_count(self, query: TwigQuery | LabeledTree | Canon | str) -> int:
+    def estimate_count(self, query: QueryLike) -> int:
         """Estimate rounded to an integer count (approximate COUNT answer)."""
         return max(0, round(self.estimate(query)))
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from ..trees.canonical import Canon, canon, encode_canon
 from ..trees.labeled_tree import LabeledTree
 from .decompose import leaf_pair_decompositions
-from .estimator import coerce_query_tree
+from .estimator import QueryLike, coerce_query_tree
 from .lattice import LatticeSummary
 
 __all__ = ["Explanation", "explain"]
@@ -78,7 +78,7 @@ class Explanation:
 
 def explain(
     lattice: LatticeSummary,
-    query,
+    query: QueryLike,
     *,
     voting: bool = False,
 ) -> Explanation:

@@ -40,7 +40,7 @@ class FixedDecompositionEstimator(SelectivityEstimator):
 
     name = "fix-sized decomp"
 
-    def __init__(self, lattice: LatticeSummary, *, block_size: int | None = None):
+    def __init__(self, lattice: LatticeSummary, *, block_size: int | None = None) -> None:
         if block_size is None:
             block_size = lattice.level
         if not 2 <= block_size <= lattice.level:

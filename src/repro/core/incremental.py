@@ -55,7 +55,7 @@ class IncrementalLattice:
         Lattice level ``k``.
     """
 
-    def __init__(self, document: LabeledTree, level: int):
+    def __init__(self, document: LabeledTree, level: int) -> None:
         if level < 2:
             raise ValueError("a lattice summary needs level >= 2")
         self._document = document
@@ -124,6 +124,8 @@ class IncrementalLattice:
             self._record_append(record.size, touched, started)
 
     def _record_append(self, record_size: int, spanning: int, started: float) -> None:
+        if not obs.enabled:  # call sites check too; this is defence in depth
+            return
         elapsed = time.perf_counter() - started
         obs.registry.counter(
             "incremental_appends_total", "Records appended since process start."
@@ -192,11 +194,13 @@ def _graft(document: LabeledTree, parent: int, record: LabeledTree) -> int:
 
     Returns the document id of the copied record root.
     """
-    mapping = {record.root: document.add_child(parent, record.label(record.root))}
+    mapping = {
+        record.root: document.add_child(parent, record.label(record.root))  # lint: disable=twig-arg-mutation -- grafting IS this helper's job
+    }
     for node in record.preorder():
         if node == record.root:
             continue
-        mapping[node] = document.add_child(
+        mapping[node] = document.add_child(  # lint: disable=twig-arg-mutation -- see above
             mapping[record.parent(node)], record.label(node)
         )
     return mapping[record.root]

@@ -49,7 +49,7 @@ class LatticeSummary:
         *,
         complete_sizes: Iterable[int] | None = None,
         construction_seconds: float = 0.0,
-    ):
+    ) -> None:
         if level < 2:
             raise ValueError("a lattice summary needs level >= 2")
         self.level = level
@@ -142,7 +142,7 @@ class LatticeSummary:
             f"pattern {encode_canon(key)} pruned from an incomplete level"
         )
 
-    def __contains__(self, pattern) -> bool:
+    def __contains__(self, pattern: Canon | LabeledTree | TwigQuery) -> bool:
         return self._to_canon(pattern) in self._counts
 
     def is_complete_at(self, size: int) -> bool:

@@ -23,6 +23,8 @@ from .lattice import LatticeSummary
 
 def _record_gram(outcome: str, labels: list[str]) -> None:
     """Metrics + trace for one m-gram lookup (only called when enabled)."""
+    if not obs.enabled:  # call sites check too; this is defence in depth
+        return
     obs.registry.counter(
         "markov_gram_lookups_total",
         "Markov m-gram path lookups by outcome.",
@@ -52,7 +54,7 @@ class MarkovPathEstimator(SelectivityEstimator):
 
     name = "markov-path"
 
-    def __init__(self, lattice: LatticeSummary, *, order: int | None = None):
+    def __init__(self, lattice: LatticeSummary, *, order: int | None = None) -> None:
         if order is None:
             order = lattice.level
         if not 2 <= order <= lattice.level:

@@ -27,7 +27,7 @@ from .. import obs
 from ..mining.freqt import mine_lattice
 from ..trees.canonical import Canon, canon_size, encode_canon
 from ..trees.labeled_tree import LabeledTree
-from .estimator import SelectivityEstimator, coerce_query_tree
+from .estimator import QueryLike, SelectivityEstimator, coerce_query_tree
 from .lattice import LatticeSummary
 from .recursive import RecursiveDecompositionEstimator
 
@@ -60,7 +60,7 @@ class WorkloadAwareLattice(SelectivityEstimator):
         *,
         budget_bytes: int = 64 * 1024,
         voting: bool = False,
-    ):
+    ) -> None:
         if level < 2:
             raise ValueError("level must be >= 2")
         self.level = level
@@ -84,7 +84,7 @@ class WorkloadAwareLattice(SelectivityEstimator):
     # Feedback
     # ------------------------------------------------------------------
 
-    def observe(self, query, true_count: int) -> bool:
+    def observe(self, query: QueryLike, true_count: int) -> bool:
         """Feed back the true count of an executed query.
 
         Returns True when the pattern was stored (within the level cap).
@@ -111,6 +111,8 @@ class WorkloadAwareLattice(SelectivityEstimator):
         return True
 
     def _record_observation(self, size: int, *, stored: bool) -> None:
+        if not obs.enabled:  # call sites check too; this is defence in depth
+            return
         obs.registry.counter(
             "online_observations_total",
             "Query feedback observations by storage outcome.",
@@ -141,10 +143,14 @@ class WorkloadAwareLattice(SelectivityEstimator):
             and self._learned
         ):
             # Drop the lowest-utility learned pattern; age the rest.
+            # The canon itself breaks utility ties, so eviction order
+            # never depends on dict insertion order.
             victim = min(
                 self._learned,
-                key=lambda c: self._hits.get(c, 0.0)
-                / (len(encode_canon(c)) + _COUNT_BYTES),
+                key=lambda c: (
+                    self._hits.get(c, 0.0) / (len(encode_canon(c)) + _COUNT_BYTES),
+                    c,
+                ),
             )
             del self._learned[victim]
             self._hits.pop(victim, None)
@@ -201,7 +207,7 @@ class WorkloadAwareLattice(SelectivityEstimator):
     def byte_size(self) -> int:
         return self._bytes_of(self._base) + self._bytes_of(self._learned)
 
-    def knows(self, query) -> bool:
+    def knows(self, query: QueryLike) -> bool:
         """True when the exact pattern is currently stored."""
         from ..trees.canonical import canon
 

@@ -54,8 +54,7 @@ def prune_derivable(
     for size in range(3, lattice.level + 1):
         interim = lattice.replace_counts(kept, complete_sizes=(1, 2))
         estimator = RecursiveDecompositionEstimator(interim, voting=voting)
-        for pattern in sorted(lattice.patterns_of_size(size)):
-            true_count = lattice.get(pattern)
+        for pattern, true_count in sorted(lattice.patterns_of_size(size).items()):
             estimate = estimator.estimate(pattern)
             error = abs(true_count - estimate) / true_count
             derivable = error <= delta + _FLOAT_SLACK
@@ -70,6 +69,8 @@ def _record_decision(
     pattern: Canon, size: int, derivable: bool, error: float
 ) -> None:
     """Metrics + trace for one keep/drop verdict (only when enabled)."""
+    if not obs.enabled:  # call sites check too; this is defence in depth
+        return
     decision = "dropped" if derivable else "kept"
     obs.registry.counter(
         "prune_decisions_total",
@@ -96,7 +97,9 @@ class PruningReport:
         "bytes_after",
     )
 
-    def __init__(self, delta: float, before: LatticeSummary, after: LatticeSummary):
+    def __init__(
+        self, delta: float, before: LatticeSummary, after: LatticeSummary
+    ) -> None:
         self.delta = delta
         self.patterns_before = before.num_patterns
         self.patterns_after = after.num_patterns

@@ -32,6 +32,8 @@ __all__ = ["RecursiveDecompositionEstimator"]
 
 def _record_lookup(outcome: str, key: Canon, size: int) -> None:
     """Metrics + trace for one summary lookup (only called when enabled)."""
+    if not obs.enabled:  # call sites check too; this is defence in depth
+        return
     obs.registry.counter(
         "lattice_lookups_total",
         "Summary lookups by outcome (hit / complete_zero / pruned_miss).",
@@ -55,7 +57,7 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
         the first pair only.
     """
 
-    def __init__(self, lattice: LatticeSummary, *, voting: bool = False):
+    def __init__(self, lattice: LatticeSummary, *, voting: bool = False) -> None:
         self.lattice = lattice
         self.voting = voting
         self.name = (
@@ -96,6 +98,8 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
 
     @staticmethod
     def _record_memo(outcome: str) -> None:
+        if not obs.enabled:  # call sites check too; this is defence in depth
+            return
         obs.registry.counter(
             "memo_lookups_total",
             "Per-query memo table lookups by outcome.",

@@ -6,6 +6,8 @@ DESIGN.md §4 for why these substitutions preserve the behaviour the
 paper's experiments measure.
 """
 
+from typing import Protocol
+
 from ..trees.labeled_tree import LabeledTree
 from .imdb import generate_imdb, imdb_schema
 from .nasa import generate_nasa, nasa_schema
@@ -50,8 +52,14 @@ __all__ = [
     "zipf_int",
 ]
 
+class _DatasetGenerator(Protocol):
+    """Callable shape shared by every dataset generator."""
+
+    def __call__(self, scale: int = ..., /, *, seed: int = 0) -> LabeledTree: ...
+
+
 #: name -> generator(n_records_or_scale, seed) for the paper's datasets.
-DATASET_GENERATORS = {
+DATASET_GENERATORS: dict[str, _DatasetGenerator] = {
     "nasa": generate_nasa,
     "imdb": generate_imdb,
     "psd": generate_psd,

@@ -204,7 +204,9 @@ class DocumentGenerator:
         cap are emitted without children.
     """
 
-    def __init__(self, schema: Schema, *, max_nodes: int = 1_000_000, max_depth: int = 24):
+    def __init__(
+        self, schema: Schema, *, max_nodes: int = 1_000_000, max_depth: int = 24
+    ) -> None:
         schema.validate()
         if max_nodes < 1:
             raise ValueError("max_nodes must be >= 1")

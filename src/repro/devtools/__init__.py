@@ -1,0 +1,18 @@
+"""Developer tooling for the TreeLattice reproduction.
+
+This package carries the project's static-analysis gates — tools that
+run on the *source* of the library rather than as part of it:
+
+:mod:`repro.devtools.lint`
+    A dependency-free AST lint engine with project-specific checkers
+    that encode the paper's structural invariants (immutable query
+    trees, opaque canonical encodings, guarded observability calls, …).
+    Run it as ``python -m repro.devtools.lint <paths...>``.
+
+Nothing in here is imported by the library at runtime; ``repro``
+itself never depends on ``repro.devtools``.
+"""
+
+from __future__ import annotations
+
+__all__: list[str] = []

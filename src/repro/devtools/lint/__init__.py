@@ -1,0 +1,43 @@
+"""Project lint: AST checks for TreeLattice invariants.
+
+Usage::
+
+    python -m repro.devtools.lint src tests benchmarks
+    python -m repro.devtools.lint --format json src/repro/core
+    python -m repro.devtools.lint --list-rules
+
+Suppress a finding on its line with ``# lint: disable=<rule>`` (comma
+separated for several rules, ``all`` for every rule).  See
+``docs/static_analysis.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from . import checkers  # noqa: F401  (imports register the checkers)
+from .engine import (
+    Checker,
+    FileContext,
+    Finding,
+    all_checkers,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    main,
+    parse_suppressions,
+    register,
+)
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "Finding",
+    "all_checkers",
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "parse_suppressions",
+    "register",
+]

@@ -1,0 +1,5 @@
+"""``python -m repro.devtools.lint`` entry point."""
+
+from . import main
+
+raise SystemExit(main())

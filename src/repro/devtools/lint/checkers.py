@@ -1,0 +1,705 @@
+"""Project-specific lint checks encoding TreeLattice's paper invariants.
+
+Each checker guards one convention the estimators' correctness rests on
+(see ``docs/static_analysis.md`` for the full catalogue with the paper
+rationale per rule):
+
+``twig-arg-mutation``
+    Estimator entry points must not mutate their ``TwigQuery`` /
+    ``LabeledTree`` arguments (Theorem 1 evaluates one query tree many
+    times; an in-place edit corrupts every later decomposition step).
+``opaque-canon``
+    Canonical encodings are opaque dictionary keys; peeking inside
+    (slicing, indexing, concatenation, destructuring) must go through
+    the ``canon_*`` accessors.
+``unguarded-obs``
+    Recording calls into :mod:`repro.obs` must sit behind an
+    ``obs.enabled`` guard so the disabled pipeline stays allocation-free.
+``mutable-default``
+    No mutable default argument values.
+``bare-except``
+    No bare ``except:`` clauses.
+``float-eq``
+    No ``==``/``!=`` on selectivity-carrying floats.
+``dict-order-tiebreak``
+    No ``min``/``max`` tie-breaking over dict/set iteration order.
+``public-annotations``
+    Public functions in ``repro.core`` / ``repro.trees`` carry complete
+    type annotations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .engine import Checker, FileContext, register
+
+__all__ = [
+    "MutableDefaultChecker",
+    "BareExceptChecker",
+    "FloatEqChecker",
+    "UnguardedObsChecker",
+    "TwigArgMutationChecker",
+    "OpaqueCanonChecker",
+    "DictOrderTiebreakChecker",
+    "PublicAnnotationsChecker",
+]
+
+_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+def _root_name(node: ast.expr) -> str | None:
+    """The base ``Name`` id of an attribute/subscript chain, if any."""
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def _attribute_chain(node: ast.expr) -> list[str] | None:
+    """``obs.registry.counter`` -> ``["obs", "registry", "counter"]``."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return list(reversed(parts))
+    return None
+
+
+def _all_arguments(args: ast.arguments) -> Iterator[ast.arg]:
+    yield from args.posonlyargs
+    yield from args.args
+    if args.vararg is not None:
+        yield args.vararg
+    yield from args.kwonlyargs
+    if args.kwarg is not None:
+        yield args.kwarg
+
+
+# ----------------------------------------------------------------------
+# Generic hygiene checks
+# ----------------------------------------------------------------------
+
+
+@register
+class MutableDefaultChecker(Checker):
+    """Mutable default argument values are shared across calls."""
+
+    rule = "mutable-default"
+    description = "no mutable default argument values (list/dict/set literals)"
+
+    _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+    _MUTABLE_CALLS = {"list", "dict", "set", "bytearray"}
+
+    def _check_defaults(self, node: _FunctionNode | ast.Lambda) -> None:
+        defaults: list[ast.expr] = list(node.args.defaults)
+        defaults.extend(d for d in node.args.kw_defaults if d is not None)
+        for default in defaults:
+            if isinstance(default, self._MUTABLE_LITERALS):
+                self.report(default, "mutable default argument value")
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in self._MUTABLE_CALLS
+            ):
+                self.report(default, "mutable default argument value")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+
+@register
+class BareExceptChecker(Checker):
+    """Bare ``except:`` swallows SystemExit/KeyboardInterrupt too."""
+
+    rule = "bare-except"
+    description = "no bare except: clauses"
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.report(node, "bare except: name the exception type")
+        self.generic_visit(node)
+
+
+@register
+class FloatEqChecker(Checker):
+    """Selectivities are floats built by long product/quotient chains."""
+
+    rule = "float-eq"
+    description = "no ==/!= on selectivity-carrying floats (library code)"
+
+    _NAME_FRAGMENTS = ("estimate", "selectivit")
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        # Tests and benchmarks deliberately pin exact values (the
+        # arithmetic is deterministic); the invariant protects the
+        # estimators themselves.
+        normalized = path.replace("\\", "/")
+        parts = normalized.split("/")
+        filename = parts[-1]
+        return (
+            "tests" not in parts
+            and "benchmarks" not in parts
+            and not filename.startswith(("test_", "bench_"))
+        )
+
+    def _identifier(self, node: ast.expr) -> str | None:
+        if isinstance(node, ast.Name):
+            return node.id
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        return None
+
+    def _is_suspect(self, node: ast.expr) -> bool:
+        if isinstance(node, ast.Constant) and type(node.value) is float:
+            return True
+        identifier = self._identifier(node)
+        if identifier is None:
+            return False
+        lowered = identifier.lower()
+        return any(fragment in lowered for fragment in self._NAME_FRAGMENTS)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            if self._is_suspect(left) or self._is_suspect(right):
+                self.report(
+                    node,
+                    "float equality on a selectivity value; use a tolerance, "
+                    "or <= 0.0 for exact-zero sentinels",
+                )
+                break
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# Observability guard
+# ----------------------------------------------------------------------
+
+
+def _is_obs_enabled(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "enabled"
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "obs"
+    )
+
+
+def _test_asserts_enabled(test: ast.expr) -> bool:
+    """True for ``obs.enabled`` or ``obs.enabled and ...`` tests."""
+    if _is_obs_enabled(test):
+        return True
+    if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
+        return any(_is_obs_enabled(value) for value in test.values)
+    return False
+
+
+def _test_denies_enabled(test: ast.expr) -> bool:
+    """True for ``not obs.enabled`` tests."""
+    return (
+        isinstance(test, ast.UnaryOp)
+        and isinstance(test.op, ast.Not)
+        and _is_obs_enabled(test.operand)
+    )
+
+
+def _terminates(stmt: ast.stmt) -> bool:
+    return isinstance(stmt, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+@register
+class UnguardedObsChecker(Checker):
+    """Recording obs calls outside an ``obs.enabled`` guard allocate
+    label tuples and metric objects on the disabled hot path."""
+
+    rule = "unguarded-obs"
+    description = "obs recording calls must be guarded by obs.enabled"
+
+    _RECORDING_ROOTS = {"registry", "tracer"}
+
+    def _is_recording_call(self, func: ast.expr) -> bool:
+        chain = _attribute_chain(func)
+        if chain is None or len(chain) < 2 or chain[0] != "obs":
+            return False
+        return chain[1] in self._RECORDING_ROOTS or chain[1] == "event"
+
+    def run(self) -> None:
+        self._block(self.ctx.tree.body, guarded=False)
+
+    def _block(self, stmts: Iterable[ast.stmt], guarded: bool) -> None:
+        guard = guarded
+        for stmt in stmts:
+            self._stmt(stmt, guard)
+            # `if not obs.enabled: return` guards the rest of the block.
+            if (
+                isinstance(stmt, ast.If)
+                and _test_denies_enabled(stmt.test)
+                and stmt.body
+                and _terminates(stmt.body[-1])
+                and not stmt.orelse
+            ):
+                guard = True
+
+    def _stmt(self, stmt: ast.stmt, guarded: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in stmt.decorator_list:
+                self._expr(decorator, guarded)
+            self._block(stmt.body, guarded=False)
+        elif isinstance(stmt, ast.ClassDef):
+            self._block(stmt.body, guarded=False)
+        elif isinstance(stmt, ast.If):
+            if _test_asserts_enabled(stmt.test):
+                self._block(stmt.body, True)
+                self._block(stmt.orelse, guarded)
+            elif _test_denies_enabled(stmt.test):
+                self._block(stmt.body, guarded)
+                self._block(stmt.orelse, True)
+            else:
+                self._expr(stmt.test, guarded)
+                self._block(stmt.body, guarded)
+                self._block(stmt.orelse, guarded)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._expr(stmt.iter, guarded)
+            self._block(stmt.body, guarded)
+            self._block(stmt.orelse, guarded)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.test, guarded)
+            self._block(stmt.body, guarded)
+            self._block(stmt.orelse, guarded)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._expr(item.context_expr, guarded)
+            self._block(stmt.body, guarded)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body, guarded)
+            for handler in stmt.handlers:
+                self._block(handler.body, guarded)
+            self._block(stmt.orelse, guarded)
+            self._block(stmt.finalbody, guarded)
+        else:
+            self._expr(stmt, guarded)
+
+    def _expr(self, node: ast.AST, guarded: bool) -> None:
+        if guarded:
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Call) and self._is_recording_call(sub.func):
+                chain = _attribute_chain(sub.func)
+                dotted = ".".join(chain) if chain else "obs call"
+                self.report(
+                    sub,
+                    f"{dotted}(...) outside an `if obs.enabled:` guard "
+                    "(or an early `if not obs.enabled: return`)",
+                )
+
+
+# ----------------------------------------------------------------------
+# Paper-structure invariants
+# ----------------------------------------------------------------------
+
+
+@register
+class TwigArgMutationChecker(Checker):
+    """Estimators re-decompose one query tree many times; mutating a
+    ``TwigQuery``/``LabeledTree`` argument corrupts later steps."""
+
+    rule = "twig-arg-mutation"
+    description = "no mutation of TwigQuery/LabeledTree parameters"
+
+    _TREE_TYPES = ("TwigQuery", "LabeledTree", "Twig")
+    _MUTATORS = {
+        "add_child",
+        "append",
+        "extend",
+        "insert",
+        "pop",
+        "remove",
+        "clear",
+        "sort",
+        "reverse",
+        "update",
+        "setdefault",
+        "popitem",
+        "add",
+        "discard",
+    }
+
+    def _tracked_params(self, node: _FunctionNode) -> set[str]:
+        tracked: set[str] = set()
+        for arg in _all_arguments(node.args):
+            if arg.annotation is None:
+                continue
+            annotation = ast.unparse(arg.annotation)
+            if any(name in annotation for name in self._TREE_TYPES):
+                tracked.add(arg.arg)
+        return tracked
+
+    def _collect_bound_names(self, target: ast.expr, into: set[str]) -> None:
+        # Only direct (possibly destructured) name bindings rebind the
+        # parameter; `param.attr = x` / `param[k] = x` mutate it instead.
+        if isinstance(target, ast.Name):
+            into.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._collect_bound_names(element, into)
+        elif isinstance(target, ast.Starred):
+            self._collect_bound_names(target.value, into)
+
+    def _rebound_names(self, node: _FunctionNode) -> set[str]:
+        rebound: set[str] = set()
+        for sub in ast.walk(node):
+            targets: list[ast.expr] = []
+            if isinstance(sub, ast.Assign):
+                targets = sub.targets
+            elif isinstance(sub, (ast.AugAssign, ast.AnnAssign, ast.For)):
+                targets = [sub.target]
+            for target in targets:
+                self._collect_bound_names(target, rebound)
+        return rebound
+
+    def _check_function(self, node: _FunctionNode) -> None:
+        tracked = self._tracked_params(node) - self._rebound_names(node)
+        if not tracked:
+            return
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Assign, ast.AugAssign)):
+                targets = sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                for target in targets:
+                    if (
+                        isinstance(target, (ast.Attribute, ast.Subscript))
+                        and _root_name(target) in tracked
+                    ):
+                        self.report(
+                            sub,
+                            f"assignment into parameter "
+                            f"{_root_name(target)!r} mutates the caller's tree",
+                        )
+            elif isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                root = _root_name(sub.func)
+                if root in tracked and sub.func.attr in self._MUTATORS:
+                    self.report(
+                        sub,
+                        f"{root}.{sub.func.attr}(...) mutates the caller's "
+                        "tree; work on a .copy()",
+                    )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+
+@register
+class OpaqueCanonChecker(Checker):
+    """Canonical encodings are opaque keys; structural access must use
+    the ``canon_label``/``canon_children``/``canon_size`` accessors."""
+
+    rule = "opaque-canon"
+    description = "no indexing/slicing/concatenation of canonical encodings"
+
+    _PRODUCERS = {"canon", "canon_of_subtree", "canon_from_nested", "decode_canon"}
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._scopes: list[set[str]] = [set()]
+
+    def _is_producer_call(self, node: ast.expr) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        func = node.func
+        if isinstance(func, ast.Name):
+            return func.id in self._PRODUCERS
+        if isinstance(func, ast.Attribute):
+            return func.attr in self._PRODUCERS
+        return False
+
+    def _is_canon_value(self, node: ast.expr) -> bool:
+        if self._is_producer_call(node):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self._scopes)
+        return False
+
+    def _enter_scope(self, node: _FunctionNode | ast.Lambda) -> None:
+        self._scopes.append(set())
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._enter_scope(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_producer_call(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._scopes[-1].add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    self.report(
+                        node,
+                        "destructuring a canonical encoding; use "
+                        "canon_label()/canon_children() instead",
+                    )
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if (
+            node.value is not None
+            and self._is_producer_call(node.value)
+            and isinstance(node.target, ast.Name)
+        ):
+            self._scopes[-1].add(node.target.id)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if self._is_canon_value(node.value):
+            self.report(
+                node,
+                "indexing/slicing a canonical encoding; use "
+                "canon_label()/canon_children() instead",
+            )
+        self.generic_visit(node)
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Mult)) and (
+            self._is_canon_value(node.left) or self._is_canon_value(node.right)
+        ):
+            self.report(
+                node,
+                "concatenating a canonical encoding; canons are opaque keys",
+            )
+        self.generic_visit(node)
+
+
+@register
+class DictOrderTiebreakChecker(Checker):
+    """``min``/``max`` with a key over a dict/set breaks ties by
+    insertion order, making mining/pruning output build-order dependent."""
+
+    rule = "dict-order-tiebreak"
+    description = "no min/max tie-breaking over dict/set iteration order"
+
+    _VIEW_METHODS = {"keys", "values", "items"}
+    _DICTISH_CALLS = {"dict", "set"}
+    _DICTISH_LITERALS = (ast.Dict, ast.DictComp, ast.Set, ast.SetComp)
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._local_dicts: list[set[str]] = [set()]
+        self._self_dicts: list[set[str]] = []
+
+    def _is_dictish_value(self, node: ast.expr) -> bool:
+        if isinstance(node, self._DICTISH_LITERALS):
+            return True
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in self._DICTISH_CALLS
+        )
+
+    def _is_dictish_expr(self, node: ast.expr) -> bool:
+        if self._is_dictish_value(node):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._VIEW_METHODS
+        ):
+            return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self._local_dicts)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self._self_dicts
+        ):
+            return node.attr in self._self_dicts[-1]
+        return False
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        attrs: set[str] = set()
+        for sub in ast.walk(node):
+            targets: list[ast.expr] = []
+            if isinstance(sub, ast.Assign) and self._is_dictish_value(sub.value):
+                targets = sub.targets
+            elif (
+                isinstance(sub, ast.AnnAssign)
+                and sub.value is not None
+                and self._is_dictish_value(sub.value)
+            ):
+                targets = [sub.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add(target.attr)
+        self._self_dicts.append(attrs)
+        self.generic_visit(node)
+        self._self_dicts.pop()
+
+    def _enter_scope(self, node: _FunctionNode | ast.Lambda) -> None:
+        self._local_dicts.append(set())
+        self.generic_visit(node)
+        self._local_dicts.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_scope(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_scope(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._enter_scope(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_dictish_value(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._local_dicts[-1].add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if (
+            node.value is not None
+            and self._is_dictish_value(node.value)
+            and isinstance(node.target, ast.Name)
+        ):
+            self._local_dicts[-1].add(node.target.id)
+        self.generic_visit(node)
+
+    def _key_breaks_ties(self, node: ast.Call) -> bool:
+        """True when the ``key=`` lambda ends in the element itself —
+        the endorsed ``key=lambda c: (utility(c), c)`` total-order idiom."""
+        for kw in node.keywords:
+            if kw.arg != "key" or not isinstance(kw.value, ast.Lambda):
+                continue
+            lam = kw.value
+            if not lam.args.args:
+                continue
+            param = lam.args.args[0].arg
+            body = lam.body
+            if isinstance(body, ast.Tuple) and any(
+                isinstance(el, ast.Name) and el.id == param for el in body.elts
+            ):
+                return True
+            if isinstance(body, ast.Name) and body.id == param:
+                return True
+        return False
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in ("min", "max")
+            and any(kw.arg == "key" for kw in node.keywords)
+            and node.args
+            and self._is_dictish_expr(node.args[0])
+            and not self._key_breaks_ties(node)
+        ):
+            self.report(
+                node,
+                f"{node.func.id}(..., key=...) over a dict/set breaks ties "
+                "by insertion order; add a total-order tiebreak to the key",
+            )
+        elif (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "next"
+            and node.args
+            and isinstance(node.args[0], ast.Call)
+            and isinstance(node.args[0].func, ast.Name)
+            and node.args[0].func.id == "iter"
+            and node.args[0].args
+            and self._is_dictish_expr(node.args[0].args[0])
+        ):
+            self.report(
+                node,
+                "next(iter(...)) over a dict/set picks by insertion order; "
+                "select deterministically (min/sorted with a full key)",
+            )
+        self.generic_visit(node)
+
+
+@register
+class PublicAnnotationsChecker(Checker):
+    """Public ``repro.core`` / ``repro.trees`` API must be fully typed —
+    these are the modules downstream code builds against."""
+
+    rule = "public-annotations"
+    description = "public core/trees functions need complete annotations"
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        return "repro/core/" in normalized or "repro/trees/" in normalized
+
+    def _is_overload(self, node: _FunctionNode) -> bool:
+        for decorator in node.decorator_list:
+            name = decorator.id if isinstance(decorator, ast.Name) else (
+                decorator.attr if isinstance(decorator, ast.Attribute) else None
+            )
+            if name == "overload":
+                return True
+        return False
+
+    def _check(self, node: _FunctionNode, *, is_method: bool) -> None:
+        if node.name.startswith("_") and not (
+            node.name.startswith("__") and node.name.endswith("__")
+        ):
+            return
+        if self._is_overload(node):
+            return
+        missing: list[str] = []
+        for index, arg in enumerate(_all_arguments(node.args)):
+            if is_method and index == 0 and arg.arg in ("self", "cls"):
+                continue
+            if arg.annotation is None:
+                missing.append(arg.arg)
+        if missing:
+            self.report(
+                node,
+                f"public function {node.name!r} has unannotated "
+                f"parameter(s): {', '.join(missing)}",
+            )
+        if node.returns is None:
+            self.report(
+                node, f"public function {node.name!r} has no return annotation"
+            )
+
+    def visit_Module(self, node: ast.Module) -> None:
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._check(stmt, is_method=False)
+            elif isinstance(stmt, ast.ClassDef) and not stmt.name.startswith("_"):
+                for member in stmt.body:
+                    if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        self._check(member, is_method=True)

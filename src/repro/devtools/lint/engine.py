@@ -1,0 +1,298 @@
+"""The AST lint engine: findings, checker registry, file runner, CLI.
+
+The engine is deliberately small: a checker is an :class:`ast.NodeVisitor`
+subclass with a ``rule`` id and a ``description``; it reports findings
+through its :class:`FileContext`.  The runner parses each file once,
+runs every registered checker over the module AST, filters findings
+suppressed by ``# lint: disable=<rule>`` comments on the offending line,
+and renders the survivors as text or JSON.
+
+Exit codes follow the CLI convention of :mod:`repro.cli`: ``0`` when the
+tree is clean, ``1`` when findings remain, ``2`` for usage errors
+(unknown rule names, paths that do not exist).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import json
+import re
+import sys
+from pathlib import Path
+from typing import ClassVar, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Checker",
+    "register",
+    "all_checkers",
+    "parse_suppressions",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "main",
+]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One lint violation, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+class FileContext:
+    """Per-file state shared by every checker run over that file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.findings: list[Finding] = []
+
+    def report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                path=self.path,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", -1) + 1,
+                rule=rule,
+                message=message,
+            )
+        )
+
+
+class Checker(ast.NodeVisitor):
+    """Base class for lint checks.
+
+    Subclasses set ``rule`` (the id used in reports and ``disable=``
+    comments) and ``description`` (one line, shown by ``--list-rules``),
+    then implement ``visit_*`` methods that call :meth:`report`.  A
+    checker that only makes sense for part of the tree (e.g. public-API
+    rules scoped to ``repro.core``/``repro.trees``) overrides
+    :meth:`applies_to`.
+    """
+
+    rule: ClassVar[str] = ""
+    description: ClassVar[str] = ""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        """Whether this checker should run over ``path`` at all."""
+        return True
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.ctx.report(node, self.rule, message)
+
+    def run(self) -> None:
+        """Run the check over the whole module (default: visit the AST)."""
+        self.visit(self.ctx.tree)
+
+
+_CHECKERS: list[type[Checker]] = []
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding a checker to the global registry."""
+    if not cls.rule:
+        raise ValueError(f"checker {cls.__name__} has no rule id")
+    if any(existing.rule == cls.rule for existing in _CHECKERS):
+        raise ValueError(f"duplicate checker rule id {cls.rule!r}")
+    _CHECKERS.append(cls)
+    return cls
+
+
+def all_checkers() -> tuple[type[Checker], ...]:
+    """Every registered checker, in registration order."""
+    return tuple(_CHECKERS)
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+_DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids disabled on that line.
+
+    The sentinel rule id ``all`` disables every check on the line.
+    Comments attach to the physical line they appear on; put them on the
+    line the finding is reported for.
+    """
+    suppressed: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _DISABLE_RE.search(line)
+        if match:
+            rules = {rule.strip() for rule in match.group(1).split(",")}
+            suppressed[lineno] = rules
+    return suppressed
+
+
+def _is_suppressed(finding: Finding, suppressed: dict[int, set[str]]) -> bool:
+    rules = suppressed.get(finding.line)
+    if rules is None:
+        return False
+    return finding.rule in rules or "all" in rules
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Lint one source string; returns surviving findings, sorted."""
+    wanted = set(rules) if rules is not None else None
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule="syntax-error",
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = FileContext(path, source, tree)
+    for checker_cls in all_checkers():
+        if wanted is not None and checker_cls.rule not in wanted:
+            continue
+        if not checker_cls.applies_to(path):
+            continue
+        checker_cls(ctx).run()
+    suppressed = parse_suppressions(source)
+    return sorted(f for f in ctx.findings if not _is_suppressed(f, suppressed))
+
+
+def lint_file(path: Path, rules: Iterable[str] | None = None) -> list[Finding]:
+    """Lint one file on disk."""
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, str(path), rules)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` (files or directories).
+
+    Raises :class:`FileNotFoundError` for a path that does not exist, so
+    typos in CI configuration fail loudly instead of linting nothing.
+    """
+    for path in paths:
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py") if p.is_file())
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[Path], rules: Iterable[str] | None = None
+) -> list[Finding]:
+    """Lint every Python file under ``paths``; findings sorted by location."""
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        findings.extend(lint_file(file_path, rules))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Project lint: AST checks for TreeLattice invariants.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", type=Path, help="files or directories to lint"
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE",
+        help="run only this rule (repeatable; default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.devtools.lint``."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    known_rules = {cls.rule for cls in all_checkers()}
+    if args.list_rules:
+        for cls in all_checkers():
+            print(f"{cls.rule:24} {cls.description}")
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+    if args.rules:
+        unknown = sorted(set(args.rules) - known_rules)
+        if unknown:
+            print(f"error: unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+
+    try:
+        findings = lint_paths(args.paths, rules=args.rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0

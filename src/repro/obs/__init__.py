@@ -27,6 +27,7 @@ nested captures and library callers cannot clobber each other.
 from __future__ import annotations
 
 from contextlib import contextmanager
+from typing import Iterator
 
 from .export import (
     parse_prometheus_text,
@@ -93,14 +94,16 @@ def disable() -> None:
     tracer = None
 
 
-def event(name: str, **fields) -> None:
+def event(name: str, **fields: object) -> None:
     """Record a trace event when a recorder is active; no-op otherwise."""
     if tracer is not None:
         tracer.record(name, **fields)
 
 
 @contextmanager
-def observed(*, trace: bool = False):
+def observed(
+    *, trace: bool = False
+) -> Iterator[tuple[MetricsRegistry, TraceRecorder | None]]:
     """Scoped capture window: fresh registry (and tracer), state restored.
 
     Yields ``(registry, tracer)``; ``tracer`` is ``None`` unless

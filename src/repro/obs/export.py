@@ -23,6 +23,9 @@ from pathlib import Path
 
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, Timer
 
+#: Sorted ``(label, value)`` pairs keying one parsed sample.
+_LabelPairs = tuple[tuple[str, str], ...]
+
 __all__ = [
     "registry_to_dict",
     "write_metrics_json",
@@ -32,11 +35,11 @@ __all__ = [
 ]
 
 
-def registry_to_dict(registry: MetricsRegistry) -> dict:
+def registry_to_dict(registry: MetricsRegistry) -> dict[str, dict[str, object]]:
     """Plain-data snapshot of every metric in the registry."""
-    out: dict[str, dict] = {}
+    out: dict[str, dict[str, object]] = {}
     for metric in registry:
-        entry: dict = {"type": metric.kind, "help": metric.help}
+        entry: dict[str, object] = {"type": metric.kind, "help": metric.help}
         if isinstance(metric, (Counter, Gauge)):
             if metric.label_names:
                 entry["labels"] = list(metric.label_names)
@@ -54,7 +57,7 @@ def registry_to_dict(registry: MetricsRegistry) -> dict:
     return out
 
 
-def _histogram_dict(histogram: Histogram) -> dict:
+def _histogram_dict(histogram: Histogram) -> dict[str, object]:
     return {
         "count": histogram.count,
         "sum": histogram.sum,
@@ -96,7 +99,12 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
             for labels, value in samples:
                 lines.append(f"{metric.name}{_label_text(labels)} {_num(value)}")
         else:
-            histogram = metric.histogram if isinstance(metric, Timer) else metric
+            histogram = (
+                metric.histogram
+                if isinstance(metric, Timer)
+                else metric
+            )
+            assert isinstance(histogram, Histogram)
             for bound, cumulative in histogram.cumulative():
                 le = "+Inf" if math.isinf(bound) else _num(bound)
                 lines.append(
@@ -126,19 +134,20 @@ def _num(value: float) -> str:
     return repr(value)
 
 
-def parse_prometheus_text(text: str) -> dict[str, dict[tuple, float]]:
+def parse_prometheus_text(text: str) -> dict[str, dict[_LabelPairs, float]]:
     """Parse exposition text back to ``{name: {label_pairs: value}}``.
 
     ``label_pairs`` is a sorted tuple of ``(label, value)`` pairs — the
     empty tuple for unlabelled samples.  Histogram expansions come back
     under their expanded names (``x_bucket``, ``x_sum``, ``x_count``).
     """
-    out: dict[str, dict[tuple, float]] = {}
+    out: dict[str, dict[_LabelPairs, float]] = {}
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
             continue
         body, value_text = line.rsplit(" ", 1)
+        labels: _LabelPairs
         if "{" in body:
             name, label_text = body.split("{", 1)
             labels = _parse_labels(label_text.rstrip("}"))
@@ -149,7 +158,7 @@ def parse_prometheus_text(text: str) -> dict[str, dict[tuple, float]]:
     return out
 
 
-def _parse_labels(text: str) -> tuple:
+def _parse_labels(text: str) -> _LabelPairs:
     pairs: list[tuple[str, str]] = []
     for chunk in _split_label_chunks(text):
         name, raw = chunk.split("=", 1)
@@ -193,7 +202,7 @@ def _split_label_chunks(text: str) -> list[str]:
 # ----------------------------------------------------------------------
 
 
-def summarize_estimation(registry: MetricsRegistry) -> dict:
+def summarize_estimation(registry: MetricsRegistry) -> dict[str, float]:
     """Distil one capture window into the headline estimation numbers.
 
     Returns a flat dict with the quantities the benchmarks report next
@@ -202,7 +211,7 @@ def summarize_estimation(registry: MetricsRegistry) -> dict:
     metrics (an estimator that never decomposes, say) read as zero.
     """
     lookups = registry.get("lattice_lookups_total")
-    outcome = {}
+    outcome: dict[str, float] = {}
     if isinstance(lookups, Counter):
         outcome = {labels["outcome"]: value for labels, value in lookups.samples()}
     hits = outcome.get("hit", 0)

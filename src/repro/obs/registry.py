@@ -24,7 +24,7 @@ from __future__ import annotations
 import math
 import time
 from bisect import bisect_left
-from typing import Iterator
+from typing import Any, Iterator, TypeVar
 
 __all__ = [
     "Counter",
@@ -47,6 +47,8 @@ DEFAULT_COUNT_BUCKETS = (0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 64, 128)
 
 _NO_LABELS: tuple[str, ...] = ()
 
+_M = TypeVar("_M", bound="_Metric")
+
 
 class _Metric:
     """Shared naming/label plumbing of all metric families."""
@@ -54,14 +56,16 @@ class _Metric:
     kind = "metric"
     __slots__ = ("name", "help", "label_names")
 
-    def __init__(self, name: str, help: str = "", label_names: tuple = _NO_LABELS):
+    def __init__(
+        self, name: str, help: str = "", label_names: tuple[str, ...] = _NO_LABELS
+    ) -> None:
         if not name or any(ch.isspace() for ch in name):
             raise ValueError(f"invalid metric name {name!r}")
         self.name = name
         self.help = help
         self.label_names = tuple(label_names)
 
-    def _key(self, labels: dict) -> tuple[str, ...]:
+    def _key(self, labels: dict[str, object]) -> tuple[str, ...]:
         if set(labels) != set(self.label_names):
             raise ValueError(
                 f"{self.name}: expected labels {self.label_names}, "
@@ -76,17 +80,19 @@ class Counter(_Metric):
     kind = "counter"
     __slots__ = ("_values",)
 
-    def __init__(self, name: str, help: str = "", label_names: tuple = _NO_LABELS):
+    def __init__(
+        self, name: str, help: str = "", label_names: tuple[str, ...] = _NO_LABELS
+    ) -> None:
         super().__init__(name, help, label_names)
         self._values: dict[tuple[str, ...], float] = {}
 
-    def inc(self, amount: float = 1, **labels) -> None:
+    def inc(self, amount: float = 1, **labels: object) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge")
         key = self._key(labels)
         self._values[key] = self._values.get(key, 0) + amount
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: object) -> float:
         return self._values.get(self._key(labels), 0)
 
     @property
@@ -105,21 +111,23 @@ class Gauge(_Metric):
     kind = "gauge"
     __slots__ = ("_values",)
 
-    def __init__(self, name: str, help: str = "", label_names: tuple = _NO_LABELS):
+    def __init__(
+        self, name: str, help: str = "", label_names: tuple[str, ...] = _NO_LABELS
+    ) -> None:
         super().__init__(name, help, label_names)
         self._values: dict[tuple[str, ...], float] = {}
 
-    def set(self, value: float, **labels) -> None:
+    def set(self, value: float, **labels: object) -> None:
         self._values[self._key(labels)] = value
 
-    def inc(self, amount: float = 1, **labels) -> None:
+    def inc(self, amount: float = 1, **labels: object) -> None:
         key = self._key(labels)
         self._values[key] = self._values.get(key, 0) + amount
 
-    def dec(self, amount: float = 1, **labels) -> None:
+    def dec(self, amount: float = 1, **labels: object) -> None:
         self.inc(-amount, **labels)
 
-    def value(self, **labels) -> float:
+    def value(self, **labels: object) -> float:
         return self._values.get(self._key(labels), 0)
 
     def samples(self) -> Iterator[tuple[dict[str, str], float]]:
@@ -142,8 +150,8 @@ class Histogram(_Metric):
         self,
         name: str,
         help: str = "",
-        boundaries: tuple = DEFAULT_COUNT_BUCKETS,
-    ):
+        boundaries: tuple[float, ...] = DEFAULT_COUNT_BUCKETS,
+    ) -> None:
         super().__init__(name, help)
         bounds = tuple(float(b) for b in boundaries)
         if not bounds or list(bounds) != sorted(set(bounds)):
@@ -194,8 +202,8 @@ class Timer(_Metric):
         self,
         name: str,
         help: str = "",
-        boundaries: tuple = DEFAULT_TIME_BUCKETS,
-    ):
+        boundaries: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
         super().__init__(name, help)
         self.histogram = Histogram(name, help, boundaries=boundaries)
 
@@ -219,7 +227,7 @@ class _TimerFrame:
 
     __slots__ = ("_timer", "_start", "elapsed")
 
-    def __init__(self, timer: Timer):
+    def __init__(self, timer: Timer) -> None:
         self._timer = timer
         self._start = 0.0
         self.elapsed = 0.0
@@ -228,7 +236,7 @@ class _TimerFrame:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.elapsed = time.perf_counter() - self._start
         self._timer.observe(self.elapsed)
 
@@ -242,30 +250,32 @@ class MetricsRegistry:
     catches name collisions early).
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._metrics: dict[str, _Metric] = {}
 
     # -- get-or-create -------------------------------------------------
 
     def counter(
-        self, name: str, help: str = "", labels: tuple = _NO_LABELS
+        self, name: str, help: str = "", labels: tuple[str, ...] = _NO_LABELS
     ) -> Counter:
         return self._get_or_create(Counter, name, help, label_names=labels)
 
-    def gauge(self, name: str, help: str = "", labels: tuple = _NO_LABELS) -> Gauge:
+    def gauge(
+        self, name: str, help: str = "", labels: tuple[str, ...] = _NO_LABELS
+    ) -> Gauge:
         return self._get_or_create(Gauge, name, help, label_names=labels)
 
     def histogram(
-        self, name: str, help: str = "", buckets: tuple = DEFAULT_COUNT_BUCKETS
+        self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_COUNT_BUCKETS
     ) -> Histogram:
         return self._get_or_create(Histogram, name, help, boundaries=buckets)
 
     def timer(
-        self, name: str, help: str = "", buckets: tuple = DEFAULT_TIME_BUCKETS
+        self, name: str, help: str = "", buckets: tuple[float, ...] = DEFAULT_TIME_BUCKETS
     ) -> Timer:
         return self._get_or_create(Timer, name, help, boundaries=buckets)
 
-    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> "_Metric":
+    def _get_or_create(self, cls: type[_M], name: str, help: str, **kwargs: Any) -> _M:
         existing = self._metrics.get(name)
         if existing is not None:
             if not isinstance(existing, cls):

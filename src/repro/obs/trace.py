@@ -26,15 +26,15 @@ __all__ = ["TraceRecorder"]
 class TraceRecorder:
     """An append-only recorder of structured trace events."""
 
-    def __init__(self):
-        self.events: list[dict] = []
+    def __init__(self) -> None:
+        self.events: list[dict[str, object]] = []
         self._start = time.perf_counter()
         self._depth = 0
         self._seq = 0
 
-    def record(self, event: str, **fields) -> dict:
+    def record(self, event: str, **fields: object) -> dict[str, object]:
         """Append one event; returns the stored dict (already sequenced)."""
-        entry = {
+        entry: dict[str, object] = {
             "seq": self._seq,
             "ts": round(time.perf_counter() - self._start, 9),
             "depth": self._depth,
@@ -45,7 +45,7 @@ class TraceRecorder:
         self.events.append(entry)
         return entry
 
-    def span(self, event: str, **fields) -> "_Span":
+    def span(self, event: str, **fields: object) -> "_Span":
         """Context manager: nested events gain depth, exit emits the span."""
         return _Span(self, event, fields)
 
@@ -54,7 +54,7 @@ class TraceRecorder:
     def __len__(self) -> int:
         return len(self.events)
 
-    def by_event(self, name: str) -> list[dict]:
+    def by_event(self, name: str) -> list[dict[str, object]]:
         return [e for e in self.events if e["event"] == name]
 
     def to_jsonl(self) -> str:
@@ -67,7 +67,9 @@ class TraceRecorder:
 class _Span:
     __slots__ = ("_recorder", "_event", "_fields", "_start")
 
-    def __init__(self, recorder: TraceRecorder, event: str, fields: dict):
+    def __init__(
+        self, recorder: TraceRecorder, event: str, fields: dict[str, object]
+    ) -> None:
         self._recorder = recorder
         self._event = event
         self._fields = fields
@@ -78,7 +80,7 @@ class _Span:
         self._recorder._depth += 1
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         recorder = self._recorder
         recorder._depth -= 1
         elapsed_ms = (time.perf_counter() - self._start) * 1000.0

@@ -19,7 +19,7 @@ backslash-escaped, so arbitrary labels round-trip.
 
 from __future__ import annotations
 
-from .labeled_tree import LabeledTree, TreeBuildError
+from .labeled_tree import LabeledTree, NestedSpec, TreeBuildError
 
 __all__ = [
     "Canon",
@@ -37,7 +37,10 @@ __all__ = [
     "canonical_preorder",
 ]
 
-Canon = tuple  # (label: str, children: tuple[Canon, ...])
+#: A canonical encoding: ``(label, (child_canon, ...))`` with the child
+#: canons sorted.  Treat values as opaque keys — the ``canon_*``
+#: accessors below are the only supported way to look inside.
+Canon = tuple[str, tuple["Canon", ...]]
 
 _ESCAPED = {"(", ")", ",", "\\"}
 
@@ -93,7 +96,7 @@ def canon_size(c: Canon) -> int:
     return total
 
 
-def canon_from_nested(spec) -> Canon:
+def canon_from_nested(spec: NestedSpec) -> Canon:
     """Canon tuple straight from a nested ``(label, [children])`` spec."""
     return canon(LabeledTree.from_nested(spec))
 

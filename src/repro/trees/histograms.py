@@ -62,7 +62,7 @@ class _LabelBins:
 class RangeHistogram:
     """Per-label equi-depth histograms for numeric leaf values."""
 
-    def __init__(self, bins: dict[str, _LabelBins]):
+    def __init__(self, bins: dict[str, _LabelBins]) -> None:
         self._bins = bins
 
     # ------------------------------------------------------------------

@@ -19,16 +19,18 @@ deterministic.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence, Union
 
-__all__ = ["LabeledTree", "TreeBuildError"]
+__all__ = ["LabeledTree", "TreeBuildError", "NestedSpec"]
 
 
 class TreeBuildError(ValueError):
     """Raised when an operation would produce an invalid tree."""
 
 
-NestedSpec = tuple  # (label, [child_spec, ...]) — documented in from_nested
+#: Nested tree spec accepted by :meth:`LabeledTree.from_nested`: either a
+#: bare label (a leaf) or ``(label, [child_spec, ...])``.
+NestedSpec = Union[str, tuple[str, Sequence["NestedSpec"]]]
 
 
 class LabeledTree:
@@ -44,7 +46,7 @@ class LabeledTree:
 
     __slots__ = ("labels", "parents", "children")
 
-    def __init__(self, root_label: str):
+    def __init__(self, root_label: str) -> None:
         self.labels: list[str] = [root_label]
         self.parents: list[int] = [-1]
         self.children: list[list[int]] = [[]]
@@ -75,7 +77,7 @@ class LabeledTree:
         return tree
 
     @staticmethod
-    def _split_spec(spec) -> tuple[str, Sequence]:
+    def _split_spec(spec: NestedSpec) -> tuple[str, Sequence[NestedSpec]]:
         if isinstance(spec, str):
             return spec, ()
         if isinstance(spec, tuple) and len(spec) == 2 and isinstance(spec[0], str):
@@ -324,7 +326,7 @@ class LabeledTree:
 
         return self.size == other.size and encode_tree(self) == encode_tree(other)
 
-    def __eq__(self, other) -> bool:  # structural, unordered
+    def __eq__(self, other: object) -> bool:  # structural, unordered
         if not isinstance(other, LabeledTree):
             return NotImplemented
         return self.isomorphic(other)

@@ -61,7 +61,7 @@ class DocumentIndex:
 
     __slots__ = ("tree", "nodes_by_label", "child_labels")
 
-    def __init__(self, tree: LabeledTree):
+    def __init__(self, tree: LabeledTree) -> None:
         self.tree = tree
         nodes_by_label: dict[str, list[int]] = {}
         child_labels: dict[str, set[str]] = {}

@@ -54,7 +54,7 @@ class RegionIndex:
 
     __slots__ = ("tree", "regions", "streams")
 
-    def __init__(self, tree: LabeledTree):
+    def __init__(self, tree: LabeledTree) -> None:
         self.tree = tree
         self.regions: list[Region] = [None] * tree.size  # type: ignore[list-item]
         self.streams: dict[str, list[Region]] = {}

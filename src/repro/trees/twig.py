@@ -23,13 +23,15 @@ Two textual syntaxes are accepted:
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from .canonical import (
     Canon,
     canon,
     decode_tree,
     encode_tree,
 )
-from .labeled_tree import LabeledTree, TreeBuildError
+from .labeled_tree import LabeledTree, NestedSpec, TreeBuildError
 
 __all__ = ["TwigQuery", "TwigParseError"]
 
@@ -43,7 +45,7 @@ class TwigQuery:
 
     __slots__ = ("tree", "_canon")
 
-    def __init__(self, tree: LabeledTree):
+    def __init__(self, tree: LabeledTree) -> None:
         self.tree = tree
         self._canon: Canon | None = None
 
@@ -77,12 +79,12 @@ class TwigQuery:
         return cls(LabeledTree.from_nested(spec))
 
     @classmethod
-    def from_nested(cls, spec) -> "TwigQuery":
+    def from_nested(cls, spec: NestedSpec) -> "TwigQuery":
         """Build from a nested ``(label, [children])`` spec."""
         return cls(LabeledTree.from_nested(spec))
 
     @classmethod
-    def path(cls, labels) -> "TwigQuery":
+    def path(cls, labels: Iterable[str]) -> "TwigQuery":
         """A pure path query ``labels[0]/.../labels[-1]``."""
         return cls(LabeledTree.path(list(labels)))
 
@@ -132,7 +134,7 @@ class TwigQuery:
                 return labels
             node = kids[0]
 
-    def __eq__(self, other) -> bool:
+    def __eq__(self, other: object) -> bool:
         if not isinstance(other, TwigQuery):
             return NotImplemented
         return self.canonical() == other.canonical()
@@ -149,10 +151,10 @@ class TwigQuery:
 # ----------------------------------------------------------------------
 
 
-def _parse_steps(text: str, pos: int):
+def _parse_steps(text: str, pos: int) -> tuple[NestedSpec, int]:
     """Parse ``label[pred]*(/steps)?`` returning a nested spec."""
     label, pos = _parse_label(text, pos)
-    children = []
+    children: list[NestedSpec] = []
     while pos < len(text) and text[pos] == "[":
         depth = 0
         start = pos + 1

@@ -170,7 +170,7 @@ class PathJoin:
     the count directly comparable to the twig-match semantics.
     """
 
-    def __init__(self, document: LabeledTree):
+    def __init__(self, document: LabeledTree) -> None:
         self.index = RegionIndex(document)
 
     def evaluate(self, labels: list[str]) -> list[tuple[int, ...]]:

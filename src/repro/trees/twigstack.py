@@ -118,7 +118,7 @@ def _emit(
 class TwigStackJoin:
     """Holistic twig evaluation over one document's region index."""
 
-    def __init__(self, document: LabeledTree):
+    def __init__(self, document: LabeledTree) -> None:
         self.document = document
         self.index = RegionIndex(document)
 

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Iterator
 
 from ..mining.freqt import mine_lattice
-from ..trees.canonical import canon, canon_to_tree
+from ..trees.canonical import Canon, canon, canon_to_tree
 from ..trees.labeled_tree import LabeledTree
 from ..trees.matching import DocumentIndex, count_matches
 from ..trees.twig import TwigQuery
@@ -38,7 +39,7 @@ class QueryWorkload:
     def __len__(self) -> int:
         return len(self.queries)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[tuple[TwigQuery, int]]:
         return iter(zip(self.queries, self.true_counts))
 
     def non_zero(self) -> int:
@@ -112,7 +113,7 @@ def negative_workload(
         target = len(positives)
 
     negatives: list[TwigQuery] = []
-    seen: set = set()
+    seen: set[Canon] = set()
     for query in positives.queries:
         if len(negatives) >= target:
             break

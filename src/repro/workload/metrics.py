@@ -88,7 +88,7 @@ class EstimatorEvaluation:
     #: Estimation statistics captured by the observability layer when
     #: ``evaluate_estimator(..., capture_metrics=True)`` ran; see
     #: :func:`repro.obs.summarize_estimation` for the keys.
-    metrics: dict | None = None
+    metrics: dict[str, float] | None = None
 
     @property
     def average_error(self) -> float:
@@ -119,7 +119,7 @@ class EstimatorEvaluation:
         """Fraction of queries estimated as exactly 0 (negative workloads)."""
         if not self.estimates:
             return 0.0
-        return sum(1 for e in self.estimates if e == 0.0) / len(self.estimates)
+        return sum(1 for e in self.estimates if e <= 0.0) / len(self.estimates)
 
     def cdf(self, thresholds: list[float] | None = None) -> list[tuple[float, float]]:
         return error_cdf(self.errors, thresholds)

@@ -1,0 +1,475 @@
+"""The project lint suite: every checker catches its known-bad fixture,
+passes its known-good twin, and the tree it guards is itself clean."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    Finding,
+    all_checkers,
+    lint_paths,
+    lint_source,
+    main,
+    parse_suppressions,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def findings_for(source: str, rule: str, path: str = "<string>") -> list[Finding]:
+    """Run one rule over a dedented snippet, return its findings."""
+    return [
+        f
+        for f in lint_source(textwrap.dedent(source), path=path, rules=[rule])
+        if f.rule == rule
+    ]
+
+
+# ----------------------------------------------------------------------
+# Per-checker fixtures: one known-bad and one known-good snippet each
+# ----------------------------------------------------------------------
+
+
+def test_mutable_default_bad():
+    findings = findings_for(
+        """
+        def f(xs=[]):
+            return xs
+        """,
+        "mutable-default",
+    )
+    assert [f.line for f in findings] == [2]
+
+
+def test_mutable_default_call_and_lambda_bad():
+    findings = findings_for(
+        """
+        def f(mapping=dict()):
+            g = lambda acc={1}: acc
+            return mapping, g
+        """,
+        "mutable-default",
+    )
+    assert [f.line for f in findings] == [2, 3]
+
+
+def test_mutable_default_good():
+    assert not findings_for(
+        """
+        def f(xs=None, n=0, name="x", pair=(1, 2)):
+            return xs
+        """,
+        "mutable-default",
+    )
+
+
+def test_bare_except_bad():
+    findings = findings_for(
+        """
+        try:
+            risky()
+        except:
+            pass
+        """,
+        "bare-except",
+    )
+    assert [f.line for f in findings] == [4]
+
+
+def test_bare_except_good():
+    assert not findings_for(
+        """
+        try:
+            risky()
+        except ValueError:
+            pass
+        """,
+        "bare-except",
+    )
+
+
+def test_float_eq_bad_on_estimate_names():
+    findings = findings_for(
+        """
+        def check(estimate, true):
+            if estimate == 0.0:
+                return True
+            return estimate != true
+        """,
+        "float-eq",
+    )
+    assert [f.line for f in findings] == [3, 5]
+
+
+def test_float_eq_bad_on_float_literal():
+    findings = findings_for(
+        """
+        def check(x):
+            return x == 1.5
+        """,
+        "float-eq",
+    )
+    assert [f.line for f in findings] == [3]
+
+
+def test_float_eq_good_sentinel_and_ints():
+    assert not findings_for(
+        """
+        def check(estimate, n):
+            if estimate <= 0.0:
+                return True
+            return n == 3
+        """,
+        "float-eq",
+    )
+
+
+def test_float_eq_skips_test_files():
+    bad = """
+    def test_value(estimate):
+        assert estimate == 6.0
+    """
+    assert findings_for(bad, "float-eq", path="src/repro/core/x.py")
+    assert not findings_for(bad, "float-eq", path="tests/test_x.py")
+    assert not findings_for(bad, "float-eq", path="benchmarks/bench_x.py")
+
+
+def test_unguarded_obs_bad():
+    findings = findings_for(
+        """
+        from repro import obs
+
+        def record(n):
+            obs.registry.counter("total").inc()
+            obs.event("tick", n=n)
+        """,
+        "unguarded-obs",
+    )
+    assert [f.line for f in findings] == [5, 6]
+
+
+def test_unguarded_obs_good_if_guard():
+    assert not findings_for(
+        """
+        from repro import obs
+
+        def record(n):
+            if obs.enabled:
+                obs.registry.counter("total").inc()
+                obs.event("tick", n=n)
+        """,
+        "unguarded-obs",
+    )
+
+
+def test_unguarded_obs_good_early_return_guard():
+    assert not findings_for(
+        """
+        from repro import obs
+
+        def record(n):
+            if not obs.enabled:
+                return
+            obs.event("tick", n=n)
+        """,
+        "unguarded-obs",
+    )
+
+
+def test_unguarded_obs_guard_resets_in_nested_function():
+    findings = findings_for(
+        """
+        from repro import obs
+
+        def outer():
+            if obs.enabled:
+                def inner():
+                    obs.event("tick")
+                inner()
+        """,
+        "unguarded-obs",
+    )
+    assert [f.line for f in findings] == [7]
+
+
+def test_twig_arg_mutation_bad():
+    findings = findings_for(
+        """
+        def estimate(query: TwigQuery) -> float:
+            query.tree = None
+            query.add_child(0, "a")
+            return 0.0
+        """,
+        "twig-arg-mutation",
+    )
+    assert [f.line for f in findings] == [3, 4]
+
+
+def test_twig_arg_mutation_good_copy():
+    assert not findings_for(
+        """
+        def estimate(query: TwigQuery) -> float:
+            work = query.copy()
+            work.add_child(0, "a")
+            return 0.0
+        """,
+        "twig-arg-mutation",
+    )
+
+
+def test_twig_arg_mutation_ignores_rebound_params():
+    assert not findings_for(
+        """
+        def normalise(tree: LabeledTree) -> LabeledTree:
+            tree = tree.copy()
+            tree.add_child(0, "a")
+            return tree
+        """,
+        "twig-arg-mutation",
+    )
+
+
+def test_opaque_canon_bad():
+    findings = findings_for(
+        """
+        def peek(tree):
+            c = canon(tree)
+            label = c[0]
+            merged = c + c
+            head, kids = canon(tree)
+            return label, merged, head, kids
+        """,
+        "opaque-canon",
+    )
+    assert [f.line for f in findings] == [4, 5, 6]
+
+
+def test_opaque_canon_good_accessors():
+    assert not findings_for(
+        """
+        def peek(tree):
+            c = canon(tree)
+            return canon_label(c), canon_children(c), canon_size(c)
+        """,
+        "opaque-canon",
+    )
+
+
+def test_dict_order_tiebreak_bad():
+    findings = findings_for(
+        """
+        def evict(hits):
+            learned = {}
+            victim = min(learned, key=lambda c: hits[c])
+            first = next(iter(learned))
+            return victim, first
+        """,
+        "dict-order-tiebreak",
+    )
+    assert [f.line for f in findings] == [4, 5]
+
+
+def test_dict_order_tiebreak_good_total_order_key():
+    assert not findings_for(
+        """
+        def evict(hits):
+            learned = {}
+            return min(learned, key=lambda c: (hits[c], c))
+        """,
+        "dict-order-tiebreak",
+    )
+
+
+def test_dict_order_tiebreak_tracks_self_attributes():
+    findings = findings_for(
+        """
+        class Store:
+            def __init__(self):
+                self._learned: dict = {}
+
+            def evict(self):
+                return min(self._learned, key=lambda c: len(c))
+        """,
+        "dict-order-tiebreak",
+    )
+    assert [f.line for f in findings] == [7]
+
+
+def test_public_annotations_bad():
+    findings = findings_for(
+        """
+        def estimate(query) -> float:
+            return 0.0
+
+        class Estimator:
+            def fit(self, data):
+                pass
+        """,
+        "public-annotations",
+        path="src/repro/core/fake.py",
+    )
+    assert [(f.line, "parameter" in f.message) for f in findings] == [
+        (2, True),
+        (6, False),
+        (6, True),
+    ]
+
+
+def test_public_annotations_good_and_scoped():
+    good = """
+    def estimate(query: str) -> float:
+        return 0.0
+
+    def _private(x):
+        return x
+    """
+    assert not findings_for(good, "public-annotations", path="src/repro/core/fake.py")
+    bad = """
+    def estimate(query) -> float:
+        return 0.0
+    """
+    # Out of the rule's scope: modules outside repro.core / repro.trees.
+    assert not findings_for(bad, "public-annotations", path="src/repro/cli.py")
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour
+# ----------------------------------------------------------------------
+
+
+def test_suppression_comment_silences_one_rule():
+    source = textwrap.dedent(
+        """
+        try:
+            risky()
+        except:  # lint: disable=bare-except -- third-party raises anything
+            pass
+        """
+    )
+    assert not lint_source(source, rules=["bare-except"])
+
+
+def test_suppression_all_sentinel():
+    source = textwrap.dedent(
+        """
+        def f(xs=[]):  # lint: disable=all
+            return xs
+        """
+    )
+    assert not lint_source(source)
+
+
+def test_suppression_on_other_line_does_not_apply():
+    source = textwrap.dedent(
+        """
+        # lint: disable=bare-except
+        try:
+            risky()
+        except:
+            pass
+        """
+    )
+    assert lint_source(source, rules=["bare-except"])
+
+
+def test_parse_suppressions_multiple_rules():
+    sup = parse_suppressions("x = 1  # lint: disable=float-eq, bare-except\n")
+    assert sup == {1: {"float-eq", "bare-except"}}
+
+
+def test_syntax_error_becomes_finding():
+    findings = lint_source("def broken(:\n")
+    assert [f.rule for f in findings] == ["syntax-error"]
+
+
+def test_checker_registry_has_all_documented_rules():
+    rules = {cls.rule for cls in all_checkers()}
+    assert rules == {
+        "mutable-default",
+        "bare-except",
+        "float-eq",
+        "unguarded-obs",
+        "twig-arg-mutation",
+        "opaque-canon",
+        "dict-order-tiebreak",
+        "public-annotations",
+    }
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_clean_file_exits_zero(tmp_path, capsys):
+    target = tmp_path / "clean.py"
+    target.write_text("x = 1\n")
+    assert main([str(target)]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_cli_findings_exit_one_text(tmp_path, capsys):
+    target = tmp_path / "dirty.py"
+    target.write_text("def f(xs=[]):\n    return xs\n")
+    assert main([str(target)]) == 1
+    out = capsys.readouterr().out
+    assert "[mutable-default]" in out
+    assert f"{target}:1:" in out
+
+
+def test_cli_json_format(tmp_path, capsys):
+    target = tmp_path / "dirty.py"
+    target.write_text("def f(xs=[]):\n    return xs\n")
+    assert main(["--format", "json", str(target)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == 1
+    assert payload["findings"][0]["rule"] == "mutable-default"
+    assert payload["findings"][0]["line"] == 1
+
+
+def test_cli_unknown_rule_exits_two(tmp_path, capsys):
+    target = tmp_path / "clean.py"
+    target.write_text("x = 1\n")
+    assert main(["--rule", "no-such-rule", str(target)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_cli_missing_path_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path / "missing")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_cli_no_paths_exits_two(capsys):
+    assert main([]) == 2
+    assert "no paths" in capsys.readouterr().err
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for cls in all_checkers():
+        assert cls.rule in out
+
+
+def test_cli_rule_filter_runs_only_selected(tmp_path):
+    target = tmp_path / "dirty.py"
+    target.write_text("def f(xs=[]):\n    try:\n        pass\n    except:\n        pass\n")
+    findings = lint_paths([target], rules=["bare-except"])
+    assert {f.rule for f in findings} == {"bare-except"}
+
+
+# ----------------------------------------------------------------------
+# Self-check: the tree the linter guards is clean
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("subdir", ["src/repro", "tests", "benchmarks"])
+def test_repository_is_lint_clean(subdir):
+    root = REPO_ROOT / subdir
+    if not root.exists():
+        pytest.skip(f"{subdir} not present")
+    findings = lint_paths([root])
+    assert findings == [], "\n".join(f.render() for f in findings)

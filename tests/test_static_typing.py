@@ -1,0 +1,36 @@
+"""Strict-typing gate: ``mypy --strict src/repro`` must be clean.
+
+Skipped when mypy is not installed (the library itself has zero
+dependencies; CI installs mypy for its lint job).  The package also
+ships ``py.typed`` so downstream type checkers see the annotations.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_py_typed_marker_ships_with_the_package():
+    assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
+    assert 'repro = ["py.typed"]' in (REPO_ROOT / "pyproject.toml").read_text()
+
+
+@pytest.mark.skipif(
+    importlib.util.find_spec("mypy") is None, reason="mypy not installed"
+)
+def test_mypy_strict_is_clean():
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--strict", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
