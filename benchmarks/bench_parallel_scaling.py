@@ -1,0 +1,126 @@
+"""Parallel lattice construction scaling + batched estimation identity.
+
+Not a paper figure: this benchmark guards the ``repro.parallel``
+subsystem.  It reports how summary construction scales with worker
+processes on the synthetic Table-3 dataset, asserts that every parallel
+result is bit-identical to the serial one (levels, counts, and dict
+order), and that the batched estimation API returns exactly the
+per-query estimates.
+
+The >= 1.5x speedup gate only arms when the machine actually has >= 4
+usable cores *and* the serial mine is long enough for pool startup to
+amortise; on small CI boxes the benchmark still runs (and still asserts
+bit-identity) but reports timings without failing on hardware it cannot
+control.  ``REPRO_BENCH_SCALE`` shrinks the dataset for smoke runs.
+"""
+
+import os
+import time
+
+from repro.bench import emit_report, format_table, prepare_dataset
+from repro.core.recursive import RecursiveDecompositionEstimator
+from repro.mining.freqt import mine_lattice
+from repro.parallel import available_workers
+
+DATASET = "nasa"
+LEVEL = 4
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "0")) or None
+WORKER_COUNTS = (2, 4)
+SPEEDUP_TARGET = 1.5
+#: Below this serial wall time, pool startup dominates and the speedup
+#: assertion would measure the fork cost, not the mining scalability.
+MIN_SERIAL_SECONDS = 1.0
+
+
+def _assert_bit_identical(serial, parallel):
+    assert serial.levels.keys() == parallel.levels.keys()
+    for size, level in serial.levels.items():
+        assert list(parallel.levels[size].items()) == list(level.items()), (
+            f"level {size} diverged between serial and parallel mining"
+        )
+
+
+def test_parallel_construction_scaling():
+    bundle = prepare_dataset(DATASET, scale=SCALE)
+
+    start = time.perf_counter()
+    serial = mine_lattice(bundle.index, LEVEL)
+    serial_seconds = time.perf_counter() - start
+
+    rows = [["serial", f"{serial_seconds:.2f}", "1.00x"]]
+    speedups = {}
+    for workers in WORKER_COUNTS:
+        start = time.perf_counter()
+        parallel = mine_lattice(bundle.index, LEVEL, workers=workers)
+        seconds = time.perf_counter() - start
+        _assert_bit_identical(serial, parallel)
+        speedups[workers] = serial_seconds / max(seconds, 1e-9)
+        rows.append(
+            [f"{workers} workers", f"{seconds:.2f}", f"{speedups[workers]:.2f}x"]
+        )
+
+    cores = available_workers()
+    emit_report(
+        "parallel_scaling",
+        format_table(
+            f"Parallel lattice construction ({DATASET}, level {LEVEL}, "
+            f"{bundle.document.size} nodes, {cores} cores)",
+            ["mode", "seconds", "speedup"],
+            rows,
+            note=(
+                "Every parallel mine is asserted bit-identical to the "
+                "serial one; speedup gate arms at >= 4 cores and >= "
+                f"{MIN_SERIAL_SECONDS:.0f}s serial time."
+            ),
+        ),
+    )
+
+    if cores >= 4 and serial_seconds >= MIN_SERIAL_SECONDS:
+        assert speedups[4] >= SPEEDUP_TARGET, (
+            f"4-worker construction speedup {speedups[4]:.2f}x is below "
+            f"the {SPEEDUP_TARGET}x target on a {cores}-core machine"
+        )
+
+
+def test_batched_estimation_matches_per_query():
+    bundle = prepare_dataset(DATASET, scale=SCALE)
+    workload = bundle.positive([6, 7, 8], 25)
+    queries = [q for size in (6, 7, 8) for q in workload[size].queries]
+    estimator = RecursiveDecompositionEstimator(bundle.lattice, voting=True)
+
+    start = time.perf_counter()
+    per_query = [estimator.estimate(q) for q in queries]
+    loop_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = estimator.estimate_batch(queries)
+    batch_seconds = time.perf_counter() - start
+
+    assert batched == per_query, "batched estimates diverged from per-query"
+    fanned = estimator.estimate_batch(queries, workers=2)
+    assert fanned == per_query, "parallel fan-out diverged from per-query"
+
+    emit_report(
+        "batch_estimation",
+        format_table(
+            f"Batched estimation ({DATASET}, {len(queries)} queries, "
+            "voting estimator)",
+            ["mode", "seconds", "per query ms"],
+            [
+                [
+                    "per-query loop",
+                    f"{loop_seconds:.3f}",
+                    f"{loop_seconds / len(queries) * 1000:.3f}",
+                ],
+                [
+                    "estimate_batch (shared memo)",
+                    f"{batch_seconds:.3f}",
+                    f"{batch_seconds / len(queries) * 1000:.3f}",
+                ],
+            ],
+            note=(
+                "The batch path shares one sub-twig memo across the whole "
+                "workload; all three result streams are asserted equal."
+            ),
+        ),
+    )

@@ -1,0 +1,216 @@
+"""Benchmark-regression smoke gate (run by the ``bench-smoke`` CI job).
+
+A fast, fixed-seed slice of the Table-3 construction benchmark plus the
+parallel/batch identity checks, producing a ``BENCH_pr.json`` artifact:
+
+* mines each smoke dataset serially and with 2 workers, failing on any
+  serial-vs-parallel divergence (bit-identity, dict order included);
+* checks ``estimate_batch`` (serial and fanned out) against per-query
+  ``estimate`` for the recursive, voting, and fix-sized estimators;
+* compares construction time against a checked-in baseline JSON and
+  fails when it regresses more than ``--factor`` (default 2x).
+
+Wall-clock baselines recorded on one machine are meaningless on
+another, so both the baseline and the current run time a fixed
+pure-Python calibration loop; the regression threshold is scaled by the
+calibration ratio before comparing.  Pattern counts are also pinned
+against the baseline — mining is deterministic, so any drift is a
+correctness bug, not noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_smoke.py \
+        --output BENCH_pr.json --baseline benchmarks/BENCH_baseline.json
+
+Exit codes: 0 ok; 1 divergence or regression; 2 usage errors.
+Regenerate the baseline after an intentional perf change with
+``--write-baseline benchmarks/BENCH_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.fixed import FixedDecompositionEstimator
+from repro.core.lattice import LatticeSummary
+from repro.core.recursive import RecursiveDecompositionEstimator
+from repro.datasets import generate_dataset
+from repro.mining.freqt import MiningResult, mine_lattice
+from repro.trees.matching import DocumentIndex
+from repro.workload.generator import positive_workloads
+
+SCHEMA = 1
+LEVEL = 4
+WORKERS = 2
+#: (dataset, scale): tiny fixed-seed slices of the paper's Table 3 corpora.
+SMOKE_DATASETS = (("nasa", 40), ("xmark", 30))
+QUERY_SIZES = (5, 6)
+QUERIES_PER_SIZE = 10
+
+
+def calibration_seconds() -> float:
+    """Best-of-3 timing of a fixed spin loop, for cross-machine scaling."""
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        acc = 0
+        for value in range(400_000):
+            acc += value * value
+        best = min(best, time.perf_counter() - start)
+    assert acc  # keep the loop observable
+    return best
+
+
+def mining_divergence(serial: MiningResult, parallel: MiningResult) -> str | None:
+    """Human-readable description of the first divergence, or ``None``."""
+    if serial.levels.keys() != parallel.levels.keys():
+        return f"level sets differ: {sorted(serial.levels)} vs {sorted(parallel.levels)}"
+    for size, level in serial.levels.items():
+        if list(parallel.levels[size].items()) != list(level.items()):
+            return f"level {size} counts or order differ"
+    return None
+
+
+def run_dataset(name: str, scale: int) -> tuple[dict[str, object], list[str]]:
+    """Measure one smoke dataset; returns (metrics row, failure messages)."""
+    failures: list[str] = []
+    document = generate_dataset(name, scale, seed=0)
+    index = DocumentIndex(document)
+
+    start = time.perf_counter()
+    serial = mine_lattice(index, LEVEL)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = mine_lattice(index, LEVEL, workers=WORKERS)
+    parallel_seconds = time.perf_counter() - start
+
+    divergence = mining_divergence(serial, parallel)
+    if divergence is not None:
+        failures.append(f"{name}: serial vs parallel mining diverged: {divergence}")
+
+    summary = LatticeSummary.from_mining(serial)
+    workloads = positive_workloads(index, list(QUERY_SIZES), QUERIES_PER_SIZE, seed=1)
+    queries = [q for size in QUERY_SIZES for q in workloads[size].queries]
+    estimators = (
+        RecursiveDecompositionEstimator(summary),
+        RecursiveDecompositionEstimator(summary, voting=True),
+        FixedDecompositionEstimator(summary),
+    )
+    for estimator in estimators:
+        per_query = [estimator.estimate(q) for q in queries]
+        if estimator.estimate_batch(queries) != per_query:
+            failures.append(f"{name}: {estimator.name}: estimate_batch diverged")
+        if estimator.estimate_batch(queries, workers=WORKERS) != per_query:
+            failures.append(
+                f"{name}: {estimator.name}: parallel estimate_batch diverged"
+            )
+
+    row: dict[str, object] = {
+        "nodes": document.size,
+        "patterns": serial.total_patterns(),
+        "queries": len(queries),
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+    }
+    return row, failures
+
+
+def compare_to_baseline(
+    current: dict[str, object], baseline: dict[str, object], factor: float
+) -> list[str]:
+    """Failure messages for regressions of ``current`` vs ``baseline``."""
+    failures: list[str] = []
+    base_calibration = float(str(baseline.get("calibration_seconds", 0.0)))
+    calibration = float(str(current["calibration_seconds"]))
+    machine_ratio = calibration / base_calibration if base_calibration > 0 else 1.0
+    current_rows = dict(current["datasets"])
+    baseline_rows = dict(baseline.get("datasets", {}))
+    for name, base_row in baseline_rows.items():
+        row = current_rows.get(name)
+        if row is None:
+            failures.append(f"{name}: present in baseline but not measured")
+            continue
+        if row["patterns"] != base_row["patterns"]:
+            failures.append(
+                f"{name}: pattern count drifted "
+                f"({row['patterns']} vs baseline {base_row['patterns']})"
+            )
+        allowed = float(base_row["serial_seconds"]) * factor * max(machine_ratio, 1e-9)
+        measured = float(row["serial_seconds"])
+        if measured > allowed:
+            failures.append(
+                f"{name}: construction regressed: {measured:.3f}s > "
+                f"{allowed:.3f}s allowed ({factor}x baseline "
+                f"{base_row['serial_seconds']}s, machine ratio "
+                f"{machine_ratio:.2f})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write the run's metrics JSON here")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="checked-in baseline JSON to gate against")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="allowed serial-time regression factor (default 2.0)")
+    parser.add_argument("--write-baseline", default=None, metavar="PATH",
+                        help="record this run as the new baseline and exit")
+    args = parser.parse_args(argv)
+
+    datasets: dict[str, dict[str, object]] = {}
+    report: dict[str, object] = {
+        "schema": SCHEMA,
+        "level": LEVEL,
+        "workers": WORKERS,
+        "calibration_seconds": round(calibration_seconds(), 4),
+        "datasets": datasets,
+    }
+    failures: list[str] = []
+    for name, scale in SMOKE_DATASETS:
+        row, dataset_failures = run_dataset(name, scale)
+        datasets[name] = row
+        failures.extend(dataset_failures)
+        print(
+            f"{name:8} nodes={row['nodes']:<6} patterns={row['patterns']:<5} "
+            f"serial={row['serial_seconds']}s parallel={row['parallel_seconds']}s"
+        )
+
+    if args.write_baseline:
+        Path(args.write_baseline).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"baseline written to {args.write_baseline}")
+        return 0
+
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"metrics written to {args.output}")
+
+    if args.baseline:
+        try:
+            baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {args.baseline!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        failures.extend(compare_to_baseline(report, baseline, args.factor))
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if failures:
+        return 1
+    print("bench-smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,7 +11,13 @@ Paper reference (Table 3):
 The shape to reproduce: TreeLattice's off-the-shelf tree mining builds
 its summary one to two orders of magnitude faster than TreeSketches'
 bottom-up clustering, at comparable (often smaller) summary sizes.
+
+``REPRO_BENCH_SCALE`` shrinks every dataset to a fixed node budget so
+the CI ``bench-smoke`` job can run this on a tiny corpus; unset, the
+full synthetic scales are used.
 """
+
+import os
 
 from repro.baselines import TreeSketch
 from repro.bench import (
@@ -23,9 +29,11 @@ from repro.bench import (
 )
 from repro.core import LatticeSummary
 
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "0")) or None
+
 
 def test_table3_construction_time_and_memory(benchmark):
-    bundles = {name: prepare_dataset(name) for name in PAPER_DATASETS}
+    bundles = {name: prepare_dataset(name, scale=SCALE) for name in PAPER_DATASETS}
 
     # The benchmarked operation: building the nasa 4-lattice from scratch.
     benchmark.pedantic(
@@ -78,7 +86,7 @@ def test_table3_construction_time_and_memory(benchmark):
 
 def test_table3_sketch_construction_cost(benchmark):
     """Time one TreeSketch build on its own (the slow column)."""
-    bundle = prepare_dataset("nasa")
+    bundle = prepare_dataset("nasa", scale=SCALE)
     benchmark.pedantic(
         TreeSketch.build,
         args=(bundle.document, sketch_budget_for(bundle.document)),

@@ -86,9 +86,15 @@ class DatasetBundle:
         return out
 
     def mining_level_rows(self) -> list[list[object]]:
-        """``[size, candidates, kept, seconds]`` rows from build metrics."""
+        """``[size, candidates, kept, gen_s, count_s, seconds]`` rows.
+
+        Candidate-generation and counting wall time are separate spans
+        (only counting parallelises; see ``docs/parallelism.md``).
+        """
         candidates = self.build_metrics.get("mining_candidates_total", {})
         kept = self.build_metrics.get("mining_patterns_kept_total", {})
+        generation = self.build_metrics.get("mining_candidate_seconds", {})
+        counting = self.build_metrics.get("mining_counting_seconds", {})
         seconds = self.build_metrics.get("mining_level_seconds", {})
         rows: list[list[object]] = []
         for size in sorted(candidates, key=int):
@@ -97,6 +103,8 @@ class DatasetBundle:
                     int(size),
                     candidates.get(size, 0),
                     kept.get(size, 0),
+                    generation.get(size, 0.0),
+                    counting.get(size, 0.0),
                     seconds.get(size, 0.0),
                 ]
             )
@@ -150,7 +158,9 @@ def _samples_by_size(registry: obs.MetricsRegistry, name: str) -> dict[str, floa
     return {labels["size"]: value for labels, value in metric.samples()}
 
 
-_BUNDLES: dict[tuple[str, int | None, int, int, int | None, int], DatasetBundle] = {}
+_BUNDLES: dict[
+    tuple[str, int | None, int, int, int | None, int, int | None], DatasetBundle
+] = {}
 
 
 def prepare_dataset(
@@ -161,15 +171,19 @@ def prepare_dataset(
     level: int = 4,
     sketch_budget: int | None = None,
     refinement_rounds: int = 8,
+    workers: int | None = None,
     use_cache: bool = True,
 ) -> DatasetBundle:
     """Build (or fetch from cache) the bundle for one dataset.
 
     Parameters mirror the experiment knobs: ``scale`` the dataset size,
     ``level`` the lattice level (paper default 4), ``sketch_budget`` the
-    TreeSketch byte budget (paper-proportional when ``None``).
+    TreeSketch byte budget (paper-proportional when ``None``), and
+    ``workers`` the lattice-construction worker processes (summaries are
+    bit-identical at any worker count, but the cache keys on it so
+    serial-vs-parallel timing comparisons stay honest).
     """
-    key = (name, scale, seed, level, sketch_budget, refinement_rounds)
+    key = (name, scale, seed, level, sketch_budget, refinement_rounds, workers)
     if use_cache:
         cached = _BUNDLES.get(key)
         if cached is not None:
@@ -180,13 +194,15 @@ def prepare_dataset(
 
     start = time.perf_counter()
     with obs.observed() as (registry, _):
-        lattice = LatticeSummary.build(index, level)
+        lattice = LatticeSummary.build(index, level, workers=workers)
     lattice_seconds = time.perf_counter() - start
     build_metrics = {
         metric: _samples_by_size(registry, metric)
         for metric in (
             "mining_candidates_total",
             "mining_patterns_kept_total",
+            "mining_candidate_seconds",
+            "mining_counting_seconds",
             "mining_level_seconds",
         )
     }

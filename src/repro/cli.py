@@ -2,9 +2,11 @@
 
 Subcommands mirror the deployment workflow:
 
-* ``summarize`` — parse an XML file, mine its k-lattice, optionally
-  prune δ-derivable patterns, write the summary to disk;
-* ``estimate`` — estimate a twig query against a saved summary;
+* ``summarize`` — parse an XML file, mine its k-lattice (optionally in
+  parallel with ``--workers``), optionally prune δ-derivable patterns,
+  write the summary to disk;
+* ``estimate`` — estimate a twig query against a saved summary, or a
+  whole workload file with ``--batch`` (fanned out with ``--workers``);
 * ``explain`` — show the full decomposition trace of an estimate;
 * ``exact`` — exact match count straight off the document (ground truth);
 * ``mine`` — report occurring-pattern counts per level (Table 2 style);
@@ -87,12 +89,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--attributes", action="store_true", help="model attributes as child nodes"
     )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for mining (0 = one per core; default serial)",
+    )
     _add_observability_flags(p)
     p.set_defaults(handler=_cmd_summarize)
 
     p = sub.add_parser("estimate", help="estimate a twig query from a summary")
     p.add_argument("summary", help="summary file written by 'summarize'")
-    p.add_argument("query", help="twig query (XPath subset or pattern codec)")
+    p.add_argument(
+        "query",
+        nargs="?",
+        default=None,
+        help="twig query (XPath subset or pattern codec)",
+    )
+    p.add_argument(
+        "--batch",
+        metavar="FILE",
+        default=None,
+        help="estimate every query in FILE (one per line, # comments)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --batch (0 = one per core; default serial)",
+    )
     p.add_argument(
         "--estimator",
         choices=("recursive", "voting", "fixed", "markov"),
@@ -230,7 +257,7 @@ def _do_summarize(args: argparse.Namespace) -> int:
     parse_seconds = time.perf_counter() - start
     print(f"parsed {document.size} nodes in {parse_seconds:.2f}s")
 
-    summary = LatticeSummary.build(document, args.level)
+    summary = LatticeSummary.build(document, args.level, workers=args.workers)
     print(
         f"mined {summary.num_patterns} patterns "
         f"({summary.byte_size()} bytes) in {summary.construction_seconds:.2f}s"
@@ -262,9 +289,15 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 
 
 def _do_estimate(args: argparse.Namespace) -> int:
+    if args.batch is not None and args.query is not None:
+        raise CliUsageError("give either a query or --batch FILE, not both")
     summary = _load_summary(args.summary)
-    query = _parse_query(args.query)
     estimator = _estimator_for(args.estimator, summary)
+    if args.batch is not None:
+        return _do_estimate_batch(args, estimator)
+    if args.query is None:
+        raise CliUsageError("missing query (or use --batch FILE)")
+    query = _parse_query(args.query)
     start = time.perf_counter()
     estimate = estimator.estimate(query)
     elapsed_ms = (time.perf_counter() - start) * 1000
@@ -272,6 +305,41 @@ def _do_estimate(args: argparse.Namespace) -> int:
     print(f"estimator : {estimator.name}")
     print(f"estimate  : {estimate:.2f}  (~{max(0, round(estimate))} matches)")
     print(f"time      : {elapsed_ms:.2f}ms")
+    return 0
+
+
+def _read_batch_file(path: str) -> list[str]:
+    """Query texts from a batch file: one per line, blank/# lines skipped."""
+    try:
+        lines = open(path, encoding="utf-8").read().splitlines()
+    except OSError as exc:
+        raise CliUsageError(f"cannot read batch file {path!r}: {exc}") from exc
+    texts = [
+        line.strip()
+        for line in lines
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+    if not texts:
+        raise CliUsageError(f"batch file {path!r} contains no queries")
+    return texts
+
+
+def _do_estimate_batch(
+    args: argparse.Namespace, estimator: SelectivityEstimator
+) -> int:
+    texts = _read_batch_file(args.batch)
+    queries = [_parse_query(text) for text in texts]
+    start = time.perf_counter()
+    estimates = estimator.estimate_batch(queries, workers=args.workers)
+    elapsed_ms = (time.perf_counter() - start) * 1000
+    print(f"estimator : {estimator.name}")
+    print(f"queries   : {len(queries)}  (from {args.batch})")
+    for text, estimate in zip(texts, estimates):
+        print(f"{text} ~= {estimate:.2f}")
+    print(
+        f"time      : {elapsed_ms:.2f}ms total, "
+        f"{elapsed_ms / len(queries):.3f}ms/query"
+    )
     return 0
 
 

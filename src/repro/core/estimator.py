@@ -9,7 +9,9 @@ syntax — and returns a non-negative float estimate of its selectivity
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Sequence
 
+from .. import obs
 from ..trees.canonical import Canon, canon_to_tree
 from ..trees.labeled_tree import LabeledTree
 from ..trees.twig import TwigQuery
@@ -52,6 +54,60 @@ class SelectivityEstimator(ABC):
     def estimate_count(self, query: QueryLike) -> int:
         """Estimate rounded to an integer count (approximate COUNT answer)."""
         return max(0, round(self.estimate(query)))
+
+    def estimate_batch(
+        self,
+        queries: Sequence[QueryLike],
+        *,
+        workers: int | None = None,
+        chunk_size: int | None = None,
+    ) -> list[float]:
+        """Estimate a whole workload in one call.
+
+        The values are exactly ``[self.estimate(q) for q in queries]`` —
+        batching never changes an estimate — but subclasses share work
+        across the batch (the recursive/voting estimator reuses sub-twig
+        selectivities through one cross-query memo, see
+        :meth:`~repro.core.recursive.RecursiveDecompositionEstimator.
+        _estimate_trees`), and ``workers`` fans large batches out over
+        worker processes in deterministic chunks (``0`` = one worker per
+        core; ``chunk_size`` pins queries per task).
+        """
+        trees = [coerce_query_tree(query) for query in queries]
+        n_workers = 1
+        if workers is not None:
+            from ..parallel.pool import resolve_workers
+
+            n_workers = resolve_workers(workers)
+
+        def run() -> list[float]:
+            if n_workers > 1 and len(trees) > 1:
+                from ..parallel.batch import estimate_trees_parallel
+
+                return estimate_trees_parallel(
+                    self, trees, workers=n_workers, chunk_size=chunk_size
+                )
+            return self._estimate_trees(trees)
+
+        if not obs.enabled:
+            return run()
+        with obs.registry.timer(
+            "estimate_batch_seconds", "Whole-batch estimation wall time."
+        ).time():
+            values = run()
+        obs.registry.counter(
+            "estimate_batch_queries_total",
+            "Queries estimated through the batch API.",
+        ).inc(len(values))
+        return values
+
+    def _estimate_trees(self, trees: Sequence[LabeledTree]) -> list[float]:
+        """Batch hook: estimate coerced query trees sequentially.
+
+        Subclasses override this to share state across the batch; the
+        parallel fan-out calls it once per chunk inside each worker.
+        """
+        return [self._estimate_tree(tree) for tree in trees]
 
     @abstractmethod
     def _estimate_tree(self, tree: LabeledTree) -> float:

@@ -15,6 +15,8 @@ scheme's maximal ones.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from .. import obs
 from ..trees.canonical import canon
 from ..trees.labeled_tree import LabeledTree
@@ -52,6 +54,11 @@ class FixedDecompositionEstimator(SelectivityEstimator):
         # Pruned summaries can lack a block's count; the recursive
         # estimator reconstructs it from what remains.
         self._fallback = RecursiveDecompositionEstimator(lattice)
+
+    def _estimate_trees(self, trees: Sequence[LabeledTree]) -> list[float]:
+        """Batch hook: pruned-block fallbacks share one memo per batch."""
+        with self._fallback.batch_cache():
+            return [self._estimate_tree(tree) for tree in trees]
 
     def _estimate_tree(self, tree: LabeledTree) -> float:
         if not obs.enabled:

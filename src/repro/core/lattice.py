@@ -65,11 +65,20 @@ class LatticeSummary:
 
     @classmethod
     def build(
-        cls, document: LabeledTree | DocumentIndex, level: int
+        cls,
+        document: LabeledTree | DocumentIndex,
+        level: int,
+        *,
+        workers: int | None = None,
     ) -> "LatticeSummary":
-        """Mine a document and build its complete ``level``-lattice."""
+        """Mine a document and build its complete ``level``-lattice.
+
+        ``workers`` parallelises candidate counting across processes
+        (``None``/``1`` = serial, ``0`` = one per core); the resulting
+        summary is bit-identical either way (see ``docs/parallelism.md``).
+        """
         start = time.perf_counter()
-        mined = mine_lattice(document, level)
+        mined = mine_lattice(document, level, workers=workers)
         elapsed = time.perf_counter() - start
         summary = cls.from_mining(mined, construction_seconds=elapsed)
         if obs.enabled:
@@ -246,7 +255,10 @@ class LatticeSummary:
 
 
 def build_lattice(
-    document: LabeledTree | DocumentIndex, level: int = 4
+    document: LabeledTree | DocumentIndex,
+    level: int = 4,
+    *,
+    workers: int | None = None,
 ) -> LatticeSummary:
     """Convenience wrapper: mine ``document`` into a ``level``-lattice."""
-    return LatticeSummary.build(document, level)
+    return LatticeSummary.build(document, level, workers=workers)

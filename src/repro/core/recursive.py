@@ -20,6 +20,9 @@ recursion depth.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
 from .. import obs
 from ..trees.canonical import Canon, canon, encode_canon
 from ..trees.labeled_tree import LabeledTree
@@ -55,18 +58,60 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
         When true, average over all leaf-pair decompositions at every
         recursion level (the paper's "+ Voting" variant); otherwise use
         the first pair only.
+    shared_cache:
+        When true, keep one memo of sub-twig selectivities across *all*
+        queries this instance estimates (instead of one fresh memo per
+        query), so a workload of related twigs pays each distinct
+        sub-pattern once.  Memoisation never changes a value — every
+        entry is a deterministic function of (canon, lattice) — so
+        estimates are bit-identical with the cache on or off.  Drop the
+        memo with :meth:`clear_cache` after mutating the summary.
     """
 
-    def __init__(self, lattice: LatticeSummary, *, voting: bool = False) -> None:
+    def __init__(
+        self,
+        lattice: LatticeSummary,
+        *,
+        voting: bool = False,
+        shared_cache: bool = False,
+    ) -> None:
         self.lattice = lattice
         self.voting = voting
         self.name = (
             "recursive-decomp + voting" if voting else "recursive-decomp"
         )
         self._max_depth = 0
+        self._shared_memo: dict[Canon, float] | None = {} if shared_cache else None
+
+    def clear_cache(self) -> None:
+        """Forget cached sub-twig selectivities (no-op without a cache)."""
+        if self._shared_memo is not None:
+            self._shared_memo.clear()
+
+    @contextmanager
+    def batch_cache(self) -> Iterator[None]:
+        """Scope a shared cross-query memo for the duration of one batch.
+
+        With a persistent ``shared_cache`` this is a no-op; otherwise a
+        temporary memo is installed and dropped on exit.  Used by the
+        batch path here and by the fix-sized estimator's fallback.
+        """
+        if self._shared_memo is not None:
+            yield
+            return
+        self._shared_memo = {}
+        try:
+            yield
+        finally:
+            self._shared_memo = None
+
+    def _estimate_trees(self, trees: Sequence[LabeledTree]) -> list[float]:
+        """Batch hook: one memo shared by every query in the batch."""
+        with self.batch_cache():
+            return [self._estimate_tree(tree) for tree in trees]
 
     def _estimate_tree(self, tree: LabeledTree) -> float:
-        memo: dict[Canon, float] = {}
+        memo = self._shared_memo if self._shared_memo is not None else {}
         if not obs.enabled:
             return self._estimate(tree, memo, 0)
         self._max_depth = 0

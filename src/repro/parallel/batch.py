@@ -1,0 +1,79 @@
+"""Chunked multi-process fan-out for batched estimation.
+
+The estimator object is pickled to each worker once (through the pool
+initializer — estimators are small: a summary reference plus
+configuration), and each chunk of coerced query trees runs through the
+estimator's own batch hook, so per-chunk behaviour (including the
+recursive estimator's shared cross-query memo) matches the serial batch
+path.  Chunk results are concatenated in submission order; estimates
+are pure functions of ``(estimator, query)``, so the fan-out returns
+exactly what ``[estimator.estimate(q) for q in queries]`` would.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from ..trees.labeled_tree import LabeledTree
+from .pool import chunked
+
+if TYPE_CHECKING:  # import cycle: core.estimator lazily imports this module
+    from ..core.estimator import SelectivityEstimator
+
+__all__ = ["estimate_trees_parallel", "DEFAULT_CHUNKS_PER_WORKER"]
+
+#: Chunks submitted per worker; >1 smooths out per-query cost skew.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+_worker_estimator: "SelectivityEstimator | None" = None
+
+
+def _init_worker(estimator: "SelectivityEstimator") -> None:
+    global _worker_estimator
+    _worker_estimator = estimator
+
+
+def _estimate_chunk(trees: list[LabeledTree]) -> list[float]:
+    estimator = _worker_estimator
+    if estimator is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("estimation worker used before initialisation")
+    return estimator._estimate_trees(trees)
+
+
+def estimate_trees_parallel(
+    estimator: "SelectivityEstimator",
+    trees: Sequence[LabeledTree],
+    *,
+    workers: int,
+    chunk_size: int | None = None,
+) -> list[float]:
+    """Estimate ``trees`` across ``workers`` processes, preserving order.
+
+    ``chunk_size`` pins the number of queries per submitted task; by
+    default the batch is split into ``workers * 4`` near-even chunks.
+    Cross-query memo sharing happens per chunk (workers do not share
+    memory), which affects speed only — never a single estimated value.
+    """
+    if workers < 2:
+        raise ValueError(f"parallel fan-out needs workers >= 2, got {workers}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if chunk_size is None:
+        chunks = chunked(trees, workers * DEFAULT_CHUNKS_PER_WORKER)
+    else:
+        chunks = [
+            list(trees[start : start + chunk_size])
+            for start in range(0, len(trees), chunk_size)
+        ]
+    if not chunks:
+        return []
+    estimates: list[float] = []
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)),
+        initializer=_init_worker,
+        initargs=(estimator,),
+    ) as executor:
+        for values in executor.map(_estimate_chunk, chunks):
+            estimates.extend(values)
+    return estimates

@@ -1,0 +1,129 @@
+"""Multi-process candidate counting for the level-wise miner.
+
+Worker model
+------------
+One :class:`~concurrent.futures.ProcessPoolExecutor` is created lazily
+per mine.  Each worker receives the :class:`~repro.trees.matching.
+DocumentIndex` once (through the pool initializer) and keeps a
+process-local ``Canon -> {node -> rooted match count}`` memo that
+accumulates across levels — the same shared-memo trick the serial miner
+uses, so counting a size-``n+1`` candidate normally only assembles
+root-level counts over already-memoised size-``<= n`` sub-patterns.
+
+Determinism
+-----------
+Candidate counts are exact integers computed independently per
+candidate (:func:`repro.trees.matching._rooted` is a pure function of
+the candidate and the document), so *any* partition of the candidate
+set yields the same counts.  Chunks are contiguous slices of the
+caller's (sorted) candidate list and results are merged in submission
+order, so the merged mapping preserves the serial path's insertion
+order too — parallel mining is bit-identical to serial, dict order
+included.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from types import TracebackType
+from typing import Sequence
+
+from ..trees.canonical import Canon
+from ..trees.matching import DocumentIndex, _rooted
+from .pool import chunked
+
+__all__ = ["ParallelMiningPool"]
+
+#: Chunks submitted per worker and level; >1 smooths out skew between
+#: cheap and expensive candidates at a small scheduling cost.
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+# Worker-process state, installed by _init_worker.  The rooted-count
+# memo deliberately persists across tasks: workers are reused for every
+# level of one mine, and level n+1 candidates decompose into level <= n
+# sub-patterns the worker has usually already counted.
+_worker_index: DocumentIndex | None = None
+_worker_maps: dict[Canon, dict[int, int]] = {}
+
+
+def _init_worker(index: DocumentIndex) -> None:
+    global _worker_index
+    _worker_index = index
+    _worker_maps.clear()
+
+
+def _count_chunk(candidates: list[Canon]) -> list[tuple[Canon, int]]:
+    """Count one chunk of candidates; only occurring ones are returned."""
+    index = _worker_index
+    if index is None:  # pragma: no cover - initializer always runs first
+        raise RuntimeError("mining worker used before initialisation")
+    counted: list[tuple[Canon, int]] = []
+    for candidate in candidates:
+        count = sum(_rooted(candidate, index, _worker_maps).values())
+        if count:
+            counted.append((candidate, count))
+    return counted
+
+
+class ParallelMiningPool:
+    """Owns the worker pool for one parallel mine.
+
+    The executor is created on first use (a mine that stops at level 1
+    never pays the fork cost) and must be released with :meth:`close`
+    or by using the pool as a context manager.
+    """
+
+    def __init__(
+        self,
+        index: DocumentIndex,
+        workers: int,
+        *,
+        chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
+    ) -> None:
+        if workers < 2:
+            raise ValueError(f"a parallel pool needs workers >= 2, got {workers}")
+        if chunks_per_worker < 1:
+            raise ValueError(
+                f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+            )
+        self.index = index
+        self.workers = workers
+        self.chunks_per_worker = chunks_per_worker
+        self._executor: ProcessPoolExecutor | None = None
+
+    def count_candidates(self, candidates: Sequence[Canon]) -> dict[Canon, int]:
+        """``{candidate: exact count}`` for every *occurring* candidate.
+
+        Insertion order of the result follows ``candidates`` order, so a
+        sorted input yields the exact mapping the serial miner builds.
+        """
+        if not candidates:
+            return {}
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self.index,),
+            )
+        chunks = chunked(candidates, self.workers * self.chunks_per_worker)
+        counts: dict[Canon, int] = {}
+        for pairs in self._executor.map(_count_chunk, chunks):
+            counts.update(pairs)
+        return counts
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "ParallelMiningPool":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()

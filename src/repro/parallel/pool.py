@@ -1,0 +1,62 @@
+"""Worker-count resolution and deterministic chunking.
+
+Shared plumbing for the two parallel paths (mining, batched
+estimation).  Chunking is deterministic — contiguous, near-even slices
+in input order — so any consumer that concatenates per-chunk results in
+submission order reproduces the serial output exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence, TypeVar
+
+__all__ = ["available_workers", "resolve_workers", "chunked"]
+
+_T = TypeVar("_T")
+
+
+def available_workers() -> int:
+    """Number of CPUs this process may run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalise a ``workers`` knob to a concrete worker count.
+
+    ``None`` and ``1`` mean serial; ``0`` means one worker per available
+    core; any other positive value is taken literally (the pool may
+    oversubscribe small machines — that is the caller's call).
+    """
+    if workers is None:
+        return 1
+    if workers == 0:
+        return available_workers()
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def chunked(items: Sequence[_T], chunks: int) -> list[list[_T]]:
+    """Split ``items`` into at most ``chunks`` contiguous, near-even slices.
+
+    Every slice is non-empty, slice sizes differ by at most one, and
+    concatenating the slices in order reproduces ``items`` — the
+    property the parallel paths' determinism rests on.
+    """
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    n = len(items)
+    chunks = min(chunks, n)
+    if chunks <= 1:
+        return [list(items)] if n else []
+    base, extra = divmod(n, chunks)
+    out: list[list[_T]] = []
+    start = 0
+    for i in range(chunks):
+        stop = start + base + (1 if i < extra else 0)
+        out.append(list(items[start:stop]))
+        start = stop
+    return out

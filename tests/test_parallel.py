@@ -1,0 +1,324 @@
+"""Tests for the ``repro.parallel`` subsystem.
+
+The subsystem's contract is *bit-identity*: mining with any worker
+count produces the same levels, the same counts, and the same dict
+insertion order as the serial miner, and ``estimate_batch`` (serial or
+fanned out across processes) returns exactly the per-query estimates.
+These tests pin that contract on hand-built documents, on random trees
+(hypothesis), and through the CLI.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import (
+    DocumentIndex,
+    FixedDecompositionEstimator,
+    LabeledTree,
+    LatticeSummary,
+    RecursiveDecompositionEstimator,
+    mine_lattice,
+)
+from repro import obs
+from repro.cli import main
+from repro.parallel import (
+    ParallelMiningPool,
+    available_workers,
+    chunked,
+    estimate_trees_parallel,
+    resolve_workers,
+)
+from repro.trees.serialize import tree_to_xml_file
+
+LABELS = "abcd"
+
+
+@st.composite
+def random_tree(draw: st.DrawFn) -> LabeledTree:
+    """Random labeled tree via random parent pointers (small alphabet)."""
+    size = draw(st.integers(2, 12))
+    parents = [draw(st.integers(0, i - 1)) for i in range(1, size)]
+    labels = [draw(st.sampled_from(LABELS)) for _ in range(size)]
+    children: dict[int, list[int]] = {i: [] for i in range(size)}
+    for child, parent in enumerate(parents, start=1):
+        children[parent].append(child)
+
+    def nest(node: int) -> object:
+        if not children[node]:
+            return labels[node]
+        return (labels[node], [nest(child) for child in children[node]])
+
+    return LabeledTree.from_nested(nest(0))
+
+
+def assert_identical_mining(serial: object, parallel: object) -> None:
+    assert serial.levels.keys() == parallel.levels.keys()
+    for size, level in serial.levels.items():
+        assert list(parallel.levels[size].items()) == list(level.items())
+
+
+# ----------------------------------------------------------------------
+# Pool helpers
+# ----------------------------------------------------------------------
+
+
+class TestPoolHelpers:
+    def test_resolve_default_is_serial(self) -> None:
+        assert resolve_workers(None) == 1
+
+    def test_resolve_zero_means_all_cores(self) -> None:
+        assert resolve_workers(0) == available_workers()
+
+    def test_resolve_explicit(self) -> None:
+        assert resolve_workers(3) == 3
+
+    def test_resolve_negative_rejected(self) -> None:
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+    def test_chunked_preserves_order_and_content(self) -> None:
+        items = list(range(13))
+        for chunks in (1, 2, 3, 5, 13, 20):
+            parts = chunked(items, chunks)
+            assert [x for part in parts for x in part] == items
+            assert all(parts), "chunked must not emit empty chunks"
+            assert len(parts) == min(chunks, len(items))
+
+    def test_chunked_is_near_even(self) -> None:
+        sizes = [len(part) for part in chunked(list(range(10)), 3)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_chunked_empty(self) -> None:
+        assert chunked([], 4) == []
+
+
+# ----------------------------------------------------------------------
+# Parallel mining: bit-identity with serial
+# ----------------------------------------------------------------------
+
+
+class TestParallelMining:
+    def test_figure1_identical(self, figure1_doc: LabeledTree) -> None:
+        index = DocumentIndex(figure1_doc)
+        serial = mine_lattice(index, 4)
+        for workers in (2, 3):
+            assert_identical_mining(serial, mine_lattice(index, 4, workers=workers))
+
+    def test_small_nasa_identical(self, small_nasa: LabeledTree) -> None:
+        index = DocumentIndex(small_nasa)
+        assert_identical_mining(
+            mine_lattice(index, 4), mine_lattice(index, 4, workers=2)
+        )
+
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(tree=random_tree(), workers=st.integers(2, 4))
+    def test_random_trees_identical(self, tree: LabeledTree, workers: int) -> None:
+        index = DocumentIndex(tree)
+        serial = mine_lattice(index, 3)
+        assert_identical_mining(serial, mine_lattice(index, 3, workers=workers))
+
+    def test_pool_reuse_across_levels(self, figure1_doc: LabeledTree) -> None:
+        # One pool counting several candidate sets must keep its
+        # worker-local rooted-count memos consistent with fresh counts.
+        index = DocumentIndex(figure1_doc)
+        serial = mine_lattice(index, 3)
+        with ParallelMiningPool(index, workers=2) as pool:
+            for size in sorted(serial.levels):
+                candidates = sorted(serial.levels[size])
+                counted = pool.count_candidates(candidates)
+                assert counted == {c: serial.levels[size][c] for c in candidates}
+
+    def test_keep_root_maps_stays_serial(self, figure1_doc: LabeledTree) -> None:
+        # Root maps live in worker processes, so the miner falls back to
+        # serial counting rather than returning empty maps.
+        result = mine_lattice(figure1_doc, 3, keep_root_maps=True, workers=2)
+        assert result.root_maps, "root maps must survive a workers= request"
+
+    def test_summary_build_accepts_workers(self, figure1_doc: LabeledTree) -> None:
+        serial = LatticeSummary.build(figure1_doc, 3)
+        parallel = LatticeSummary.build(figure1_doc, 3, workers=2)
+        assert list(parallel.patterns()) == list(serial.patterns())
+
+
+# ----------------------------------------------------------------------
+# Batched estimation
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def nasa_queries(small_nasa_module):
+    index, summary = small_nasa_module
+    from repro.workload.generator import positive_workloads
+
+    workloads = positive_workloads(index, [4, 5], 8, seed=3)
+    return summary, [q for size in (4, 5) for q in workloads[size].queries]
+
+
+@pytest.fixture(scope="module")
+def small_nasa_module():
+    from repro.datasets import generate_dataset
+
+    document = generate_dataset("nasa", 12, seed=0)
+    index = DocumentIndex(document)
+    return index, LatticeSummary.build(index, 4)
+
+
+class TestEstimateBatch:
+    @pytest.mark.parametrize("voting", [False, True])
+    def test_recursive_matches_per_query(self, nasa_queries, voting: bool) -> None:
+        summary, queries = nasa_queries
+        estimator = RecursiveDecompositionEstimator(summary, voting=voting)
+        per_query = [estimator.estimate(q) for q in queries]
+        assert estimator.estimate_batch(queries) == per_query
+
+    def test_fixed_matches_per_query(self, nasa_queries) -> None:
+        summary, queries = nasa_queries
+        estimator = FixedDecompositionEstimator(summary)
+        per_query = [estimator.estimate(q) for q in queries]
+        assert estimator.estimate_batch(queries) == per_query
+
+    def test_shared_cache_estimator_is_stable(self, nasa_queries) -> None:
+        # A persistent cross-batch memo must not change any estimate:
+        # cache hits return exactly what a cold evaluation computes.
+        summary, queries = nasa_queries
+        cold = RecursiveDecompositionEstimator(summary, voting=True)
+        warm = RecursiveDecompositionEstimator(
+            summary, voting=True, shared_cache=True
+        )
+        expected = [cold.estimate(q) for q in queries]
+        assert warm.estimate_batch(queries) == expected
+        assert warm.estimate_batch(queries) == expected  # fully warm memo
+        assert [warm.estimate(q) for q in queries] == expected
+        warm.clear_cache()
+        assert warm.estimate_batch(queries) == expected
+
+    def test_parallel_fanout_matches(self, nasa_queries) -> None:
+        summary, queries = nasa_queries
+        estimator = RecursiveDecompositionEstimator(summary, voting=True)
+        per_query = [estimator.estimate(q) for q in queries]
+        assert estimator.estimate_batch(queries, workers=2) == per_query
+        trees = [q.tree for q in queries]
+        assert (
+            estimate_trees_parallel(estimator, trees, workers=2, chunk_size=3)
+            == per_query
+        )
+
+    def test_single_query_batch(self, nasa_queries) -> None:
+        summary, queries = nasa_queries
+        estimator = FixedDecompositionEstimator(summary)
+        assert estimator.estimate_batch(queries[:1]) == [
+            estimator.estimate(queries[0])
+        ]
+
+    def test_batch_metrics_emitted(self, nasa_queries) -> None:
+        summary, queries = nasa_queries
+        estimator = RecursiveDecompositionEstimator(summary)
+        with obs.observed() as (registry, _):
+            estimator.estimate_batch(queries)
+        counter = registry.get("estimate_batch_queries_total")
+        assert counter is not None
+        assert sum(value for _, value in counter.samples()) == len(queries)
+
+
+# ----------------------------------------------------------------------
+# Timing-split metrics (candidate generation vs counting)
+# ----------------------------------------------------------------------
+
+
+class TestMiningTimingSplit:
+    def test_candidate_and_counting_spans(self, figure1_doc: LabeledTree) -> None:
+        with obs.observed(trace=True) as (registry, tracer):
+            mine_lattice(figure1_doc, 3)
+        for name in ("mining_candidate_seconds", "mining_counting_seconds"):
+            metric = registry.get(name)
+            assert metric is not None, name
+            assert all(value >= 0 for _, value in metric.samples())
+        assert tracer is not None
+        level_events = tracer.by_event("mine_level")
+        assert level_events
+        for event in level_events:
+            assert "candidate_seconds" in event
+            assert "counting_seconds" in event
+            assert event["seconds"] == pytest.approx(
+                event["candidate_seconds"] + event["counting_seconds"], abs=2e-6
+            )
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+
+
+class TestCli:
+    @pytest.fixture()
+    def xml_file(self, tmp_path, figure1_doc):
+        path = tmp_path / "doc.xml"
+        tree_to_xml_file(figure1_doc, path)
+        return path
+
+    @pytest.fixture()
+    def summary_file(self, tmp_path, xml_file):
+        path = tmp_path / "doc.summary"
+        assert main(["summarize", str(xml_file), "-k", "4", "-o", str(path)]) == 0
+        return path
+
+    def test_summarize_workers_identical_output(
+        self, xml_file, tmp_path, capsys
+    ) -> None:
+        serial = tmp_path / "serial.tsv"
+        parallel = tmp_path / "parallel.tsv"
+        assert main(["summarize", str(xml_file), "-o", str(serial)]) == 0
+        assert (
+            main(["summarize", str(xml_file), "-o", str(parallel), "--workers", "2"])
+            == 0
+        )
+        capsys.readouterr()
+        assert parallel.read_text() == serial.read_text()
+
+    def test_estimate_batch_file(self, summary_file, tmp_path, capsys) -> None:
+        batch = tmp_path / "queries.txt"
+        batch.write_text(
+            "# workload\nlaptop(brand)\n\nlaptop(brand,price)\n", encoding="utf-8"
+        )
+        code = main(["estimate", str(summary_file), "--batch", str(batch)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "queries   : 2" in printed
+        assert "laptop(brand) ~= 2.00" in printed
+        assert "laptop(brand,price) ~= 2.00" in printed
+
+    def test_estimate_batch_with_workers(self, summary_file, tmp_path, capsys) -> None:
+        batch = tmp_path / "queries.txt"
+        batch.write_text("laptop(brand)\nlaptop(price)\n", encoding="utf-8")
+        code = main(
+            ["estimate", str(summary_file), "--batch", str(batch), "--workers", "2"]
+        )
+        assert code == 0
+        assert "~=" in capsys.readouterr().out
+
+    def test_estimate_query_and_batch_conflict(
+        self, summary_file, tmp_path, capsys
+    ) -> None:
+        batch = tmp_path / "queries.txt"
+        batch.write_text("laptop(brand)\n", encoding="utf-8")
+        code = main(
+            ["estimate", str(summary_file), "laptop(brand)", "--batch", str(batch)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_estimate_missing_query_and_batch(self, summary_file, capsys) -> None:
+        assert main(["estimate", str(summary_file)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_estimate_empty_batch_file(self, summary_file, tmp_path, capsys) -> None:
+        batch = tmp_path / "queries.txt"
+        batch.write_text("# only comments\n", encoding="utf-8")
+        assert main(["estimate", str(summary_file), "--batch", str(batch)]) == 2
+        assert "no queries" in capsys.readouterr().err
