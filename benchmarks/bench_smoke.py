@@ -7,6 +7,11 @@ parallel/batch identity checks, producing a ``BENCH_pr.json`` artifact:
   serial-vs-parallel divergence (bit-identity, dict order included);
 * checks ``estimate_batch`` (serial and fanned out) against per-query
   ``estimate`` for the recursive, voting, and fix-sized estimators;
+* runs the same estimators over ``--store {dict,array,both}`` summary
+  backends and fails on any cross-backend estimate difference, and on
+  an array-backend footprint above half the dict backend's;
+* times a warm ``estimate_batch`` (compiled plans replayed) against the
+  cold pass that built the plans and fails below a 2x speedup;
 * compares construction time against a checked-in baseline JSON and
   fails when it regresses more than ``--factor`` (default 2x).
 
@@ -43,13 +48,18 @@ from repro.mining.freqt import MiningResult, mine_lattice
 from repro.trees.matching import DocumentIndex
 from repro.workload.generator import positive_workloads
 
-SCHEMA = 1
+SCHEMA = 2
 LEVEL = 4
 WORKERS = 2
 #: (dataset, scale): tiny fixed-seed slices of the paper's Table 3 corpora.
 SMOKE_DATASETS = (("nasa", 40), ("xmark", 30))
 QUERY_SIZES = (5, 6)
 QUERIES_PER_SIZE = 10
+#: The interned array backend must cost at most this fraction of dict.
+ARRAY_RATIO_CEILING = 0.5
+#: A warm (plan-replay) batch must beat the cold (plan-compiling) batch
+#: by at least this factor.
+WARM_SPEEDUP_FLOOR = 2.0
 
 
 def calibration_seconds() -> float:
@@ -75,7 +85,43 @@ def mining_divergence(serial: MiningResult, parallel: MiningResult) -> str | Non
     return None
 
 
-def run_dataset(name: str, scale: int) -> tuple[dict[str, object], list[str]]:
+def make_estimators(
+    summary: LatticeSummary,
+) -> tuple[RecursiveDecompositionEstimator, ...]:
+    return (
+        RecursiveDecompositionEstimator(summary),
+        RecursiveDecompositionEstimator(summary, voting=True),
+        FixedDecompositionEstimator(summary),
+    )
+
+
+def plan_cache_timings(
+    summary: LatticeSummary, queries: list
+) -> tuple[float, float]:
+    """Best-of-3 (cold, warm) batch timings for the voting estimator.
+
+    The cold pass compiles one plan per query shape; the warm pass on the
+    same estimator replays them.  Both must return identical floats.
+    """
+    best_cold = best_warm = float("inf")
+    for _ in range(3):
+        estimator = RecursiveDecompositionEstimator(summary, voting=True)
+        start = time.perf_counter()
+        cold_values = estimator.estimate_batch(queries)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_values = estimator.estimate_batch(queries)
+        warm_seconds = time.perf_counter() - start
+        if warm_values != cold_values:
+            raise AssertionError("warm plan replay changed estimates")
+        best_cold = min(best_cold, cold_seconds)
+        best_warm = min(best_warm, warm_seconds)
+    return best_cold, best_warm
+
+
+def run_dataset(
+    name: str, scale: int, backends: tuple[str, ...]
+) -> tuple[dict[str, object], list[str]]:
     """Measure one smoke dataset; returns (metrics row, failure messages)."""
     failures: list[str] = []
     document = generate_dataset(name, scale, seed=0)
@@ -94,21 +140,30 @@ def run_dataset(name: str, scale: int) -> tuple[dict[str, object], list[str]]:
         failures.append(f"{name}: serial vs parallel mining diverged: {divergence}")
 
     summary = LatticeSummary.from_mining(serial)
+    summaries = {backend: summary.to_store(backend) for backend in backends}
     workloads = positive_workloads(index, list(QUERY_SIZES), QUERIES_PER_SIZE, seed=1)
     queries = [q for size in QUERY_SIZES for q in workloads[size].queries]
-    estimators = (
-        RecursiveDecompositionEstimator(summary),
-        RecursiveDecompositionEstimator(summary, voting=True),
-        FixedDecompositionEstimator(summary),
-    )
-    for estimator in estimators:
-        per_query = [estimator.estimate(q) for q in queries]
-        if estimator.estimate_batch(queries) != per_query:
-            failures.append(f"{name}: {estimator.name}: estimate_batch diverged")
-        if estimator.estimate_batch(queries, workers=WORKERS) != per_query:
-            failures.append(
-                f"{name}: {estimator.name}: parallel estimate_batch diverged"
-            )
+
+    reference: dict[str, list[float]] = {}
+    for backend, backend_summary in summaries.items():
+        for estimator in make_estimators(backend_summary):
+            per_query = [estimator.estimate(q) for q in queries]
+            expected = reference.setdefault(estimator.name, per_query)
+            if per_query != expected:
+                failures.append(
+                    f"{name}: {estimator.name}: {backend} backend estimates "
+                    "diverged from the first backend"
+                )
+            if estimator.estimate_batch(queries) != per_query:
+                failures.append(
+                    f"{name}: {estimator.name}: estimate_batch diverged "
+                    f"({backend} backend)"
+                )
+            if estimator.estimate_batch(queries, workers=WORKERS) != per_query:
+                failures.append(
+                    f"{name}: {estimator.name}: parallel estimate_batch "
+                    f"diverged ({backend} backend)"
+                )
 
     row: dict[str, object] = {
         "nodes": document.size,
@@ -117,6 +172,30 @@ def run_dataset(name: str, scale: int) -> tuple[dict[str, object], list[str]]:
         "serial_seconds": round(serial_seconds, 4),
         "parallel_seconds": round(parallel_seconds, 4),
     }
+    for backend, backend_summary in summaries.items():
+        row[f"{backend}_bytes"] = backend_summary.byte_size()
+    if {"dict", "array"} <= summaries.keys():
+        ratio = summaries["array"].byte_size() / summaries["dict"].byte_size()
+        row["array_dict_byte_ratio"] = round(ratio, 4)
+        if ratio > ARRAY_RATIO_CEILING:
+            failures.append(
+                f"{name}: array backend too large: {ratio:.2f}x dict bytes "
+                f"(ceiling {ARRAY_RATIO_CEILING}x)"
+            )
+
+    cold_seconds, warm_seconds = plan_cache_timings(summary, queries)
+    speedup = cold_seconds / warm_seconds if warm_seconds > 0 else float("inf")
+    row["cold_batch_seconds"] = round(cold_seconds, 4)
+    row["warm_batch_seconds"] = round(warm_seconds, 4)
+    row["warm_speedup"] = round(speedup, 2)
+    row["warm_queries_per_second"] = (
+        round(len(queries) / warm_seconds) if warm_seconds > 0 else None
+    )
+    if speedup < WARM_SPEEDUP_FLOOR:
+        failures.append(
+            f"{name}: warm plan-cache batch only {speedup:.2f}x faster than "
+            f"cold (floor {WARM_SPEEDUP_FLOOR}x)"
+        )
     return row, failures
 
 
@@ -162,24 +241,30 @@ def main(argv: list[str] | None = None) -> int:
                         help="allowed serial-time regression factor (default 2.0)")
     parser.add_argument("--write-baseline", default=None, metavar="PATH",
                         help="record this run as the new baseline and exit")
+    parser.add_argument("--store", choices=("dict", "array", "both"),
+                        default="both",
+                        help="summary backend(s) to exercise (default both)")
     args = parser.parse_args(argv)
+    backends = ("dict", "array") if args.store == "both" else (args.store,)
 
     datasets: dict[str, dict[str, object]] = {}
     report: dict[str, object] = {
         "schema": SCHEMA,
         "level": LEVEL,
         "workers": WORKERS,
+        "store": list(backends),
         "calibration_seconds": round(calibration_seconds(), 4),
         "datasets": datasets,
     }
     failures: list[str] = []
     for name, scale in SMOKE_DATASETS:
-        row, dataset_failures = run_dataset(name, scale)
+        row, dataset_failures = run_dataset(name, scale, backends)
         datasets[name] = row
         failures.extend(dataset_failures)
         print(
             f"{name:8} nodes={row['nodes']:<6} patterns={row['patterns']:<5} "
-            f"serial={row['serial_seconds']}s parallel={row['parallel_seconds']}s"
+            f"serial={row['serial_seconds']}s parallel={row['parallel_seconds']}s "
+            f"warm_speedup={row['warm_speedup']}x"
         )
 
     if args.write_baseline:

@@ -63,8 +63,10 @@ from .datasets import (
     generate_xmark,
 )
 from .mining import MiningResult, mine_lattice, pattern_counts_by_level
+from .store import ArrayStore, DictStore, SummaryStore, make_store
 from .trees import (
     DocumentIndex,
+    PatternInterner,
     PathJoin,
     enumerate_matches,
     LabeledTree,
@@ -114,6 +116,12 @@ __all__ = [
     "MiningResult",
     "mine_lattice",
     "pattern_counts_by_level",
+    # store
+    "SummaryStore",
+    "DictStore",
+    "ArrayStore",
+    "make_store",
+    "PatternInterner",
     # core
     "LatticeSummary",
     "build_lattice",

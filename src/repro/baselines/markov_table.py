@@ -41,7 +41,7 @@ class MarkovTable(SelectivityEstimator):
             raise ValueError("Markov order must be >= 2")
         self.order = order
         self.prune_below = prune_below
-        self._counts: dict[tuple[str, ...], int] = {}
+        self._gram_counts: dict[tuple[str, ...], int] = {}
         # Pruned paths are pooled per length into a star bucket storing
         # (total pruned count, number of pruned paths).
         self._star: dict[int, tuple[int, int]] = {}
@@ -50,7 +50,7 @@ class MarkovTable(SelectivityEstimator):
                 total, num = self._star.get(len(path), (0, 0))
                 self._star[len(path)] = (total + count, num + 1)
             else:
-                self._counts[path] = count
+                self._gram_counts[path] = count
 
     # ------------------------------------------------------------------
     # Construction
@@ -85,13 +85,13 @@ class MarkovTable(SelectivityEstimator):
 
     @property
     def num_paths(self) -> int:
-        return len(self._counts)
+        return len(self._gram_counts)
 
     def byte_size(self) -> int:
         """Approximate serialised size (labels + 8-byte counts)."""
         return sum(
             sum(len(label) for label in path) + len(path) + 8
-            for path in self._counts
+            for path in self._gram_counts
         ) + 16 * len(self._star)
 
     # ------------------------------------------------------------------
@@ -114,7 +114,7 @@ class MarkovTable(SelectivityEstimator):
         return estimate
 
     def _path_count(self, path: tuple[str, ...]) -> float:
-        got = self._counts.get(path)
+        got = self._gram_counts.get(path)
         if got is not None:
             return float(got)
         total, num = self._star.get(len(path), (0, 0))

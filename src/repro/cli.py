@@ -4,9 +4,11 @@ Subcommands mirror the deployment workflow:
 
 * ``summarize`` — parse an XML file, mine its k-lattice (optionally in
   parallel with ``--workers``), optionally prune δ-derivable patterns,
-  write the summary to disk;
+  write the summary to disk (``--store {dict,array}`` picks the count
+  backend; ``array`` writes the compact binary container);
 * ``estimate`` — estimate a twig query against a saved summary, or a
   whole workload file with ``--batch`` (fanned out with ``--workers``);
+  ``--store`` converts the loaded summary to another backend first;
 * ``explain`` — show the full decomposition trace of an estimate;
 * ``exact`` — exact match count straight off the document (ground truth);
 * ``mine`` — report occurring-pattern counts per level (Table 2 style);
@@ -96,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for mining (0 = one per core; default serial)",
     )
+    p.add_argument(
+        "--store",
+        choices=("dict", "array"),
+        default="dict",
+        help="summary count backend (array = interned ids, compact binary file)",
+    )
     _add_observability_flags(p)
     p.set_defaults(handler=_cmd_summarize)
 
@@ -125,6 +133,12 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("recursive", "voting", "fixed", "markov"),
         default="voting",
         help="estimation scheme (default: recursive + voting)",
+    )
+    p.add_argument(
+        "--store",
+        choices=("dict", "array"),
+        default=None,
+        help="convert the loaded summary to this backend before estimating",
     )
     _add_observability_flags(p)
     p.set_defaults(handler=_cmd_estimate)
@@ -257,10 +271,13 @@ def _do_summarize(args: argparse.Namespace) -> int:
     parse_seconds = time.perf_counter() - start
     print(f"parsed {document.size} nodes in {parse_seconds:.2f}s")
 
-    summary = LatticeSummary.build(document, args.level, workers=args.workers)
+    summary = LatticeSummary.build(
+        document, args.level, workers=args.workers, store=args.store
+    )
     print(
         f"mined {summary.num_patterns} patterns "
-        f"({summary.byte_size()} bytes) in {summary.construction_seconds:.2f}s"
+        f"({summary.byte_size()} bytes, {summary.backend} store) "
+        f"in {summary.construction_seconds:.2f}s"
     )
     if args.prune is not None:
         summary, report = pruning_report(summary, args.prune, voting=True)
@@ -292,6 +309,8 @@ def _do_estimate(args: argparse.Namespace) -> int:
     if args.batch is not None and args.query is not None:
         raise CliUsageError("give either a query or --batch FILE, not both")
     summary = _load_summary(args.summary)
+    if args.store is not None:
+        summary = summary.to_store(args.store)
     estimator = _estimator_for(args.estimator, summary)
     if args.batch is not None:
         return _do_estimate_batch(args, estimator)
@@ -379,6 +398,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     print(f"summary   : {args.summary}")
     print(f"level     : {summary.level}")
+    print(f"backend   : {summary.backend}")
     print(f"patterns  : {summary.num_patterns}  ({summary.byte_size()} bytes)")
     complete = ",".join(map(str, sorted(summary.complete_sizes))) or "-"
     print(f"complete  : {complete}")

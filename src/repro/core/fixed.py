@@ -11,6 +11,11 @@ where every factor is a direct lattice lookup (no recursion) — which is
 why this estimator is the fastest of the family, at some accuracy cost
 on large twigs because its overlaps are smaller than the recursive
 scheme's maximal ones.
+
+The first estimate of each canonical shape compiles the cover into a
+:class:`~repro.core.plan.CoverPlan` (every factor pre-resolved against
+the summary, including recursive fallbacks for pruned blocks); repeated
+shapes replay the factor products without re-deriving the cover.
 """
 
 from __future__ import annotations
@@ -18,11 +23,12 @@ from __future__ import annotations
 from typing import Sequence
 
 from .. import obs
-from ..trees.canonical import canon
+from ..trees.canonical import PatternInterner, canon
 from ..trees.labeled_tree import LabeledTree
 from .decompose import fixed_cover
 from .estimator import SelectivityEstimator
 from .lattice import LatticeSummary
+from .plan import CoverPlan, record_plan_request
 from .recursive import RecursiveDecompositionEstimator, _record_lookup
 
 __all__ = ["FixedDecompositionEstimator"]
@@ -34,7 +40,8 @@ class FixedDecompositionEstimator(SelectivityEstimator):
     Parameters
     ----------
     lattice:
-        The summary to draw block counts from.
+        The summary to draw block counts from (treated as immutable;
+        compiled cover plans bake its counts in).
     block_size:
         Size ``k`` of covering blocks; defaults to the lattice level
         (the largest size with direct counts).
@@ -54,6 +61,13 @@ class FixedDecompositionEstimator(SelectivityEstimator):
         # Pruned summaries can lack a block's count; the recursive
         # estimator reconstructs it from what remains.
         self._fallback = RecursiveDecompositionEstimator(lattice)
+        self._plan_keys = PatternInterner()
+        self._plans: dict[int, CoverPlan] = {}
+
+    def clear_cache(self) -> None:
+        """Drop compiled cover plans (and the fallback's caches)."""
+        self._plans.clear()
+        self._fallback.clear_cache()
 
     def _estimate_trees(self, trees: Sequence[LabeledTree]) -> list[float]:
         """Batch hook: pruned-block fallbacks share one memo per batch."""
@@ -61,16 +75,41 @@ class FixedDecompositionEstimator(SelectivityEstimator):
             return [self._estimate_tree(tree) for tree in trees]
 
     def _estimate_tree(self, tree: LabeledTree) -> float:
+        pattern_id = self._plan_keys.intern(canon(tree))
+        plan = self._plans.get(pattern_id)
+        if plan is not None:
+            if not obs.enabled:
+                return plan.evaluate()
+            record_plan_request(
+                self.name, "hit", len(self._plans), len(self._plan_keys)
+            )
+            with obs.registry.timer(
+                "estimate_seconds", "Per-query estimation wall time."
+            ).time():
+                value = plan.evaluate()
+            if plan.blocks is not None:
+                self._record_cover(tree, plan.blocks)
+            return value
         if not obs.enabled:
-            return self._cover_estimate(tree)
+            value, plan = self._compile_cover(tree)
+            self._plans[pattern_id] = plan
+            return value
         with obs.registry.timer(
             "estimate_seconds", "Per-query estimation wall time."
         ).time():
-            return self._cover_estimate(tree)
+            value, plan = self._compile_cover(tree)
+        self._plans[pattern_id] = plan
+        record_plan_request(
+            self.name, "miss", len(self._plans), len(self._plan_keys)
+        )
+        return value
 
-    def _cover_estimate(self, tree: LabeledTree) -> float:
+    def _compile_cover(self, tree: LabeledTree) -> tuple[float, CoverPlan]:
+        """The original cover estimate, recording each factor as it goes."""
         if tree.size <= self.block_size:
-            return self._pattern_count(tree)
+            value = self._pattern_count(tree)
+            return value, CoverPlan(None, ((value, None),), False)
+        factors: list[tuple[float, float | None]] = []
         numerator = 1.0
         denominator = 1.0
         blocks = 0
@@ -79,8 +118,9 @@ class FixedDecompositionEstimator(SelectivityEstimator):
             block_count = self._pattern_count(piece.block)
             if block_count <= 0.0:
                 self._record_cover(tree, blocks)
-                return 0.0
+                return 0.0, CoverPlan(blocks, tuple(factors), True)
             numerator *= block_count
+            overlap_count: float | None = None
             if piece.overlap is not None:
                 if obs.enabled:
                     obs.registry.counter(
@@ -90,10 +130,11 @@ class FixedDecompositionEstimator(SelectivityEstimator):
                 overlap_count = self._pattern_count(piece.overlap)
                 if overlap_count <= 0.0:
                     self._record_cover(tree, blocks)
-                    return 0.0
+                    return 0.0, CoverPlan(blocks, tuple(factors), True)
                 denominator *= overlap_count
+            factors.append((block_count, overlap_count))
         self._record_cover(tree, blocks)
-        return numerator / denominator
+        return numerator / denominator, CoverPlan(blocks, tuple(factors), False)
 
     @staticmethod
     def _record_cover(tree: LabeledTree, blocks: int) -> None:

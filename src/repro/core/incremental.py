@@ -60,7 +60,7 @@ class IncrementalLattice:
             raise ValueError("a lattice summary needs level >= 2")
         self._document = document
         self.level = level
-        self._counts: dict[Canon, int] = dict(
+        self._pattern_counts: dict[Canon, int] = dict(
             mine_lattice(document, level).all_patterns()
         )
         self._appends = 0
@@ -82,12 +82,12 @@ class IncrementalLattice:
         """Snapshot the current counts as an immutable summary."""
         return LatticeSummary(
             self.level,
-            {c: n for c, n in self._counts.items() if n > 0},
+            {c: n for c, n in self._pattern_counts.items() if n > 0},
         )
 
     def count(self, pattern: Canon) -> int:
         """Current exact count of ``pattern`` (0 when absent)."""
-        return self._counts.get(pattern, 0)
+        return self._pattern_counts.get(pattern, 0)
 
     # ------------------------------------------------------------------
     # Maintenance
@@ -110,7 +110,7 @@ class IncrementalLattice:
 
         # Class 2: patterns entirely inside the new record.
         for pattern, count in mine_lattice(record, self.level).all_patterns().items():
-            self._counts[pattern] = self._counts.get(pattern, 0) + count
+            self._pattern_counts[pattern] = self._pattern_counts.get(pattern, 0) + count
 
         # Class 3: spanning matches = delta of root-anchored counts.
         after = self._root_anchored_counts()
@@ -119,7 +119,7 @@ class IncrementalLattice:
             delta = after.get(pattern, 0) - before.get(pattern, 0)
             if delta:
                 touched += 1
-                self._counts[pattern] = self._counts.get(pattern, 0) + delta
+                self._pattern_counts[pattern] = self._pattern_counts.get(pattern, 0) + delta
         if obs.enabled:
             self._record_append(record.size, touched, started)
 

@@ -5,6 +5,14 @@ subtree patterns of size ``<= k``, keyed by canonical encoding in a hash
 table — the storage layout the paper settled on after finding prefix
 trees too pointer-chasing-heavy (§4.2).
 
+Since the store refactor (``docs/architecture.md``) this class is a thin
+facade over a pluggable :class:`~repro.store.SummaryStore`: the default
+``dict`` backend keeps the historical tuple-keyed hash table, while the
+``array`` backend interns patterns to dense ids over packed codes.  The
+public surface (``get``/``count``/``__contains__``/``patterns``/
+``save``/``load``) is backend-agnostic and estimates are bit-identical
+across backends.
+
 Zero semantics matter: a *complete* level contains every occurring
 pattern of that size, so a lookup miss at a complete level certifies a
 selectivity of exactly 0.  δ-derivable pruning (:mod:`repro.core.pruning`)
@@ -14,12 +22,14 @@ estimators then fall back to decomposition instead of reporting 0.
 
 from __future__ import annotations
 
+import pickle
 import time
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Mapping
 
 from .. import obs
 from ..mining.freqt import MiningResult, mine_lattice
+from ..store import ArrayStore, SummaryStore, coerce_store, make_store
 from ..trees.canonical import (
     Canon,
     canon_size,
@@ -30,30 +40,39 @@ from ..trees.labeled_tree import LabeledTree
 from ..trees.matching import DocumentIndex
 from ..trees.twig import TwigQuery
 
-__all__ = ["LatticeSummary", "build_lattice"]
+__all__ = ["LatticeSummary", "build_lattice", "FORMAT_VERSION"]
 
-# Bytes charged per stored count when reporting summary size; matches the
-# 8-byte counters a C implementation would use.
-_COUNT_BYTES = 8
+#: On-disk summary format version.  Version 1 files (no ``v=`` header
+#: field) predate the store layer and still load; version 2 adds the
+#: explicit version field and the binary array-backend container.
+FORMAT_VERSION = 2
+
+#: Magic prefix of the binary (array-backend) summary container.
+_ARRAY_MAGIC = b"#treelattice-bin\x00"
 
 
 class LatticeSummary:
     """Occurrence statistics of small twigs, keyed by canonical encoding."""
 
-    __slots__ = ("level", "_counts", "complete_sizes", "construction_seconds")
+    __slots__ = ("level", "_store", "complete_sizes", "construction_seconds")
 
     def __init__(
         self,
         level: int,
-        counts: dict[Canon, int],
+        counts: Mapping[Canon, int] | SummaryStore,
         *,
         complete_sizes: Iterable[int] | None = None,
         construction_seconds: float = 0.0,
+        store: str | None = None,
     ) -> None:
         if level < 2:
             raise ValueError("a lattice summary needs level >= 2")
         self.level = level
-        self._counts = dict(counts)
+        if isinstance(counts, SummaryStore):
+            self._store = coerce_store(counts, store)
+        else:
+            # Copy-on-construct, like the dict copy this replaces.
+            self._store = coerce_store(dict(counts).items(), store or "dict")
         if complete_sizes is None:
             complete_sizes = range(1, level + 1)
         self.complete_sizes = frozenset(complete_sizes)
@@ -70,48 +89,101 @@ class LatticeSummary:
         level: int,
         *,
         workers: int | None = None,
+        store: str = "dict",
     ) -> "LatticeSummary":
         """Mine a document and build its complete ``level``-lattice.
 
         ``workers`` parallelises candidate counting across processes
-        (``None``/``1`` = serial, ``0`` = one per core); the resulting
-        summary is bit-identical either way (see ``docs/parallelism.md``).
+        (``None``/``1`` = serial, ``0`` = one per core); ``store`` picks
+        the count backend (``"dict"``/``"array"``).  The resulting
+        summary is bit-identical across workers and backends (see
+        ``docs/parallelism.md`` and ``docs/architecture.md``).
         """
+        sink = make_store(store)
         start = time.perf_counter()
-        mined = mine_lattice(document, level, workers=workers)
+        # Mining streams each level straight into the sink, so the array
+        # backend interns ids as patterns are discovered instead of
+        # materialising a tuple-keyed dict first.
+        mined = mine_lattice(document, level, workers=workers, sink=sink)
         elapsed = time.perf_counter() - start
-        summary = cls.from_mining(mined, construction_seconds=elapsed)
+        summary = cls(
+            mined.max_size,
+            sink,
+            complete_sizes=cls._complete_sizes_of(mined),
+            construction_seconds=elapsed,
+        )
         if obs.enabled:
             obs.registry.timer(
                 "lattice_build_seconds", "Full summary construction wall time."
             ).observe(elapsed)
+            obs.registry.gauge(
+                "summary_store_bytes",
+                "Actual summary footprint per store backend (last build wins).",
+                labels=("backend",),
+            ).set(summary.byte_size(), backend=summary.backend)
             obs.event(
                 "lattice_build",
                 level=level,
                 patterns=summary.num_patterns,
+                backend=summary.backend,
                 seconds=round(elapsed, 6),
             )
         return summary
 
     @classmethod
     def from_mining(
-        cls, mined: MiningResult, construction_seconds: float = 0.0
+        cls,
+        mined: MiningResult,
+        construction_seconds: float = 0.0,
+        *,
+        store: str = "dict",
     ) -> "LatticeSummary":
         """Wrap a :class:`~repro.mining.MiningResult` as a summary."""
-        counts: dict[Canon, int] = {}
-        complete: list[int] = []
-        for size, level_patterns in mined.levels.items():
-            counts.update(level_patterns)
-            # A level is complete unless the frontier of some *earlier*
-            # level was sampled (a level listed in capped_levels was
-            # itself fully enumerated; only its successors are partial).
-            if all(s >= size for s in mined.capped_levels):
-                complete.append(size)
+        sink = make_store(store)
+        for level_patterns in mined.levels.values():
+            for key, count in level_patterns.items():
+                sink.add(key, count)
         return cls(
             mined.max_size,
-            counts,
-            complete_sizes=complete,
+            sink,
+            complete_sizes=cls._complete_sizes_of(mined),
             construction_seconds=construction_seconds,
+        )
+
+    @staticmethod
+    def _complete_sizes_of(mined: MiningResult) -> list[int]:
+        # A level is complete unless the frontier of some *earlier*
+        # level was sampled (a level listed in capped_levels was
+        # itself fully enumerated; only its successors are partial).
+        return [
+            size
+            for size in mined.levels
+            if all(s >= size for s in mined.capped_levels)
+        ]
+
+    # ------------------------------------------------------------------
+    # Store access
+    # ------------------------------------------------------------------
+
+    @property
+    def store(self) -> SummaryStore:
+        """The count store behind this summary (treat as read-only)."""
+        return self._store
+
+    @property
+    def backend(self) -> str:
+        """Name of the store backend (``"dict"`` / ``"array"``)."""
+        return self._store.backend
+
+    def to_store(self, backend: str) -> "LatticeSummary":
+        """This summary's contents re-housed on another store backend."""
+        if backend == self._store.backend:
+            return self
+        return LatticeSummary(
+            self.level,
+            coerce_store(self._store, backend),
+            complete_sizes=self.complete_sizes,
+            construction_seconds=self.construction_seconds,
         )
 
     # ------------------------------------------------------------------
@@ -125,7 +197,7 @@ class LatticeSummary:
         depends on :meth:`is_complete_at` for the pattern's size.
         """
         key = self._to_canon(pattern)
-        got = self._counts.get(key)
+        got = self._store.get(key)
         if obs.enabled:
             obs.registry.counter(
                 "lattice_gets_total",
@@ -142,7 +214,7 @@ class LatticeSummary:
         count — estimators must decompose instead.
         """
         key = self._to_canon(pattern)
-        got = self._counts.get(key)
+        got = self._store.get(key)
         if got is not None:
             return got
         if self.is_complete_at(canon_size(key)):
@@ -152,7 +224,7 @@ class LatticeSummary:
         )
 
     def __contains__(self, pattern: Canon | LabeledTree | TwigQuery) -> bool:
-        return self._to_canon(pattern) in self._counts
+        return self._to_canon(pattern) in self._store
 
     def is_complete_at(self, size: int) -> bool:
         """True when the summary stores *every* occurring pattern of ``size``."""
@@ -174,52 +246,52 @@ class LatticeSummary:
 
     @property
     def num_patterns(self) -> int:
-        return len(self._counts)
+        return len(self._store)
 
     def patterns(self) -> Iterator[tuple[Canon, int]]:
-        """All stored ``(canon, count)`` pairs."""
-        return iter(self._counts.items())
+        """All stored ``(canon, count)`` pairs, in insertion order."""
+        return iter(self._store.items())
 
     def patterns_of_size(self, size: int) -> dict[Canon, int]:
         return {
-            c: n for c, n in self._counts.items() if canon_size(c) == size
+            c: n for c, n in self._store.items() if canon_size(c) == size
         }
 
     def level_sizes(self) -> dict[int, int]:
         """``size -> number of stored patterns`` histogram."""
         hist: dict[int, int] = {}
-        for c in self._counts:
+        for c, _ in self._store.items():
             s = canon_size(c)
             hist[s] = hist.get(s, 0) + 1
         return dict(sorted(hist.items()))
 
     def byte_size(self) -> int:
-        """Approximate serialised size: encoded keys plus 8-byte counts.
+        """Actual in-memory footprint of the backing store, in bytes.
 
-        This is the figure the paper reports as "memory utilization"; it
-        charges what a compact on-disk hash table would pay, not Python
-        object overhead.
+        Backend-dependent by design: the ``dict`` backend pays Python
+        tuple/str overhead per pattern, the ``array`` backend packed
+        codes plus an 8-byte count slot.  This replaces the old flat
+        "encoded key + 8 bytes" heuristic so that byte budgets and the
+        paper's "memory utilization" comparisons reflect reality.
         """
-        return sum(
-            len(encode_canon(c).encode("utf-8")) + _COUNT_BYTES
-            for c in self._counts
-        )
+        return self._store.byte_size()
 
     def replace_counts(
-        self, counts: dict[Canon, int], complete_sizes: Iterable[int]
+        self, counts: Mapping[Canon, int], complete_sizes: Iterable[int]
     ) -> "LatticeSummary":
-        """Derive a new summary with the same level but different contents."""
+        """Derive a new summary (same level, same backend, new contents)."""
         return LatticeSummary(
             self.level,
             counts,
             complete_sizes=complete_sizes,
             construction_seconds=self.construction_seconds,
+            store=self._store.backend,
         )
 
     def __repr__(self) -> str:
         return (
             f"LatticeSummary(level={self.level}, patterns={self.num_patterns}, "
-            f"bytes={self.byte_size()})"
+            f"backend={self.backend!r}, bytes={self.byte_size()})"
         )
 
     # ------------------------------------------------------------------
@@ -227,22 +299,56 @@ class LatticeSummary:
     # ------------------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Write a line-oriented text dump: header, then ``count\\tkey``."""
-        lines = [f"#treelattice level={self.level} "
-                 f"complete={','.join(map(str, sorted(self.complete_sizes)))}"]
-        for c in sorted(self._counts, key=encode_canon):
-            lines.append(f"{self._counts[c]}\t{encode_canon(c)}")
+        """Persist the summary.
+
+        The ``dict`` backend writes the line-oriented text dump (header,
+        then ``count\\tkey``); the ``array`` backend writes a compact
+        binary container embedding the intern tables.  Both formats
+        carry an explicit format-version field and round-trip
+        ``complete_sizes``, so δ-pruned summaries survive the trip.
+        """
+        if isinstance(self._store, ArrayStore):
+            payload = {
+                "version": FORMAT_VERSION,
+                "level": self.level,
+                "complete": sorted(self.complete_sizes),
+                "store": self._store.to_payload(),
+            }
+            Path(path).write_bytes(
+                _ARRAY_MAGIC + pickle.dumps(payload, protocol=4)
+            )
+            return
+        complete = ",".join(map(str, sorted(self.complete_sizes)))
+        lines = [
+            f"#treelattice v={FORMAT_VERSION} level={self.level} "
+            f"complete={complete}"
+        ]
+        counts = dict(self._store.items())
+        for c in sorted(counts, key=encode_canon):
+            lines.append(f"{counts[c]}\t{encode_canon(c)}")
         Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
 
     @classmethod
     def load(cls, path: str | Path) -> "LatticeSummary":
-        """Read a summary produced by :meth:`save`."""
-        text = Path(path).read_text(encoding="utf-8").splitlines()
+        """Read a summary produced by :meth:`save` (either container)."""
+        raw = Path(path).read_bytes()
+        if raw.startswith(_ARRAY_MAGIC):
+            return cls._load_binary(path, raw[len(_ARRAY_MAGIC):])
+        try:
+            text = raw.decode("utf-8").splitlines()
+        except UnicodeDecodeError as exc:
+            raise ValueError(f"{path}: not a TreeLattice summary file") from exc
         if not text or not text[0].startswith("#treelattice"):
             raise ValueError(f"{path}: not a TreeLattice summary file")
         header = dict(
             item.split("=", 1) for item in text[0].split()[1:] if "=" in item
         )
+        version = int(header.get("v", 1))
+        if version > FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: summary format version {version} is newer than "
+                f"this build supports (reads <= {FORMAT_VERSION})"
+            )
         level = int(header["level"])
         complete = [int(s) for s in header.get("complete", "").split(",") if s]
         counts: dict[Canon, int] = {}
@@ -253,12 +359,34 @@ class LatticeSummary:
             counts[decode_canon(key)] = int(count_str)
         return cls(level, counts, complete_sizes=complete)
 
+    @classmethod
+    def _load_binary(cls, path: str | Path, body: bytes) -> "LatticeSummary":
+        try:
+            payload = pickle.loads(body)
+        except Exception as exc:  # pickle raises a zoo of error types
+            raise ValueError(
+                f"{path}: corrupt binary summary container: {exc}"
+            ) from exc
+        version = payload.get("version")
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported summary format version {version!r} "
+                f"(this build reads version {FORMAT_VERSION})"
+            )
+        store = ArrayStore.from_payload(payload["store"])
+        return cls(
+            int(payload["level"]),
+            store,
+            complete_sizes=[int(s) for s in payload["complete"]],
+        )
+
 
 def build_lattice(
     document: LabeledTree | DocumentIndex,
     level: int = 4,
     *,
     workers: int | None = None,
+    store: str = "dict",
 ) -> LatticeSummary:
     """Convenience wrapper: mine ``document`` into a ``level``-lattice."""
-    return LatticeSummary.build(document, level, workers=workers)
+    return LatticeSummary.build(document, level, workers=workers, store=store)

@@ -11,14 +11,22 @@ This module implements that closed form directly on top of the lattice
 summary (whose path-shaped patterns *are* the Markov statistics).  It is
 used by the Lemma 4 equivalence tests and by the path-selectivity
 ablation benchmarks; it rejects branching queries by design.
+
+The first estimate of each path compiles the gram products into a
+:class:`~repro.core.plan.GramPlan`; repeated paths replay the plan.
+Error cases are never cached: branching queries raise ``ValueError``
+before the plan cache is consulted, and a pruned gram raises
+``KeyError`` during compilation, leaving no plan behind.
 """
 
 from __future__ import annotations
 
 from .. import obs
+from ..trees.canonical import Canon, PatternInterner
 from ..trees.labeled_tree import LabeledTree
 from .estimator import SelectivityEstimator
 from .lattice import LatticeSummary
+from .plan import GramPlan, record_plan_request
 
 
 def _record_gram(outcome: str, labels: list[str]) -> None:
@@ -37,6 +45,15 @@ def _record_gram(outcome: str, labels: list[str]) -> None:
         length=len(labels),
     )
 
+
+def _path_canon(labels: list[str]) -> Canon:
+    """Canonical form of the linear path with these labels."""
+    node: Canon = (labels[-1], ())
+    for label in reversed(labels[:-1]):
+        node = (label, (node,))
+    return node
+
+
 __all__ = ["MarkovPathEstimator"]
 
 
@@ -47,7 +64,8 @@ class MarkovPathEstimator(SelectivityEstimator):
     ----------
     lattice:
         Summary holding path statistics (any :class:`LatticeSummary`;
-        paths are just linear patterns).
+        paths are just linear patterns).  Treated as immutable; compiled
+        gram plans bake its counts in.
     order:
         Markov window size ``m``; defaults to the lattice level.
     """
@@ -63,29 +81,62 @@ class MarkovPathEstimator(SelectivityEstimator):
             )
         self.lattice = lattice
         self.order = order
+        self._plan_keys = PatternInterner()
+        self._plans: dict[int, GramPlan] = {}
+
+    def clear_cache(self) -> None:
+        """Drop compiled gram plans."""
+        self._plans.clear()
 
     def _estimate_tree(self, tree: LabeledTree) -> float:
+        # Branching rejection runs on every call (warm included): the
+        # labels are needed to key the plan cache anyway.
+        labels = self._path_labels(tree)
+        pattern_id = self._plan_keys.intern(_path_canon(labels))
+        plan = self._plans.get(pattern_id)
+        if plan is not None:
+            if not obs.enabled:
+                return plan.evaluate()
+            record_plan_request(
+                self.name, "hit", len(self._plans), len(self._plan_keys)
+            )
+            with obs.registry.timer(
+                "estimate_seconds", "Per-query estimation wall time."
+            ).time():
+                return plan.evaluate()
         if not obs.enabled:
-            return self._path_estimate(tree)
+            value, plan = self._compile_path(labels)
+            self._plans[pattern_id] = plan
+            return value
         with obs.registry.timer(
             "estimate_seconds", "Per-query estimation wall time."
         ).time():
-            return self._path_estimate(tree)
+            value, plan = self._compile_path(labels)
+        self._plans[pattern_id] = plan
+        record_plan_request(
+            self.name, "miss", len(self._plans), len(self._plan_keys)
+        )
+        return value
 
-    def _path_estimate(self, tree: LabeledTree) -> float:
-        labels = self._path_labels(tree)
+    def _compile_path(self, labels: list[str]) -> tuple[float, GramPlan]:
+        """The original closed form, recording each gram as it goes."""
         m = self.order
         if len(labels) <= m:
-            return float(self._path_count(labels))
-        estimate = float(self._path_count(labels[:m]))
+            head = self._path_count(labels)
+            return float(head), GramPlan(head, (), False)
+        head = self._path_count(labels[:m])
+        estimate = float(head)
+        steps: list[tuple[int, int]] = []
         for i in range(1, len(labels) - m + 1):
             window = labels[i : i + m]
             overlap = labels[i : i + m - 1]
             overlap_count = self._path_count(overlap)
             if overlap_count == 0:
-                return 0.0
-            estimate *= self._path_count(window) / overlap_count
-        return estimate
+                return 0.0, GramPlan(head, tuple(steps), True)
+            window_count = self._path_count(window)
+            estimate *= window_count / overlap_count
+            steps.append((window_count, overlap_count))
+        return estimate, GramPlan(head, tuple(steps), False)
 
     @staticmethod
     def _path_labels(tree: LabeledTree) -> list[str]:

@@ -1,0 +1,287 @@
+"""Compiled decomposition plans: reusable estimate programs per twig shape.
+
+Estimating a twig is a pure function of ``(canonical form, summary)``:
+the decomposition recursion (paper §3.2), the fix-sized cover (§3.3) and
+the Markov closed form (Lemma 4) all bottom out in summary lookups whose
+values never change while the estimator is alive.  The estimators
+therefore *compile* the first evaluation of each canonical shape into a
+small plan — the summary lookups resolved to constants, the arithmetic
+recorded as a DAG of multiply/divide/average ops — and replay that plan
+on every later query with the same shape.  ``estimate_batch`` over a
+repeated-shape workload then pays tree decomposition once per distinct
+shape instead of once per query.
+
+Plan evaluation replays the *exact* float operations of the original
+recursion, in the same order, so warm-path estimates are bit-identical
+to cold-path ones (an invariant the test suite asserts, not a rounding
+nicety).  Plans are plain picklable values: estimators shipped to worker
+processes (:mod:`repro.parallel.batch`) carry their compiled plans with
+them.
+
+Plans are keyed by dense pattern ids from an estimator-owned
+:class:`~repro.trees.canonical.PatternInterner` (separate from any
+id space a summary store may use), and cache traffic is exported via
+:mod:`repro.obs` as ``plan_cache_requests_total`` plus the
+``plan_cache_size`` / ``intern_table_patterns`` gauges.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .. import obs
+
+__all__ = [
+    "CompiledPlan",
+    "PlanBuilder",
+    "CoverPlan",
+    "GramPlan",
+    "record_plan_request",
+]
+
+_OP_RATIO = 0
+_OP_AVG = 1
+
+_OpsT = tuple[tuple[int, int, tuple[int, ...]], ...]
+_MemoSlotsT = tuple[tuple[int, int], ...]
+
+
+def record_plan_request(
+    estimator: str, outcome: str, plans: int, interned: int
+) -> None:
+    """Metrics for one plan-cache probe (only called when obs is on)."""
+    if not obs.enabled:  # call sites check too; this is defence in depth
+        return
+    obs.registry.counter(
+        "plan_cache_requests_total",
+        "Compiled-plan cache probes by outcome (hit / miss).",
+        labels=("estimator", "outcome"),
+    ).inc(estimator=estimator, outcome=outcome)
+    obs.registry.gauge(
+        "plan_cache_size",
+        "Compiled plans held per estimator instance (last probe wins).",
+        labels=("estimator",),
+    ).set(plans, estimator=estimator)
+    obs.registry.gauge(
+        "intern_table_patterns",
+        "Patterns interned by each estimator's plan keyspace.",
+        labels=("estimator",),
+    ).set(interned, estimator=estimator)
+
+
+class CompiledPlan:
+    """A recursive-decomposition estimate as a replayable op sequence.
+
+    Slots ``0..len(base)-1`` hold constants (summary lookups and values
+    that were already memoised at compile time); every op writes one new
+    slot.  Two opcodes cover the whole recursion:
+
+    * ``RATIO dst, (t1, t2, common)`` — Theorem 1's step, with the
+      original ``denominator <= 0.0 -> 0.0`` guard;
+    * ``AVG dst, parts`` — the voting average, accumulated in split
+      order (a single-part average reproduces the non-voting path
+      exactly: ``(0.0 + r) / 1 == r``).
+    """
+
+    __slots__ = ("_base", "_ops", "root", "max_depth", "memo_slots")
+
+    def __init__(
+        self,
+        base: Sequence[float],
+        ops: _OpsT,
+        root: int,
+        max_depth: int,
+        memo_slots: _MemoSlotsT,
+    ) -> None:
+        self._base = list(base)
+        self._ops = ops
+        #: Slot holding the query's estimate after evaluation.
+        self.root = root
+        #: Deepest decomposition level of the original recursion (what a
+        #: cold run would have reported as ``recursion_depth``).
+        self.max_depth = max_depth
+        #: ``(pattern_id, slot)`` pairs: sub-twig values a warm replay
+        #: can donate to a batch memo.
+        self.memo_slots = memo_slots
+
+    def evaluate(self, memo: dict[int, float] | None = None) -> float:
+        """Replay the plan; optionally donate sub-values to ``memo``."""
+        slots = list(self._base)
+        for opcode, dst, operands in self._ops:
+            if opcode == _OP_RATIO:
+                t1, t2, common = operands
+                denominator = slots[common]
+                if denominator <= 0.0:
+                    slots[dst] = 0.0
+                else:
+                    slots[dst] = slots[t1] * slots[t2] / denominator
+            else:
+                total = 0.0
+                for part in operands:
+                    total += slots[part]
+                slots[dst] = total / len(operands)
+        if memo is not None:
+            for pattern_id, slot in self.memo_slots:
+                if pattern_id not in memo:
+                    memo[pattern_id] = slots[slot]
+        return slots[self.root]
+
+    @property
+    def num_ops(self) -> int:
+        return len(self._ops)
+
+    def __getstate__(
+        self,
+    ) -> tuple[list[float], _OpsT, int, int, _MemoSlotsT]:
+        return (self._base, self._ops, self.root, self.max_depth, self.memo_slots)
+
+    def __setstate__(
+        self, state: tuple[list[float], _OpsT, int, int, _MemoSlotsT]
+    ) -> None:
+        (
+            self._base,
+            self._ops,
+            self.root,
+            self.max_depth,
+            self.memo_slots,
+        ) = state
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledPlan(slots={len(self._base)}, ops={len(self._ops)}, "
+            f"depth={self.max_depth})"
+        )
+
+
+class PlanBuilder:
+    """Accumulates slots and ops while the cold-path recursion runs."""
+
+    __slots__ = ("_values", "_ops", "_memo_slots")
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+        self._ops: list[tuple[int, int, tuple[int, ...]]] = []
+        self._memo_slots: list[tuple[int, int]] = []
+
+    def const(self, value: float) -> int:
+        """New slot pre-loaded with ``value``; returns its index."""
+        self._values.append(value)
+        return len(self._values) - 1
+
+    def ratio(self, t1: int, t2: int, common: int) -> int:
+        """Theorem 1 step over three existing slots; returns the result slot."""
+        dst = self.const(0.0)
+        self._ops.append((_OP_RATIO, dst, (t1, t2, common)))
+        return dst
+
+    def average(self, parts: Sequence[int]) -> int:
+        """Voting average over per-split slots; returns the result slot."""
+        dst = self.const(0.0)
+        self._ops.append((_OP_AVG, dst, tuple(parts)))
+        return dst
+
+    def note_memo(self, pattern_id: int, slot: int) -> None:
+        """Record that ``slot`` holds the estimate of ``pattern_id``."""
+        self._memo_slots.append((pattern_id, slot))
+
+    def build(self, root: int, max_depth: int) -> CompiledPlan:
+        return CompiledPlan(
+            self._values,
+            tuple(self._ops),
+            root,
+            max_depth,
+            tuple(self._memo_slots),
+        )
+
+
+class CoverPlan:
+    """A fix-sized cover estimate (§3.3) with its factors pre-resolved.
+
+    ``blocks is None`` marks the small-twig shortcut (the twig fits in
+    one lattice lookup and ``factors[0][0]`` is the answer).  Otherwise
+    ``factors`` holds one ``(block_count, overlap_count | None)`` pair
+    per cover piece, truncated at the piece whose count was zero when
+    ``zero`` is set — replay multiplies in the original piece order.
+    """
+
+    __slots__ = ("blocks", "factors", "zero")
+
+    def __init__(
+        self,
+        blocks: int | None,
+        factors: tuple[tuple[float, float | None], ...],
+        zero: bool,
+    ) -> None:
+        self.blocks = blocks
+        self.factors = factors
+        self.zero = zero
+
+    def evaluate(self) -> float:
+        if self.blocks is None:
+            return self.factors[0][0]
+        if self.zero:
+            return 0.0
+        numerator = 1.0
+        denominator = 1.0
+        for block, overlap in self.factors:
+            numerator *= block
+            if overlap is not None:
+                denominator *= overlap
+        return numerator / denominator
+
+    def __getstate__(
+        self,
+    ) -> tuple[int | None, tuple[tuple[float, float | None], ...], bool]:
+        return (self.blocks, self.factors, self.zero)
+
+    def __setstate__(
+        self,
+        state: tuple[int | None, tuple[tuple[float, float | None], ...], bool],
+    ) -> None:
+        self.blocks, self.factors, self.zero = state
+
+    def __repr__(self) -> str:
+        return (
+            f"CoverPlan(blocks={self.blocks}, factors={len(self.factors)}, "
+            f"zero={self.zero})"
+        )
+
+
+class GramPlan:
+    """A Markov path estimate (Lemma 4) with its gram counts pre-resolved.
+
+    ``head`` is the leading ``m``-gram count; ``steps`` the sliding
+    ``(window_count, overlap_count)`` pairs.  ``zero`` marks a path
+    whose first zero overlap short-circuited the original loop.
+    """
+
+    __slots__ = ("head", "steps", "zero")
+
+    def __init__(
+        self, head: int, steps: tuple[tuple[int, int], ...], zero: bool
+    ) -> None:
+        self.head = head
+        self.steps = steps
+        self.zero = zero
+
+    def evaluate(self) -> float:
+        if self.zero:
+            return 0.0
+        estimate = float(self.head)
+        for window, overlap in self.steps:
+            estimate *= window / overlap
+        return estimate
+
+    def __getstate__(self) -> tuple[int, tuple[tuple[int, int], ...], bool]:
+        return (self.head, self.steps, self.zero)
+
+    def __setstate__(
+        self, state: tuple[int, tuple[tuple[int, int], ...], bool]
+    ) -> None:
+        self.head, self.steps, self.zero = state
+
+    def __repr__(self) -> str:
+        return (
+            f"GramPlan(head={self.head}, steps={len(self.steps)}, "
+            f"zero={self.zero})"
+        )

@@ -16,6 +16,13 @@ fed into the next level up.  Memoisation on canonical forms makes this
 the bottom-up scheme the paper describes and keeps the cost polynomial
 in the number of distinct sub-patterns instead of exponential in the
 recursion depth.
+
+The first estimate of each canonical shape additionally *compiles* the
+recursion into a :class:`~repro.core.plan.CompiledPlan` — summary
+lookups resolved to constants, the Theorem 1 arithmetic recorded as a
+replayable op DAG — so repeated-shape workloads skip tree decomposition
+entirely on later queries.  Warm replays are bit-identical to cold runs
+(see ``docs/architecture.md`` for the plan lifecycle).
 """
 
 from __future__ import annotations
@@ -24,11 +31,12 @@ from contextlib import contextmanager
 from typing import Iterator, Sequence
 
 from .. import obs
-from ..trees.canonical import Canon, canon, encode_canon
+from ..trees.canonical import Canon, PatternInterner, canon, encode_canon
 from ..trees.labeled_tree import LabeledTree
 from .decompose import leaf_pair_decompositions
 from .estimator import SelectivityEstimator
 from .lattice import LatticeSummary
+from .plan import CompiledPlan, PlanBuilder, record_plan_request
 
 __all__ = ["RecursiveDecompositionEstimator"]
 
@@ -53,7 +61,10 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
     Parameters
     ----------
     lattice:
-        The summary to draw small-twig counts from.
+        The summary to draw small-twig counts from.  Treated as
+        immutable: compiled plans bake its counts in (call
+        :meth:`clear_cache` in the unusual case the summary object is
+        swapped out underneath the estimator).
     voting:
         When true, average over all leaf-pair decompositions at every
         recursion level (the paper's "+ Voting" variant); otherwise use
@@ -81,12 +92,22 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
             "recursive-decomp + voting" if voting else "recursive-decomp"
         )
         self._max_depth = 0
-        self._shared_memo: dict[Canon, float] | None = {} if shared_cache else None
+        self._shared_memo: dict[int, float] | None = {} if shared_cache else None
+        # Plan cache: canonical shape (as a dense id from the
+        # estimator-owned interner) -> compiled evaluation plan.
+        self._plan_keys = PatternInterner()
+        self._plans: dict[int, CompiledPlan] = {}
 
     def clear_cache(self) -> None:
-        """Forget cached sub-twig selectivities (no-op without a cache)."""
+        """Forget memoised selectivities *and* compiled plans.
+
+        Both caches are pure functions of (canon, summary); dropping them
+        never changes an estimate, it only makes the next query per shape
+        pay compilation again.
+        """
         if self._shared_memo is not None:
             self._shared_memo.clear()
+        self._plans.clear()
 
     @contextmanager
     def batch_cache(self) -> Iterator[None]:
@@ -112,34 +133,72 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
 
     def _estimate_tree(self, tree: LabeledTree) -> float:
         memo = self._shared_memo if self._shared_memo is not None else {}
-        if not obs.enabled:
-            return self._estimate(tree, memo, 0)
+        pattern_id = self._plan_keys.intern(canon(tree))
+        plan = self._plans.get(pattern_id)
+        if plan is not None:
+            if not obs.enabled:
+                return plan.evaluate(memo)
+            record_plan_request(
+                self.name, "hit", len(self._plans), len(self._plan_keys)
+            )
+            with obs.registry.timer(
+                "estimate_seconds", "Per-query estimation wall time."
+            ).time():
+                value = plan.evaluate(memo)
+            obs.registry.histogram(
+                "recursion_depth",
+                "Deepest decomposition level reached per query.",
+            ).observe(plan.max_depth)
+            return value
+        builder = PlanBuilder()
         self._max_depth = 0
+        if not obs.enabled:
+            value, root = self._compile(tree, memo, 0, builder)
+            self._plans[pattern_id] = builder.build(root, self._max_depth)
+            return value
         with obs.registry.timer(
             "estimate_seconds", "Per-query estimation wall time."
         ).time():
-            value = self._estimate(tree, memo, 0)
+            value, root = self._compile(tree, memo, 0, builder)
         obs.registry.histogram(
             "recursion_depth", "Deepest decomposition level reached per query."
         ).observe(self._max_depth)
+        self._plans[pattern_id] = builder.build(root, self._max_depth)
+        record_plan_request(
+            self.name, "miss", len(self._plans), len(self._plan_keys)
+        )
         return value
 
-    def _estimate(
-        self, tree: LabeledTree, memo: dict[Canon, float], depth: int
-    ) -> float:
+    def _compile(
+        self,
+        tree: LabeledTree,
+        memo: dict[int, float],
+        depth: int,
+        builder: PlanBuilder,
+    ) -> tuple[float, int]:
+        """One recursion node: return ``(estimate, slot holding it)``.
+
+        This *is* the original estimation recursion — same lookups, same
+        float operations, same observability — it just records every
+        value and operation into ``builder`` as a side effect.
+        """
         key = canon(tree)
-        cached = memo.get(key)
+        pattern_id = self._plan_keys.intern(key)
+        cached = memo.get(pattern_id)
         if cached is not None:
             if obs.enabled:
                 self._record_memo("hit")
-            return cached
+            return cached, builder.const(cached)
         if obs.enabled:
             self._record_memo("miss")
         value = self._lookup(key, tree.size)
         if value is None:
-            value = self._decompose(tree, memo, depth)
-        memo[key] = value
-        return value
+            value, slot = self._compile_decompose(tree, memo, depth, builder)
+        else:
+            slot = builder.const(value)
+        memo[pattern_id] = value
+        builder.note_memo(pattern_id, slot)
+        return value, slot
 
     @staticmethod
     def _record_memo(outcome: str) -> None:
@@ -176,28 +235,44 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
             _record_lookup("pruned_miss", key, size)
         return None  # pruned away: fall through to decomposition
 
-    def _decompose(
-        self, tree: LabeledTree, memo: dict[Canon, float], depth: int
-    ) -> float:
+    def _compile_decompose(
+        self,
+        tree: LabeledTree,
+        memo: dict[int, float],
+        depth: int,
+        builder: PlanBuilder,
+    ) -> tuple[float, int]:
         total = 0.0
         count = 0
+        parts: list[int] = []
         for split in leaf_pair_decompositions(tree):
-            denominator = self._estimate(split.common, memo, depth + 1)
+            denominator, denominator_slot = self._compile(
+                split.common, memo, depth + 1, builder
+            )
             if denominator <= 0.0:
+                # The original recursion never evaluates t1/t2 here, so
+                # neither does the compiler; the plan keeps the folded 0.
                 estimate = 0.0
+                part = builder.const(0.0)
             else:
-                estimate = (
-                    self._estimate(split.t1, memo, depth + 1)
-                    * self._estimate(split.t2, memo, depth + 1)
-                    / denominator
+                t1_value, t1_slot = self._compile(
+                    split.t1, memo, depth + 1, builder
                 )
+                t2_value, t2_slot = self._compile(
+                    split.t2, memo, depth + 1, builder
+                )
+                estimate = t1_value * t2_value / denominator
+                part = builder.ratio(t1_slot, t2_slot, denominator_slot)
+            parts.append(part)
             total += estimate
             count += 1
             if not self.voting:
                 break
+        # Tracked unconditionally (not only under obs): the compiled
+        # plan's max_depth must match what a cold observed run reports.
+        if depth + 1 > self._max_depth:
+            self._max_depth = depth + 1
         if obs.enabled:
-            if depth + 1 > self._max_depth:
-                self._max_depth = depth + 1
             obs.registry.counter(
                 "decompose_steps_total", "Decomposition nodes expanded."
             ).inc()
@@ -208,7 +283,9 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
             obs.event(
                 "decompose_step", size=tree.size, depth=depth, fanout=count
             )
-        return total / count if count else 0.0
+        if not count:
+            return 0.0, builder.const(0.0)
+        return total / count, builder.average(parts)
 
     def __repr__(self) -> str:
         return (

@@ -26,6 +26,10 @@ rationale per rule):
 ``public-annotations``
     Public functions in ``repro.core`` / ``repro.trees`` carry complete
     type annotations.
+``store-internals``
+    Summary-store internals (``_counts`` and the intern tables) are
+    private to ``repro.store`` / the interner; everything else goes
+    through the :class:`~repro.store.SummaryStore` surface.
 """
 
 from __future__ import annotations
@@ -44,6 +48,7 @@ __all__ = [
     "OpaqueCanonChecker",
     "DictOrderTiebreakChecker",
     "PublicAnnotationsChecker",
+    "StoreInternalsChecker",
 ]
 
 _FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
@@ -703,3 +708,47 @@ class PublicAnnotationsChecker(Checker):
                 for member in stmt.body:
                     if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
                         self._check(member, is_method=True)
+
+
+@register
+class StoreInternalsChecker(Checker):
+    """Summary-store internals are private to ``repro.store``.
+
+    The two count backends (dict / interned array) are interchangeable
+    only while every consumer goes through the ``SummaryStore`` surface
+    (``get``/``items``/``byte_size``/...).  Reaching for ``._counts`` or
+    the intern tables from outside the store layer silently welds the
+    caller to one backend and breaks the bit-identity contract between
+    them.
+    """
+
+    rule = "store-internals"
+    description = "no store-internal attribute access outside repro/store/"
+
+    _INTERNAL_ATTRS = {
+        "_counts",
+        "_codes",
+        "_code_ids",
+        "_labels",
+        "_label_ids",
+        "_interner",
+    }
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        # The store package and the interner's home module own these
+        # attributes; everywhere else they are off limits.
+        normalized = path.replace("\\", "/")
+        return "repro/store/" not in normalized and not normalized.endswith(
+            "repro/trees/canonical.py"
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if node.attr in self._INTERNAL_ATTRS:
+            self.report(
+                node,
+                f"store-internal attribute {node.attr!r} accessed outside "
+                "repro/store/; use the SummaryStore API "
+                "(get/items/byte_size/...) instead",
+            )
+        self.generic_visit(node)

@@ -1,0 +1,138 @@
+"""Interned-array store backend: dense ids indexing a count vector.
+
+Patterns are interned through a :class:`~repro.trees.canonical.
+PatternInterner` — every canon becomes a dense integer id in insertion
+order — and counts live in a single ``array('q')`` indexed by id.  The
+per-pattern cost collapses from nested Python tuples to a packed
+4-bytes-per-node code plus one 8-byte count slot, the same compact-
+encoding move native XML stores make for their path/label tables.
+
+The backend is picklable (workers receive estimators holding summaries)
+and has a versioned on-disk payload (:meth:`ArrayStore.to_payload` /
+:meth:`ArrayStore.from_payload`) that records the writer's byte order so
+summaries survive cross-endian moves.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Iterator
+
+from ..trees.canonical import Canon, PatternInterner
+from .base import SummaryStore
+
+__all__ = ["ArrayStore"]
+
+#: Version stamp embedded in every persisted payload.
+PAYLOAD_VERSION = 1
+
+_COUNT_TYPECODE = "q"
+_CODE_TYPECODE = "H"
+
+
+def _swapped_code(code: bytes) -> bytes:
+    buffer = array(_CODE_TYPECODE)
+    buffer.frombytes(code)
+    buffer.byteswap()
+    return buffer.tobytes()
+
+
+class ArrayStore(SummaryStore):
+    """Counts in a flat array, addressed by interned pattern ids."""
+
+    backend = "array"
+
+    __slots__ = ("_interner", "_counts")
+
+    def __init__(self) -> None:
+        self._interner = PatternInterner()
+        self._counts = array(_COUNT_TYPECODE)
+
+    # Invariant: ids are assigned by ``add`` only, so the interner and
+    # the count vector stay the same length and id ``i`` owns slot ``i``.
+
+    def add(self, key: Canon, count: int) -> None:
+        pattern_id = self._interner.intern(key)
+        if pattern_id == len(self._counts):
+            self._counts.append(count)
+        else:
+            self._counts[pattern_id] = count
+
+    def get(self, key: Canon) -> int | None:
+        pattern_id = self._interner.id_of(key)
+        if pattern_id is None:
+            return None
+        return self._counts[pattern_id]
+
+    def __contains__(self, key: Canon) -> bool:
+        return self._interner.id_of(key) is not None
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def items(self) -> Iterator[tuple[Canon, int]]:
+        interner = self._interner
+        for pattern_id, count in enumerate(self._counts):
+            yield interner.canon_of(pattern_id), count
+
+    # -- id-level access ------------------------------------------------
+
+    @property
+    def interner(self) -> PatternInterner:
+        """The pattern interner backing this store (read-only use)."""
+        return self._interner
+
+    def id_of(self, key: Canon) -> int | None:
+        """Dense id of ``key``, or ``None`` when not stored."""
+        return self._interner.id_of(key)
+
+    def count_by_id(self, pattern_id: int) -> int:
+        """Count stored under a dense id (raises ``IndexError`` if unknown)."""
+        return self._counts[pattern_id]
+
+    # -- accounting -----------------------------------------------------
+
+    def byte_size(self) -> int:
+        """Actual footprint: the count vector plus the intern tables."""
+        return sys.getsizeof(self._counts) + self._interner.byte_size()
+
+    # -- pickling and persistence --------------------------------------
+
+    def __getstate__(self) -> tuple[PatternInterner, array[int]]:
+        return (self._interner, self._counts)
+
+    def __setstate__(self, state: tuple[PatternInterner, array[int]]) -> None:
+        self._interner, self._counts = state
+
+    def to_payload(self) -> dict[str, object]:
+        """Versioned, endianness-tagged payload for on-disk persistence."""
+        labels, codes = self._interner.tables()
+        return {
+            "payload_version": PAYLOAD_VERSION,
+            "byteorder": sys.byteorder,
+            "labels": labels,
+            "codes": codes,
+            "counts": self._counts.tobytes(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, object]) -> "ArrayStore":
+        """Rebuild a store from :meth:`to_payload` output."""
+        version = payload.get("payload_version")
+        if version != PAYLOAD_VERSION:
+            raise ValueError(
+                f"unsupported ArrayStore payload version {version!r} "
+                f"(this build reads version {PAYLOAD_VERSION})"
+            )
+        labels = list(payload["labels"])  # type: ignore[call-overload]
+        codes = list(payload["codes"])  # type: ignore[call-overload]
+        counts = array(_COUNT_TYPECODE)
+        counts.frombytes(payload["counts"])  # type: ignore[arg-type]
+        if payload.get("byteorder") != sys.byteorder:
+            codes = [_swapped_code(code) for code in codes]
+            counts.byteswap()
+        store = cls()
+        store._interner = PatternInterner.from_tables(labels, codes)
+        store._counts = counts
+        return store

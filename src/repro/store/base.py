@@ -1,0 +1,86 @@
+"""The summary-store protocol: pluggable count storage for the lattice.
+
+The paper's §4.2 storage discussion settles on a hash table keyed by
+canonical encodings.  :class:`SummaryStore` abstracts that choice so the
+:class:`~repro.core.lattice.LatticeSummary` facade can sit on either of
+two representations with identical semantics:
+
+* :class:`~repro.store.dict_store.DictStore` — today's
+  ``dict[Canon, int]``, insertion-ordered, the default;
+* :class:`~repro.store.array_store.ArrayStore` — interned dense ids
+  indexing an ``array``-backed count vector, compact and picklable.
+
+Both backends answer ``get``/``__contains__``/``items`` identically —
+bit-identical estimates are an acceptance gate, not an aspiration — and
+``items()`` iterates in insertion order on both, which is what keeps
+serial and parallel mining output comparable byte for byte.
+
+Store internals (``_counts`` and friends) are private to this package;
+the ``store-internals`` lint rule rejects direct access from anywhere
+else in the tree.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import ClassVar, Iterable, Iterator, Mapping, TypeVar
+
+from ..trees.canonical import Canon
+
+__all__ = ["SummaryStore"]
+
+_S = TypeVar("_S", bound="SummaryStore")
+
+
+class SummaryStore(ABC):
+    """Abstract pattern-count storage keyed by canonical encodings.
+
+    Implementations must preserve **insertion order** in :meth:`items`
+    (mining feeds patterns in deterministic order and the parallel
+    subsystem's bit-identity contract compares that order) and must
+    treat ``get`` misses as ``None`` — zero-vs-unknown semantics live in
+    the :class:`~repro.core.lattice.LatticeSummary` facade, not here.
+    """
+
+    #: Registry name of the backend (``"dict"`` / ``"array"``).
+    backend: ClassVar[str] = ""
+
+    @abstractmethod
+    def add(self, key: Canon, count: int) -> None:
+        """Insert or overwrite the count stored for ``key``."""
+
+    @abstractmethod
+    def get(self, key: Canon) -> int | None:
+        """Stored count of ``key``, or ``None`` when absent."""
+
+    @abstractmethod
+    def __contains__(self, key: Canon) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def items(self) -> Iterator[tuple[Canon, int]]:
+        """All ``(canon, count)`` pairs in insertion order."""
+
+    @abstractmethod
+    def byte_size(self) -> int:
+        """Actual in-memory footprint of the backend, in bytes."""
+
+    @classmethod
+    def from_counts(
+        cls: type[_S],
+        counts: Mapping[Canon, int] | Iterable[tuple[Canon, int]],
+    ) -> _S:
+        """Build a store of this backend from ``(canon, count)`` pairs."""
+        store = cls()
+        pairs = counts.items() if isinstance(counts, Mapping) else counts
+        for key, count in pairs:
+            store.add(key, count)
+        return store
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(patterns={len(self)}, "
+            f"bytes={self.byte_size()})"
+        )

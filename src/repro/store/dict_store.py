@@ -1,0 +1,80 @@
+"""Hash-table store backend: ``dict[Canon, int]`` (the paper's §4.2 pick).
+
+This is the representation the project has always used, factored behind
+the :class:`~repro.store.base.SummaryStore` protocol.  It stays the
+default because it has zero translation cost on lookups — the canon
+tuple *is* the key — at the price of Python tuple/str object overhead
+per stored pattern, which :meth:`DictStore.byte_size` now reports
+honestly instead of assuming an 8-byte-per-count C layout.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Iterator
+
+from ..trees.canonical import Canon
+from .base import SummaryStore
+
+__all__ = ["DictStore"]
+
+
+def _deep_canon_bytes(key: Canon, seen: set[int]) -> int:
+    """Footprint of one canon tuple, skipping objects already counted.
+
+    Canon nodes are nested tuples over label strings; label strings are
+    typically shared across many patterns of one document, so dedup by
+    object identity keeps the figure honest.
+    """
+    total = 0
+    stack: list[object] = [key]
+    while stack:
+        obj = stack.pop()
+        if id(obj) in seen:
+            continue
+        seen.add(id(obj))
+        total += sys.getsizeof(obj)
+        if isinstance(obj, tuple):
+            stack.extend(obj)
+    return total
+
+
+class DictStore(SummaryStore):
+    """Insertion-ordered hash table over canonical tuple keys."""
+
+    backend = "dict"
+
+    __slots__ = ("_counts",)
+
+    def __init__(self) -> None:
+        self._counts: dict[Canon, int] = {}
+
+    def add(self, key: Canon, count: int) -> None:
+        self._counts[key] = count
+
+    def get(self, key: Canon) -> int | None:
+        return self._counts.get(key)
+
+    def __contains__(self, key: Canon) -> bool:
+        return key in self._counts
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def items(self) -> Iterator[tuple[Canon, int]]:
+        return iter(self._counts.items())
+
+    def byte_size(self) -> int:
+        """Actual footprint: the table plus every key tuple and count."""
+        seen: set[int] = set()
+        total = sys.getsizeof(self._counts)
+        for key, count in self._counts.items():
+            total += _deep_canon_bytes(key, seen)
+            total += sys.getsizeof(count)
+        return total
+
+    def __getstate__(self) -> dict[Canon, int]:
+        return self._counts
+
+    def __setstate__(self, state: dict[Canon, int]) -> None:
+        self._counts = state

@@ -3,6 +3,7 @@
 from .labeled_tree import LabeledTree, TreeBuildError
 from .canonical import (
     Canon,
+    PatternInterner,
     canon,
     canon_children,
     canon_from_nested,
@@ -47,6 +48,7 @@ __all__ = [
     "LabeledTree",
     "TreeBuildError",
     "Canon",
+    "PatternInterner",
     "canon",
     "canon_children",
     "canon_from_nested",

@@ -19,10 +19,14 @@ backslash-escaped, so arbitrary labels round-trip.
 
 from __future__ import annotations
 
+import sys
+from array import array
+
 from .labeled_tree import LabeledTree, NestedSpec, TreeBuildError
 
 __all__ = [
     "Canon",
+    "PatternInterner",
     "canon",
     "canon_of_subtree",
     "canon_label",
@@ -258,6 +262,201 @@ def _scan_label(text: str, pos: int) -> tuple[str, int]:
     if not label:
         raise TreeBuildError(f"empty label at position {pos} in {text!r}")
     return label, pos
+
+
+# ----------------------------------------------------------------------
+# Pattern interning
+# ----------------------------------------------------------------------
+
+#: Array typecode for packed pattern codes: one (label_id, child_count)
+#: pair per node, pre-order.  ``H`` (uint16) keeps codes at 4 bytes per
+#: node; real XML vocabularies are far below the 65535-label ceiling.
+_CODE_TYPECODE = "H"
+_CODE_LIMIT = 0xFFFF
+
+#: Footprint charged per interned id held in a lookup table (a small
+#: CPython ``int`` object).
+_PY_INT_BYTES = sys.getsizeof(1 << 16)
+
+
+class PatternInterner:
+    """Bijective ``Canon`` <-> dense integer id mapping.
+
+    Labels are interned into their own dense id space; each pattern is
+    packed once into a pre-order byte string of ``(label_id,
+    child_count)`` pairs and assigned the next free id.  Ids are dense
+    (``0 .. len(self) - 1``) in first-intern order, and
+    ``canon_of(intern(c)) == c`` for every interned canon — the
+    round-trip the :class:`~repro.store.ArrayStore` backend and the
+    estimators' plan caches rest on.
+    """
+
+    __slots__ = ("_labels", "_label_ids", "_codes", "_code_ids")
+
+    def __init__(self) -> None:
+        self._labels: list[str] = []
+        self._label_ids: dict[str, int] = {}
+        self._codes: list[bytes] = []
+        self._code_ids: dict[bytes, int] = {}
+
+    # -- labels ---------------------------------------------------------
+
+    def intern_label(self, label: str) -> int:
+        """Dense id of ``label``, assigning the next free id if new."""
+        got = self._label_ids.get(label)
+        if got is None:
+            got = len(self._labels)
+            if got > _CODE_LIMIT:
+                raise ValueError(
+                    f"PatternInterner supports at most {_CODE_LIMIT + 1} "
+                    "distinct labels"
+                )
+            self._labels.append(label)
+            self._label_ids[label] = got
+        return got
+
+    def label_of(self, label_id: int) -> str:
+        """Label for a previously assigned label id."""
+        if not 0 <= label_id < len(self._labels):
+            raise KeyError(f"unknown label id {label_id}")
+        return self._labels[label_id]
+
+    @property
+    def num_labels(self) -> int:
+        return len(self._labels)
+
+    # -- patterns -------------------------------------------------------
+
+    def intern(self, c: Canon) -> int:
+        """Dense id of pattern ``c``, assigning the next free id if new."""
+        code = self._encode(c)
+        got = self._code_ids.get(code)
+        if got is None:
+            got = len(self._codes)
+            self._codes.append(code)
+            self._code_ids[code] = got
+        return got
+
+    def id_of(self, c: Canon) -> int | None:
+        """Id of ``c`` if already interned, else ``None`` (no side effects)."""
+        flat: list[int] = []
+        stack: list[Canon] = [c]
+        while stack:
+            node = stack.pop()
+            label_id = self._label_ids.get(canon_label(node))
+            if label_id is None:
+                return None  # unseen label: the pattern cannot be interned
+            kids = canon_children(node)
+            flat.append(label_id)
+            flat.append(len(kids))
+            stack.extend(reversed(kids))
+        return self._code_ids.get(array(_CODE_TYPECODE, flat).tobytes())
+
+    def canon_of(self, pattern_id: int) -> Canon:
+        """The canon a dense id was assigned to (inverse of :meth:`intern`)."""
+        if not 0 <= pattern_id < len(self._codes):
+            raise KeyError(f"unknown pattern id {pattern_id}")
+        return self._decode(self._codes[pattern_id])
+
+    def __len__(self) -> int:
+        return len(self._codes)
+
+    def __contains__(self, c: Canon) -> bool:
+        return self.id_of(c) is not None
+
+    # -- codec ----------------------------------------------------------
+
+    def _encode(self, c: Canon) -> bytes:
+        flat: list[int] = []
+        stack: list[Canon] = [c]
+        while stack:
+            node = stack.pop()
+            kids = canon_children(node)
+            n_kids = len(kids)
+            if n_kids > _CODE_LIMIT:
+                raise ValueError(
+                    f"PatternInterner supports at most {_CODE_LIMIT} "
+                    "children per node"
+                )
+            flat.append(self.intern_label(canon_label(node)))
+            flat.append(n_kids)
+            stack.extend(reversed(kids))
+        return array(_CODE_TYPECODE, flat).tobytes()
+
+    def _decode(self, code: bytes) -> Canon:
+        tokens = array(_CODE_TYPECODE)
+        tokens.frombytes(code)
+        labels = self._labels
+        # Open frames: (label, children collected so far, children expected).
+        frames: list[tuple[str, list[Canon], int]] = []
+        position = 0
+        while True:
+            label = labels[tokens[position]]
+            n_kids = tokens[position + 1]
+            position += 2
+            if n_kids:
+                frames.append((label, [], n_kids))
+                continue
+            node: Canon = (label, ())
+            while frames:
+                parent_label, kids, expected = frames[-1]
+                kids.append(node)
+                if len(kids) < expected:
+                    break
+                frames.pop()
+                # Children were packed in canonical (sorted) order, so the
+                # rebuilt tuple is already canonical.
+                node = (parent_label, tuple(kids))
+            else:
+                return node
+
+    # -- accounting and pickling ---------------------------------------
+
+    def byte_size(self) -> int:
+        """Actual footprint of the intern tables (codes, ids, labels)."""
+        total = (
+            sys.getsizeof(self._codes)
+            + sys.getsizeof(self._code_ids)
+            + sys.getsizeof(self._labels)
+            + sys.getsizeof(self._label_ids)
+        )
+        for code in self._codes:
+            total += sys.getsizeof(code)
+        for label in self._labels:
+            total += sys.getsizeof(label)
+        # The id values held by the two lookup dicts.
+        total += _PY_INT_BYTES * (len(self._codes) + len(self._labels))
+        return total
+
+    def __getstate__(self) -> tuple[list[str], list[bytes]]:
+        # The reverse-lookup dicts are derived; rebuild them on load.
+        return (self._labels, self._codes)
+
+    def __setstate__(self, state: tuple[list[str], list[bytes]]) -> None:
+        labels, codes = state
+        self._labels = labels
+        self._label_ids = {label: i for i, label in enumerate(labels)}
+        self._codes = codes
+        self._code_ids = {code: i for i, code in enumerate(codes)}
+
+    @classmethod
+    def from_tables(
+        cls, labels: list[str], codes: list[bytes]
+    ) -> "PatternInterner":
+        """Rebuild an interner from its persisted label/code tables."""
+        interner = cls()
+        interner.__setstate__((labels, codes))
+        return interner
+
+    def tables(self) -> tuple[list[str], list[bytes]]:
+        """The persistable label/code tables (copies)."""
+        return (list(self._labels), list(self._codes))
+
+    def __repr__(self) -> str:
+        return (
+            f"PatternInterner(patterns={len(self._codes)}, "
+            f"labels={len(self._labels)})"
+        )
 
 
 def encode_tree(tree: LabeledTree) -> str:

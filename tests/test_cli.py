@@ -157,14 +157,36 @@ class TestCatalogCli:
         assert main(["catalog", directory, "list"]) == 0
         assert "empty catalog" in capsys.readouterr().out
 
-    def test_register_with_budget(self, tmp_path, xml_file, capsys):
+    def test_register_with_budget(self, tmp_path, xml_file, figure1_doc, capsys):
+        from repro.core.lattice import LatticeSummary
+
+        # byte_size() reports the real backend footprint, which varies by
+        # interpreter; derive the budget from an identical build instead
+        # of hard-coding bytes.
+        budget = LatticeSummary.build(figure1_doc, 4).byte_size()
         directory = str(tmp_path / "cat")
         code = main(
-            ["catalog", directory, "register", "shop", str(xml_file), "--budget", "900"]
+            [
+                "catalog",
+                directory,
+                "register",
+                "shop",
+                str(xml_file),
+                "--budget",
+                str(budget),
+            ]
         )
         assert code == 0
         printed = capsys.readouterr().out
         assert "registered" in printed
+
+    def test_register_budget_too_small_errors(self, tmp_path, xml_file, capsys):
+        directory = str(tmp_path / "cat")
+        code = main(
+            ["catalog", directory, "register", "shop", str(xml_file), "--budget", "64"]
+        )
+        assert code == 1
+        assert "cannot be pruned" in capsys.readouterr().err
 
     def test_estimate_unknown_entry_errors(self, tmp_path, capsys):
         code = main(["catalog", str(tmp_path / "cat"), "estimate", "ghost", "a(b)"])

@@ -335,6 +335,44 @@ def test_public_annotations_good_and_scoped():
     assert not findings_for(bad, "public-annotations", path="src/repro/cli.py")
 
 
+def test_store_internals_bad():
+    findings = findings_for(
+        """
+        def peek(summary):
+            counts = summary._store._counts
+            labels = summary._store._labels
+            return counts, labels
+        """,
+        "store-internals",
+        path="src/repro/core/fake.py",
+    )
+    assert [f.line for f in findings] == [3, 4]
+    assert "SummaryStore API" in findings[0].message
+
+
+def test_store_internals_good_public_api():
+    assert not findings_for(
+        """
+        def peek(store):
+            return store.get(("a", ())), list(store.items()), store.byte_size()
+        """,
+        "store-internals",
+        path="src/repro/core/fake.py",
+    )
+
+
+def test_store_internals_exempts_store_package_and_interner():
+    bad = """
+    def size(self):
+        return len(self._counts) + len(self._codes)
+    """
+    # The layer that owns the representation may touch it freely.
+    assert not findings_for(bad, "store-internals", path="src/repro/store/array_store.py")
+    assert not findings_for(bad, "store-internals", path="src/repro/trees/canonical.py")
+    # Everyone else goes through the SummaryStore protocol.
+    assert findings_for(bad, "store-internals", path="src/repro/core/lattice.py")
+
+
 # ----------------------------------------------------------------------
 # Engine behaviour
 # ----------------------------------------------------------------------
@@ -396,6 +434,7 @@ def test_checker_registry_has_all_documented_rules():
         "opaque-canon",
         "dict-order-tiebreak",
         "public-annotations",
+        "store-internals",
     }
 
 
