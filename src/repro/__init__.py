@@ -41,6 +41,7 @@ from .core import (
     WorkloadAwareLattice,
     build_lattice,
     explain,
+    explanation_from_spans,
     first_leaf_pair_split,
     fixed_cover,
     leaf_pair_decompositions,
@@ -137,6 +138,7 @@ __all__ = [
     "PruningReport",
     "Explanation",
     "explain",
+    "explanation_from_spans",
     "ErrorProfile",
     "EstimateInterval",
     "IncrementalLattice",

@@ -9,7 +9,11 @@ Subcommands mirror the deployment workflow:
 * ``estimate`` — estimate a twig query against a saved summary, or a
   whole workload file with ``--batch`` (fanned out with ``--workers``);
   ``--store`` converts the loaded summary to another backend first;
+  ``--explain`` / ``--explain-json`` print the derivation assembled
+  from the spans of the very execution that produced the answer;
 * ``explain`` — show the full decomposition trace of an estimate;
+* ``trace`` — run estimation under the span flight recorder and write
+  a Chrome-trace file (load it at ``chrome://tracing``);
 * ``exact`` — exact match count straight off the document (ground truth);
 * ``mine`` — report occurring-pattern counts per level (Table 2 style);
 * ``stats`` — summary structure plus live estimation metrics;
@@ -37,6 +41,7 @@ from typing import Callable
 from . import obs
 from .core.estimator import SelectivityEstimator
 from .core.explain import explain as explain_query
+from .core.explain import explanation_from_spans
 from .core.fixed import FixedDecompositionEstimator
 from .core.lattice import LatticeSummary
 from .core.markov import MarkovPathEstimator
@@ -140,6 +145,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="convert the loaded summary to this backend before estimating",
     )
+    p.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the decomposition derivation recorded during this "
+        "very estimate (recursive/voting, single query only)",
+    )
+    p.add_argument(
+        "--explain-json",
+        action="store_true",
+        help="like --explain but emit the derivation as JSON",
+    )
     _add_observability_flags(p)
     p.set_defaults(handler=_cmd_estimate)
 
@@ -168,6 +184,59 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("query", help="twig query")
     p.add_argument("--voting", action="store_true", help="trace the voting estimator")
     p.set_defaults(handler=_cmd_explain)
+
+    p = sub.add_parser(
+        "trace",
+        help="record estimation spans and write a chrome://tracing file",
+    )
+    p.add_argument("summary", help="summary file written by 'summarize'")
+    p.add_argument(
+        "query",
+        nargs="?",
+        default=None,
+        help="twig query (XPath subset or pattern codec)",
+    )
+    p.add_argument(
+        "--batch",
+        metavar="FILE",
+        default=None,
+        help="trace every query in FILE (one per line, # comments)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for --batch (0 = one per core; default serial)",
+    )
+    p.add_argument(
+        "--estimator",
+        choices=("recursive", "voting", "fixed", "markov"),
+        default="voting",
+    )
+    p.add_argument(
+        "--store",
+        choices=("dict", "array"),
+        default=None,
+        help="convert the loaded summary to this backend before estimating",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        required=True,
+        help="Chrome-trace JSON output path (load at chrome://tracing)",
+    )
+    p.add_argument(
+        "--sample-rate",
+        type=float,
+        default=1.0,
+        metavar="RATE",
+        help="head-based span sampling rate in [0, 1] (default 1.0)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, help="sampling phase seed (default 0)"
+    )
+    p.set_defaults(handler=_cmd_trace)
 
     p = sub.add_parser("exact", help="exact twig match count from the document")
     p.add_argument("xml", help="input XML document")
@@ -308,6 +377,15 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
 def _do_estimate(args: argparse.Namespace) -> int:
     if args.batch is not None and args.query is not None:
         raise CliUsageError("give either a query or --batch FILE, not both")
+    explaining = args.explain or args.explain_json
+    if explaining:
+        if args.batch is not None:
+            raise CliUsageError("--explain works on a single query, not --batch")
+        if args.estimator not in ("recursive", "voting"):
+            raise CliUsageError(
+                "--explain requires the recursive or voting estimator "
+                f"(got {args.estimator!r})"
+            )
     summary = _load_summary(args.summary)
     if args.store is not None:
         summary = summary.to_store(args.store)
@@ -317,6 +395,8 @@ def _do_estimate(args: argparse.Namespace) -> int:
     if args.query is None:
         raise CliUsageError("missing query (or use --batch FILE)")
     query = _parse_query(args.query)
+    if explaining:
+        return _do_estimate_explained(args, estimator, query)
     start = time.perf_counter()
     estimate = estimator.estimate(query)
     elapsed_ms = (time.perf_counter() - start) * 1000
@@ -324,6 +404,45 @@ def _do_estimate(args: argparse.Namespace) -> int:
     print(f"estimator : {estimator.name}")
     print(f"estimate  : {estimate:.2f}  (~{max(0, round(estimate))} matches)")
     print(f"time      : {elapsed_ms:.2f}ms")
+    return 0
+
+
+#: Span capacity for --explain captures: ample for deep voting runs.
+_EXPLAIN_CAPACITY = 1 << 20
+
+
+def _do_estimate_explained(
+    args: argparse.Namespace,
+    estimator: SelectivityEstimator,
+    query: TwigQuery,
+) -> int:
+    """Estimate once under a full-rate flight recorder; print what ran.
+
+    The derivation comes from the spans of this very execution, so the
+    rendered trace is the answer's provenance, not a re-derivation.
+    """
+    with obs.flight_recorder(capacity=_EXPLAIN_CAPACITY) as recording:
+        estimate = estimator.estimate(query)
+    explanation = explanation_from_spans(recording.spans)
+    if args.explain_json:
+        payload = {
+            "query": args.query,
+            "estimator": estimator.name,
+            "estimate": estimate,
+            "derivation": explanation.to_dict(),
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(f"query     : {args.query}")
+    print(f"estimator : {estimator.name}")
+    print(f"estimate  : {estimate:.2f}  (~{max(0, round(estimate))} matches)")
+    print()
+    print(explanation.render())
+    print()
+    print(
+        f"estimate: {explanation.estimate:.4f} from "
+        f"{len(explanation.lookups())} summary lookups"
+    )
     return 0
 
 
@@ -368,6 +487,42 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     print(trace.render())
     print()
     print(f"estimate: {trace.estimate:.4f} from {len(trace.lookups())} summary lookups")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.batch is not None and args.query is not None:
+        raise CliUsageError("give either a query or --batch FILE, not both")
+    if not 0.0 <= args.sample_rate <= 1.0:
+        raise CliUsageError(
+            f"--sample-rate must be within [0, 1], got {args.sample_rate}"
+        )
+    summary = _load_summary(args.summary)
+    if args.store is not None:
+        summary = summary.to_store(args.store)
+    estimator = _estimator_for(args.estimator, summary)
+    if args.batch is not None:
+        texts = _read_batch_file(args.batch)
+        queries = [_parse_query(text) for text in texts]
+    elif args.query is not None:
+        queries = [_parse_query(args.query)]
+    else:
+        raise CliUsageError("missing query (or use --batch FILE)")
+    with obs.flight_recorder(args.sample_rate, seed=args.seed) as recording:
+        if args.batch is not None:
+            estimator.estimate_batch(queries, workers=args.workers)
+        else:
+            estimator.estimate(queries[0])
+    tracer = recording.spans
+    tracer.write_chrome_trace(args.output)
+    print(f"estimator : {estimator.name}")
+    print(f"queries   : {len(queries)}")
+    print(
+        f"spans     : {len(tracer)} kept  "
+        f"({tracer.roots_sampled}/{tracer.roots_started} roots sampled, "
+        f"{tracer.dropped} dropped)"
+    )
+    print(f"trace written to {args.output}  (open in chrome://tracing)")
     return 0
 
 
@@ -437,6 +592,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(
             f"  estimate time   : {stats['estimate_seconds'] * 1000:.3f}ms over "
             f"{stats['estimate_calls']} queries"
+        )
+        print(
+            f"  latency p50/p90/p99 : "
+            f"{stats['estimate_latency_p50'] * 1000:.3f} / "
+            f"{stats['estimate_latency_p90'] * 1000:.3f} / "
+            f"{stats['estimate_latency_p99'] * 1000:.3f} ms"
         )
     return 0
 

@@ -10,7 +10,7 @@ from .decompose import (
 )
 from .diagnostics import ErrorProfile, EstimateInterval
 from .estimator import SelectivityEstimator, coerce_query_tree
-from .explain import Explanation, explain
+from .explain import Explanation, explain, explanation_from_spans
 from .fixed import FixedDecompositionEstimator
 from .incremental import IncrementalLattice
 from .lattice import LatticeSummary, build_lattice
@@ -33,6 +33,7 @@ __all__ = [
     "coerce_query_tree",
     "Explanation",
     "explain",
+    "explanation_from_spans",
     "FixedDecompositionEstimator",
     "IncrementalLattice",
     "LatticeSummary",

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Iterator
 
+from .. import obs
 from ..trees.canonical import canonical_preorder
 from ..trees.labeled_tree import LabeledTree, TreeBuildError
 
@@ -65,6 +66,11 @@ def leaf_pair_decompositions(tree: LabeledTree) -> Iterator[LeafPairSplit]:
         )
     nodes = tree.removable_nodes()
     for u, v in combinations(nodes, 2):
+        if obs.enabled:
+            obs.registry.counter(
+                "decompose_splits_total",
+                "Leaf-pair splits materialised by the decomposers.",
+            ).inc()
         yield LeafPairSplit(
             t1=tree.remove_node(u),
             t2=tree.remove_node(v),
@@ -118,6 +124,11 @@ def fixed_cover(tree: LabeledTree, k: int) -> list[CoverBlock]:
         covered.add(v)
         blocks.append(CoverBlock(block=block, overlap=overlap))
 
+    if obs.enabled:
+        obs.registry.counter(
+            "fixed_cover_builds_total",
+            "Fix-sized covers derived (cold cover compilations).",
+        ).inc()
     return blocks
 
 

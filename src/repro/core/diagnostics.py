@@ -138,7 +138,17 @@ class ErrorProfile:
             estimator = RecursiveDecompositionEstimator(capped, voting=self.voting)
             for pattern, true_count in sorted(by_size[size].items()):
                 estimate = estimator.estimate(pattern)
-                ratios.append(estimate / true_count)
+                ratio = estimate / true_count
+                ratios.append(ratio)
+                if obs.enabled and ratio > 0.0:
+                    # q-error is the symmetric over/under-estimation
+                    # factor (>= 1); its quantiles are the calibration
+                    # summary the serving layer exports.
+                    obs.registry.quantile(
+                        "calibration_qerror",
+                        "One-step q-error (max(ratio, 1/ratio)) observed "
+                        "during error-profile calibration.",
+                    ).observe(max(ratio, 1.0 / ratio))
         return ratios
 
     # ------------------------------------------------------------------

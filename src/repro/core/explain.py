@@ -3,26 +3,43 @@
 Estimates produced by recursive decomposition are products and quotients
 of stored counts; when an estimate looks off, the first question is
 *which* stored patterns and which independence assumptions produced it.
-:func:`explain` replays the recursive estimator and returns the full
-derivation tree; ``render()`` pretty-prints it.
+:func:`explain` runs the recursive estimator for real under a
+full-sampling flight recorder (:func:`repro.obs.flight_recorder`) and
+assembles the derivation tree from the spans that execution emitted —
+lattice hit/miss points, memo reuse, decomposition spans with their
+measured wall time.  ``render()`` pretty-prints it.
 
-The trace mirrors :class:`~repro.core.recursive.RecursiveDecompositionEstimator`
-exactly (same first-pair choice, same zero semantics, same voting
-average), so ``explain(...).estimate == estimator.estimate(query)``
-bit-for-bit — asserted in the test suite.
+Because the trace *is* the execution (not a re-derivation that mirrors
+it), ``explain(...).estimate == estimator.estimate(query)`` bit-for-bit
+by construction — still asserted in the test suite — and divergence
+between explanation and estimator is impossible by design.  One
+behavioural consequence: a decomposition choice whose ``common`` part
+evaluated to zero shows only the ``common`` child, because the real
+estimator short-circuits and never evaluates ``t1``/``t2`` there.
+
+:func:`explanation_from_spans` is the assembly half on its own: the CLI
+feeds it the spans of the *actual* ``repro estimate --explain`` run, so
+the printed derivation is the execution that produced the answer.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Mapping, Sequence
 
-from ..trees.canonical import Canon, canon, encode_canon
-from ..trees.labeled_tree import LabeledTree
-from .decompose import leaf_pair_decompositions
+from .. import obs
+from ..obs.spans import Span, SpanTracer
+from ..trees.canonical import Canon, decode_canon, encode_canon
 from .estimator import QueryLike, coerce_query_tree
 from .lattice import LatticeSummary
 
-__all__ = ["Explanation", "explain"]
+__all__ = ["Explanation", "explain", "explanation_from_spans"]
+
+#: Span capacity for explanation captures: ample for deep voting runs.
+_EXPLAIN_SPAN_CAPACITY = 1 << 20
+
+#: Sentinel separating decomposition choices in a sibling sequence.
+_CHOICE = "choice"
 
 
 @dataclass
@@ -41,6 +58,12 @@ class Explanation:
     estimate: float
     kind: str
     children: list["Explanation"] = field(default_factory=list)
+    #: Measured wall time of this step, from the recorded span (``None``
+    #: for instantaneous leaves, whose spans are points).
+    wall_ms: float | None = None
+    #: True when this decomposition ran because δ-pruning evicted the
+    #: pattern from the summary (a ``pruned_miss`` fallback).
+    fallback: bool = False
 
     @property
     def pattern_text(self) -> str:
@@ -69,11 +92,30 @@ class Explanation:
                 f"{pad}{self.pattern_text} ~= {self.estimate:.4g}"
                 f"  [s(t1) * s(t2) / s(common)]"
             )
+            if self.fallback:
+                head += "  [pruned: decomposed as fallback]"
+            if self.wall_ms is not None:
+                head += f"  ({self.wall_ms:.3f} ms)"
             return "\n".join(
                 [head] + [child.render(indent + 1) for child in self.children]
             )
         marker = "= (summary)" if self.kind == "lookup" else "= 0 (certified absent)"
         return f"{pad}{self.pattern_text} {marker} {self.estimate:.4g}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form (``repro estimate --explain-json``)."""
+        out: dict[str, object] = {
+            "pattern": self.pattern_text,
+            "estimate": self.estimate,
+            "kind": self.kind,
+        }
+        if self.wall_ms is not None:
+            out["wall_ms"] = self.wall_ms
+        if self.fallback:
+            out["fallback"] = True
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
 
 
 def explain(
@@ -82,57 +124,170 @@ def explain(
     *,
     voting: bool = False,
 ) -> Explanation:
-    """Replay the recursive decomposition estimator, keeping the trace.
+    """Run the recursive estimator under a flight recorder, keep the trace.
 
     With ``voting=True``, a decomposition node carries the children of
     *every* leaf-pair choice (grouped in triples: t1, t2, common per
     choice) and its estimate is their average.
     """
+    # Imported here: recursive.py -> estimator.py -> (no explain), but
+    # keeping explain import-light avoids future cycles with estimators.
+    from .recursive import RecursiveDecompositionEstimator
+
     tree = coerce_query_tree(query)
-    memo: dict[Canon, Explanation] = {}
-    return _explain(tree, lattice, voting, memo)
+    estimator = RecursiveDecompositionEstimator(lattice, voting=voting)
+    with obs.flight_recorder(capacity=_EXPLAIN_SPAN_CAPACITY) as recording:
+        estimator.estimate(tree)
+    return explanation_from_spans(recording.spans)
 
 
-def _explain(
-    tree: LabeledTree,
-    lattice: LatticeSummary,
-    voting: bool,
-    memo: dict[Canon, Explanation],
-) -> Explanation:
-    key = canon(tree)
-    cached = memo.get(key)
-    if cached is not None:
-        return cached
+def explanation_from_spans(spans: SpanTracer | Sequence[Span]) -> Explanation:
+    """Assemble an :class:`Explanation` from one recorded estimate.
 
-    size = tree.size
-    node: Explanation | None = None
-    if size <= lattice.level:
-        stored = lattice.get(key)
-        if stored is not None:
-            node = Explanation(key, float(stored), "lookup")
-        elif lattice.is_complete_at(size) or size < 3:
-            node = Explanation(key, 0.0, "certified-zero")
-
-    if node is None:
-        children: list[Explanation] = []
-        total = 0.0
-        count = 0
-        for split in leaf_pair_decompositions(tree):
-            t1 = _explain(split.t1, lattice, voting, memo)
-            t2 = _explain(split.t2, lattice, voting, memo)
-            common = _explain(split.common, lattice, voting, memo)
-            children.extend((t1, t2, common))
-            if common.estimate <= 0.0:
-                estimate = 0.0
-            else:
-                estimate = t1.estimate * t2.estimate / common.estimate
-            total += estimate
-            count += 1
-            if not voting:
-                break
-        node = Explanation(
-            key, total / count if count else 0.0, "decomposition", children
+    Expects the span stream of a recursive-decomposition estimate
+    captured at sampling rate 1.0 (the first ``estimate`` root span is
+    used).  Raises ``ValueError`` when no estimate span was recorded —
+    the usual cause is a disabled or sampled-out recorder.
+    """
+    ordered = sorted(
+        spans.spans if isinstance(spans, SpanTracer) else spans,
+        key=lambda span: span.span_id,
+    )
+    children: dict[int, list[Span]] = {}
+    root_span: Span | None = None
+    for span in ordered:
+        if span.parent_id is None:
+            if root_span is None and span.name == "estimate":
+                root_span = span
+        else:
+            children.setdefault(span.parent_id, []).append(span)
+    if root_span is None:
+        raise ValueError(
+            "no estimate span recorded; explanation needs a flight-recorder "
+            "capture at sampling rate 1.0"
         )
+    memo: dict[str, Explanation] = {}
+    nodes = [
+        part
+        for part in _consume(children.get(root_span.span_id, []), children, memo)
+        if isinstance(part, Explanation)
+    ]
+    if nodes:
+        node = nodes[0]
+    else:
+        # A warm plan replay records plan_step points but no structural
+        # children; surface what the root span knows.
+        node = Explanation(
+            decode_canon(str(root_span.attrs.get("pattern", "?"))),
+            _as_float(root_span.attrs.get("value")),
+            "decomposition",
+        )
+    if node.wall_ms is None:
+        node.wall_ms = root_span.wall_ms
+    return node
 
-    memo[key] = node
+
+def _as_float(value: object) -> float:
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+def _consume(
+    siblings: Sequence[Span],
+    children: Mapping[int, Sequence[Span]],
+    memo: dict[str, Explanation],
+) -> list["Explanation | str"]:
+    """Turn a sibling span sequence into nodes plus choice markers.
+
+    One estimator ``_compile`` call shows up here as either a
+    ``memo_hit`` point, a terminal ``lattice_lookup`` point, a bare
+    ``decompose`` span (pattern larger than the lattice level), or a
+    ``pruned_miss`` lookup point immediately followed by the fallback
+    ``decompose`` span.
+    """
+    out: list[Explanation | str] = []
+    i = 0
+    while i < len(siblings):
+        span = siblings[i]
+        if span.name == _CHOICE:
+            out.append(_CHOICE)
+        elif span.name == "memo_hit":
+            text = str(span.attrs["pattern"])
+            node = memo.get(text)
+            if node is None:  # pre-warmed memo entry from outside the capture
+                node = Explanation(
+                    decode_canon(text), _as_float(span.attrs.get("value")), "lookup"
+                )
+            out.append(node)
+        elif span.name == "lattice_lookup":
+            outcome = str(span.attrs["outcome"])
+            text = str(span.attrs["pattern"])
+            if outcome == "pruned_miss":
+                follower = siblings[i + 1] if i + 1 < len(siblings) else None
+                if follower is not None and follower.name == "decompose":
+                    out.append(_decompose_node(follower, children, memo, True))
+                    i += 2
+                    continue
+                # A pruned miss with no decomposition following belongs
+                # to a non-recursive caller; nothing to explain here.
+            else:
+                kind = "lookup" if outcome == "hit" else "certified-zero"
+                node = Explanation(
+                    decode_canon(text), _as_float(span.attrs.get("value")), kind
+                )
+                memo[text] = node
+                out.append(node)
+        elif span.name == "decompose":
+            out.append(_decompose_node(span, children, memo, False))
+        elif span.name == "estimate":
+            # A nested estimator run (the fix-sized scheme's recursive
+            # fallback): splice its derivation in.
+            out.extend(
+                part
+                for part in _consume(
+                    children.get(span.span_id, []), children, memo
+                )
+                if isinstance(part, Explanation)
+            )
+        # Anything else (plan_step, markov_gram_lookup, pruned_fallback)
+        # carries no recursive-derivation structure; skip it.
+        i += 1
+    return out
+
+
+def _decompose_node(
+    span: Span,
+    children: Mapping[int, Sequence[Span]],
+    memo: dict[str, Explanation],
+    fallback: bool,
+) -> Explanation:
+    parts = _consume(children.get(span.span_id, []), children, memo)
+    # Regroup by choice: the estimator evaluates common first and skips
+    # t1/t2 on a zero denominator, while the Explanation contract lists
+    # children as (t1, t2, common) per choice.
+    ordered: list[Explanation] = []
+    segment: list[Explanation] = []
+
+    def flush() -> None:
+        if len(segment) == 3:
+            ordered.extend((segment[1], segment[2], segment[0]))
+        else:
+            ordered.extend(segment)
+        segment.clear()
+
+    for part in parts:
+        if isinstance(part, Explanation):
+            segment.append(part)
+        else:
+            flush()
+    flush()
+    text = str(span.attrs["pattern"])
+    node = Explanation(
+        decode_canon(text),
+        _as_float(span.attrs.get("value")),
+        "decomposition",
+        ordered,
+        wall_ms=span.wall_ms,
+        fallback=fallback,
+    )
+    memo[text] = node
     return node

@@ -23,7 +23,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from .. import obs
-from ..trees.canonical import PatternInterner, canon
+from ..trees.canonical import PatternInterner, canon, encode_canon
 from ..trees.labeled_tree import LabeledTree
 from .decompose import fixed_cover
 from .estimator import SelectivityEstimator
@@ -83,10 +83,20 @@ class FixedDecompositionEstimator(SelectivityEstimator):
             record_plan_request(
                 self.name, "hit", len(self._plans), len(self._plan_keys)
             )
-            with obs.registry.timer(
-                "estimate_seconds", "Per-query estimation wall time."
-            ).time():
-                value = plan.evaluate()
+            with obs.span("estimate", estimator=self.name, plan="hit") as root_span:
+                with obs.registry.timer(
+                    "estimate_seconds", "Per-query estimation wall time."
+                ).time() as frame:
+                    value = (
+                        plan.evaluate_traced()
+                        if obs.span_recording()
+                        else plan.evaluate()
+                    )
+                root_span.set(value=value)
+            obs.registry.quantile(
+                "estimate_latency_seconds",
+                "Per-query estimation latency quantiles.",
+            ).observe(frame.elapsed)
             if plan.blocks is not None:
                 self._record_cover(tree, plan.blocks)
             return value
@@ -94,10 +104,16 @@ class FixedDecompositionEstimator(SelectivityEstimator):
             value, plan = self._compile_cover(tree)
             self._plans[pattern_id] = plan
             return value
-        with obs.registry.timer(
-            "estimate_seconds", "Per-query estimation wall time."
-        ).time():
-            value, plan = self._compile_cover(tree)
+        with obs.span("estimate", estimator=self.name, plan="miss") as root_span:
+            with obs.registry.timer(
+                "estimate_seconds", "Per-query estimation wall time."
+            ).time() as frame:
+                value, plan = self._compile_cover(tree)
+            root_span.set(value=value)
+        obs.registry.quantile(
+            "estimate_latency_seconds",
+            "Per-query estimation latency quantiles.",
+        ).observe(frame.elapsed)
         self._plans[pattern_id] = plan
         record_plan_request(
             self.name, "miss", len(self._plans), len(self._plan_keys)
@@ -148,14 +164,21 @@ class FixedDecompositionEstimator(SelectivityEstimator):
         stored = self.lattice.get(pattern)
         if stored is not None:
             if obs.enabled:
-                _record_lookup("hit", canon(pattern), pattern.size)
+                _record_lookup("hit", canon(pattern), pattern.size, float(stored))
             return float(stored)
         if self.lattice.is_complete_at(pattern.size):
             if obs.enabled:
-                _record_lookup("complete_zero", canon(pattern), pattern.size)
+                _record_lookup("complete_zero", canon(pattern), pattern.size, 0.0)
             return 0.0
         if obs.enabled:
             _record_lookup("pruned_miss", canon(pattern), pattern.size)
+            # The nested recursive estimate below opens its own child
+            # span; this point marks *why* it runs (δ-pruning fallback).
+            obs.span_point(
+                "pruned_fallback",
+                pattern=encode_canon(canon(pattern)),
+                size=pattern.size,
+            )
         return self._fallback.estimate(pattern)
 
     def __repr__(self) -> str:

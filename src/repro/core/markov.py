@@ -30,7 +30,7 @@ from .plan import GramPlan, record_plan_request
 
 
 def _record_gram(outcome: str, labels: list[str]) -> None:
-    """Metrics + trace for one m-gram lookup (only called when enabled)."""
+    """Metrics + trace + span for one m-gram lookup (when enabled)."""
     if not obs.enabled:  # call sites check too; this is defence in depth
         return
     obs.registry.counter(
@@ -38,11 +38,12 @@ def _record_gram(outcome: str, labels: list[str]) -> None:
         "Markov m-gram path lookups by outcome.",
         labels=("outcome",),
     ).inc(outcome=outcome)
+    path = "/".join(labels)
     obs.event(
-        "markov_gram_lookup",
-        outcome=outcome,
-        path="/".join(labels),
-        length=len(labels),
+        "markov_gram_lookup", outcome=outcome, path=path, length=len(labels)
+    )
+    obs.span_point(
+        "markov_gram_lookup", outcome=outcome, path=path, length=len(labels)
     )
 
 
@@ -100,18 +101,35 @@ class MarkovPathEstimator(SelectivityEstimator):
             record_plan_request(
                 self.name, "hit", len(self._plans), len(self._plan_keys)
             )
-            with obs.registry.timer(
-                "estimate_seconds", "Per-query estimation wall time."
-            ).time():
-                return plan.evaluate()
+            with obs.span("estimate", estimator=self.name, plan="hit") as root_span:
+                with obs.registry.timer(
+                    "estimate_seconds", "Per-query estimation wall time."
+                ).time() as frame:
+                    value = (
+                        plan.evaluate_traced()
+                        if obs.span_recording()
+                        else plan.evaluate()
+                    )
+                root_span.set(value=value)
+            obs.registry.quantile(
+                "estimate_latency_seconds",
+                "Per-query estimation latency quantiles.",
+            ).observe(frame.elapsed)
+            return value
         if not obs.enabled:
             value, plan = self._compile_path(labels)
             self._plans[pattern_id] = plan
             return value
-        with obs.registry.timer(
-            "estimate_seconds", "Per-query estimation wall time."
-        ).time():
-            value, plan = self._compile_path(labels)
+        with obs.span("estimate", estimator=self.name, plan="miss") as root_span:
+            with obs.registry.timer(
+                "estimate_seconds", "Per-query estimation wall time."
+            ).time() as frame:
+                value, plan = self._compile_path(labels)
+            root_span.set(value=value)
+        obs.registry.quantile(
+            "estimate_latency_seconds",
+            "Per-query estimation latency quantiles.",
+        ).observe(frame.elapsed)
         self._plans[pattern_id] = plan
         record_plan_request(
             self.name, "miss", len(self._plans), len(self._plan_keys)

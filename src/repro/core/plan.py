@@ -126,6 +126,57 @@ class CompiledPlan:
                     memo[pattern_id] = slots[slot]
         return slots[self.root]
 
+    def evaluate_traced(self, memo: dict[int, float] | None = None) -> float:
+        """Replay the plan, emitting one ``plan_step`` span point per op.
+
+        Same float operations in the same order as :meth:`evaluate` —
+        the flight recorder observes the replay, it never changes it.
+        Called by the estimators only when the current estimate's root
+        span was sampled in (``obs.span_recording()``).  The tracer's
+        bound ``point`` method is hoisted out of the op loop: plans run
+        to hundreds of ops, and the per-op module-attribute walk is the
+        difference between a cheap and a costly sampled estimate.
+        """
+        if not obs.enabled:
+            return self.evaluate(memo)
+        tracer = obs.span_tracer
+        if tracer is None:
+            return self.evaluate(memo)
+        point = tracer.point
+        slots = list(self._base)
+        for opcode, dst, operands in self._ops:
+            if opcode == _OP_RATIO:
+                t1, t2, common = operands
+                denominator = slots[common]
+                if denominator <= 0.0:
+                    slots[dst] = 0.0
+                else:
+                    slots[dst] = slots[t1] * slots[t2] / denominator
+                point(
+                    "plan_step",
+                    op="ratio",
+                    t1=slots[t1],
+                    t2=slots[t2],
+                    common=denominator,
+                    value=slots[dst],
+                )
+            else:
+                total = 0.0
+                for part in operands:
+                    total += slots[part]
+                slots[dst] = total / len(operands)
+                point(
+                    "plan_step",
+                    op="average",
+                    parts=len(operands),
+                    value=slots[dst],
+                )
+        if memo is not None:
+            for pattern_id, slot in self.memo_slots:
+                if pattern_id not in memo:
+                    memo[pattern_id] = slots[slot]
+        return slots[self.root]
+
     @property
     def num_ops(self) -> int:
         return len(self._ops)
@@ -229,6 +280,30 @@ class CoverPlan:
                 denominator *= overlap
         return numerator / denominator
 
+    def evaluate_traced(self) -> float:
+        """Replay with one ``plan_step`` span point per cover factor."""
+        if not obs.enabled:
+            return self.evaluate()
+        tracer = obs.span_tracer
+        if tracer is None:
+            return self.evaluate()
+        point = tracer.point
+        if self.blocks is None:
+            value = self.factors[0][0]
+            point("plan_step", op="direct", value=value)
+            return value
+        numerator = 1.0
+        denominator = 1.0
+        for block, overlap in self.factors:
+            numerator *= block
+            if overlap is not None:
+                denominator *= overlap
+            point("plan_step", op="cover_factor", block=block, overlap=overlap)
+        if self.zero:
+            point("plan_step", op="zero_block", value=0.0)
+            return 0.0
+        return numerator / denominator
+
     def __getstate__(
         self,
     ) -> tuple[int | None, tuple[tuple[float, float | None], ...], bool]:
@@ -270,6 +345,30 @@ class GramPlan:
         estimate = float(self.head)
         for window, overlap in self.steps:
             estimate *= window / overlap
+        return estimate
+
+    def evaluate_traced(self) -> float:
+        """Replay with one ``plan_step`` span point per gram ratio."""
+        if not obs.enabled:
+            return self.evaluate()
+        tracer = obs.span_tracer
+        if tracer is None:
+            return self.evaluate()
+        point = tracer.point
+        point("plan_step", op="head_gram", value=float(self.head))
+        if self.zero:
+            point("plan_step", op="zero_overlap", value=0.0)
+            return 0.0
+        estimate = float(self.head)
+        for window, overlap in self.steps:
+            estimate *= window / overlap
+            point(
+                "plan_step",
+                op="gram_ratio",
+                window=window,
+                overlap=overlap,
+                value=estimate,
+            )
         return estimate
 
     def __getstate__(self) -> tuple[int, tuple[tuple[int, int], ...], bool]:

@@ -41,8 +41,10 @@ from .plan import CompiledPlan, PlanBuilder, record_plan_request
 __all__ = ["RecursiveDecompositionEstimator"]
 
 
-def _record_lookup(outcome: str, key: Canon, size: int) -> None:
-    """Metrics + trace for one summary lookup (only called when enabled)."""
+def _record_lookup(
+    outcome: str, key: Canon, size: int, value: float | None = None
+) -> None:
+    """Metrics + trace + span for one summary lookup (when enabled)."""
     if not obs.enabled:  # call sites check too; this is defence in depth
         return
     obs.registry.counter(
@@ -50,8 +52,14 @@ def _record_lookup(outcome: str, key: Canon, size: int) -> None:
         "Summary lookups by outcome (hit / complete_zero / pruned_miss).",
         labels=("outcome",),
     ).inc(outcome=outcome)
-    obs.event(
-        "lattice_lookup", outcome=outcome, pattern=encode_canon(key), size=size
+    pattern = encode_canon(key)
+    obs.event("lattice_lookup", outcome=outcome, pattern=pattern, size=size)
+    obs.span_point(
+        "lattice_lookup",
+        outcome=outcome,
+        pattern=pattern,
+        size=size,
+        value=value,
     )
 
 
@@ -133,7 +141,8 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
 
     def _estimate_tree(self, tree: LabeledTree) -> float:
         memo = self._shared_memo if self._shared_memo is not None else {}
-        pattern_id = self._plan_keys.intern(canon(tree))
+        key = canon(tree)
+        pattern_id = self._plan_keys.intern(key)
         plan = self._plans.get(pattern_id)
         if plan is not None:
             if not obs.enabled:
@@ -141,14 +150,27 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
             record_plan_request(
                 self.name, "hit", len(self._plans), len(self._plan_keys)
             )
-            with obs.registry.timer(
-                "estimate_seconds", "Per-query estimation wall time."
-            ).time():
-                value = plan.evaluate(memo)
+            with obs.span("estimate", estimator=self.name, plan="hit") as root_span:
+                traced = obs.span_recording()
+                if traced:
+                    root_span.set(pattern=encode_canon(key))
+                with obs.registry.timer(
+                    "estimate_seconds", "Per-query estimation wall time."
+                ).time() as frame:
+                    value = (
+                        plan.evaluate_traced(memo)
+                        if traced
+                        else plan.evaluate(memo)
+                    )
+                root_span.set(value=value, depth=plan.max_depth)
             obs.registry.histogram(
                 "recursion_depth",
                 "Deepest decomposition level reached per query.",
             ).observe(plan.max_depth)
+            obs.registry.quantile(
+                "estimate_latency_seconds",
+                "Per-query estimation latency quantiles.",
+            ).observe(frame.elapsed)
             return value
         builder = PlanBuilder()
         self._max_depth = 0
@@ -156,13 +178,21 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
             value, root = self._compile(tree, memo, 0, builder)
             self._plans[pattern_id] = builder.build(root, self._max_depth)
             return value
-        with obs.registry.timer(
-            "estimate_seconds", "Per-query estimation wall time."
-        ).time():
-            value, root = self._compile(tree, memo, 0, builder)
+        with obs.span("estimate", estimator=self.name, plan="miss") as root_span:
+            if obs.span_recording():
+                root_span.set(pattern=encode_canon(key))
+            with obs.registry.timer(
+                "estimate_seconds", "Per-query estimation wall time."
+            ).time() as frame:
+                value, root = self._compile(tree, memo, 0, builder)
+            root_span.set(value=value, depth=self._max_depth)
         obs.registry.histogram(
             "recursion_depth", "Deepest decomposition level reached per query."
         ).observe(self._max_depth)
+        obs.registry.quantile(
+            "estimate_latency_seconds",
+            "Per-query estimation latency quantiles.",
+        ).observe(frame.elapsed)
         self._plans[pattern_id] = builder.build(root, self._max_depth)
         record_plan_request(
             self.name, "miss", len(self._plans), len(self._plan_keys)
@@ -188,12 +218,25 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
         if cached is not None:
             if obs.enabled:
                 self._record_memo("hit")
+                if obs.span_recording():
+                    obs.span_point(
+                        "memo_hit", pattern=encode_canon(key), value=cached
+                    )
             return cached, builder.const(cached)
         if obs.enabled:
             self._record_memo("miss")
         value = self._lookup(key, tree.size)
         if value is None:
-            value, slot = self._compile_decompose(tree, memo, depth, builder)
+            if obs.enabled:
+                with obs.span("decompose", size=tree.size, depth=depth) as dspan:
+                    if obs.span_recording():
+                        dspan.set(pattern=encode_canon(key))
+                    value, slot = self._compile_decompose(
+                        tree, memo, depth, builder
+                    )
+                    dspan.set(value=value)
+            else:
+                value, slot = self._compile_decompose(tree, memo, depth, builder)
         else:
             slot = builder.const(value)
         memo[pattern_id] = value
@@ -217,19 +260,19 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
         stored = self.lattice.get(key)
         if stored is not None:
             if obs.enabled:
-                _record_lookup("hit", key, size)
+                _record_lookup("hit", key, size, float(stored))
             return float(stored)
         if self.lattice.is_complete_at(size):
             # The summary stores every occurring pattern of this size, so
             # absence certifies a true zero (the negative-workload case).
             if obs.enabled:
-                _record_lookup("complete_zero", key, size)
+                _record_lookup("complete_zero", key, size, 0.0)
             return 0.0
         if size < 3:
             # Defensive: pruned summaries always retain levels 1-2; a
             # missing 1- or 2-pattern therefore does not occur.
             if obs.enabled:
-                _record_lookup("complete_zero", key, size)
+                _record_lookup("complete_zero", key, size, 0.0)
             return 0.0
         if obs.enabled:
             _record_lookup("pruned_miss", key, size)
@@ -246,6 +289,8 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
         count = 0
         parts: list[int] = []
         for split in leaf_pair_decompositions(tree):
+            if obs.enabled:
+                obs.span_point("choice", index=count)
             denominator, denominator_slot = self._compile(
                 split.common, memo, depth + 1, builder
             )

@@ -240,13 +240,14 @@ class UnguardedObsChecker(Checker):
     rule = "unguarded-obs"
     description = "obs recording calls must be guarded by obs.enabled"
 
-    _RECORDING_ROOTS = {"registry", "tracer"}
+    _RECORDING_ROOTS = {"registry", "tracer", "span_tracer"}
+    _RECORDING_CALLS = {"event", "span", "span_point"}
 
     def _is_recording_call(self, func: ast.expr) -> bool:
         chain = _attribute_chain(func)
         if chain is None or len(chain) < 2 or chain[0] != "obs":
             return False
-        return chain[1] in self._RECORDING_ROOTS or chain[1] == "event"
+        return chain[1] in self._RECORDING_ROOTS or chain[1] in self._RECORDING_CALLS
 
     def run(self) -> None:
         self._block(self.ctx.tree.body, guarded=False)

@@ -16,17 +16,33 @@ allocates nothing (benchmarked in ``benchmarks/bench_obs_overhead.py``;
 the enabled/disabled estimate-identity property is tested in
 ``tests/test_obs.py``).
 
+Three sinks hang off the switch:
+
+* :data:`registry` — aggregated metrics (always active while enabled);
+* :data:`tracer` — the flat structured-event recorder (opt-in);
+* :data:`span_tracer` — the hierarchical span recorder behind the
+  per-estimate flight recorder (opt-in, sampled; see
+  :mod:`repro.obs.spans`).  Call sites use :func:`span` /
+  :func:`span_point`, which are no-ops when no tracer is installed and
+  suppressed wholesale when a root span loses the sampling draw.
+
 State is process-global by design — the estimators have no request
 context to thread a registry through, and the CLI / benchmark harness
 capture windows are naturally sequential.  :func:`observed` scopes a
-capture: it enables observability with a fresh registry (and optional
-tracer), yields them, and restores the previous state on exit, so
-nested captures and library callers cannot clobber each other.
+metrics capture; :func:`flight_recorder` scopes a full capture with
+spans.  Both swap in fresh sinks and restore the previous state on
+exit, so nested captures and library callers cannot clobber each other.
+
+For process-pool fan-out, :func:`telemetry_snapshot` pickles the shape
+of the active window, :func:`worker_window` reproduces it inside a
+worker, and :func:`absorb_worker_telemetry` merges the returned sinks
+into the parent — see :mod:`repro.parallel.batch`.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Iterator
 
 from .export import (
@@ -36,6 +52,7 @@ from .export import (
     to_prometheus_text,
     write_metrics_json,
 )
+from .quantiles import QuantileSketch
 from .registry import (
     Counter,
     Gauge,
@@ -43,22 +60,46 @@ from .registry import (
     MetricsRegistry,
     Timer,
 )
+from .spans import (
+    DEFAULT_SPAN_CAPACITY,
+    NO_SPAN,
+    Span,
+    SpanHandle,
+    SpanTracer,
+    spans_to_chrome_trace,
+)
 from .trace import TraceRecorder
 
 __all__ = [
     "enabled",
     "registry",
     "tracer",
+    "span_tracer",
     "enable",
     "disable",
     "event",
+    "span",
+    "span_point",
+    "span_recording",
     "observed",
+    "flight_recorder",
+    "FlightRecording",
+    "TelemetrySnapshot",
+    "WorkerTelemetry",
+    "telemetry_snapshot",
+    "worker_window",
+    "absorb_worker_telemetry",
     "MetricsRegistry",
     "Counter",
     "Gauge",
     "Histogram",
     "Timer",
+    "QuantileSketch",
     "TraceRecorder",
+    "Span",
+    "SpanHandle",
+    "SpanTracer",
+    "spans_to_chrome_trace",
     "registry_to_dict",
     "write_metrics_json",
     "to_prometheus_text",
@@ -67,7 +108,8 @@ __all__ = [
 ]
 
 #: Master switch read by every instrumented call site.  Mutate only via
-#: :func:`enable` / :func:`disable` / :func:`observed`.
+#: :func:`enable` / :func:`disable` / :func:`observed` /
+#: :func:`flight_recorder`.
 enabled: bool = False
 
 #: The active registry.  Rebound (not mutated) by :func:`observed`, so
@@ -77,27 +119,70 @@ registry: MetricsRegistry = MetricsRegistry()
 #: The active trace recorder, or ``None`` when tracing is off.
 tracer: TraceRecorder | None = None
 
+#: The active span tracer, or ``None`` when the flight recorder is off.
+span_tracer: SpanTracer | None = None
 
-def enable(*, trace: bool = False) -> MetricsRegistry:
-    """Turn instrumentation on; optionally start a trace recorder."""
-    global enabled, tracer
+
+def enable(
+    *,
+    trace: bool = False,
+    spans: bool = False,
+    span_rate: float = 1.0,
+    span_seed: int = 0,
+) -> MetricsRegistry:
+    """Turn instrumentation on; optionally start trace/span recorders."""
+    global enabled, tracer, span_tracer
     enabled = True
     if trace and tracer is None:
-        tracer = TraceRecorder()
+        tracer = TraceRecorder(registry=registry)
+    if spans and span_tracer is None:
+        span_tracer = SpanTracer(rate=span_rate, seed=span_seed)
     return registry
 
 
 def disable() -> None:
     """Turn instrumentation off (the registry keeps its contents)."""
-    global enabled, tracer
+    global enabled, tracer, span_tracer
     enabled = False
     tracer = None
+    span_tracer = None
 
 
 def event(name: str, **fields: object) -> None:
     """Record a trace event when a recorder is active; no-op otherwise."""
     if tracer is not None:
         tracer.record(name, **fields)
+
+
+def span(name: str, **attrs: object) -> SpanHandle:
+    """Open a hierarchical span; returns a no-op handle when spans are off.
+
+    Call sites guard with ``obs.enabled`` like every other recording
+    call (the ``unguarded-obs`` lint rule enforces it), so the disabled
+    pipeline never reaches this function.
+    """
+    current = span_tracer
+    if current is None:
+        return NO_SPAN
+    return current.span(name, **attrs)
+
+
+def span_point(name: str, **attrs: object) -> None:
+    """Record an instant span under the open span; no-op when spans are off."""
+    current = span_tracer
+    if current is not None:
+        current.point(name, **attrs)
+
+
+def span_recording() -> bool:
+    """True while inside a sampled span — gates optional deep attribution.
+
+    Hot paths that would emit many points per estimate (compiled-plan
+    replay) check this once and skip the traced variant entirely when
+    the estimate's root span was sampled out.
+    """
+    current = span_tracer
+    return current is not None and current.recording
 
 
 @contextmanager
@@ -109,13 +194,149 @@ def observed(
     Yields ``(registry, tracer)``; ``tracer`` is ``None`` unless
     ``trace=True``.  On exit the previous enabled/registry/tracer state
     comes back, so captures nest and never leak into library callers.
+    Span tracing is suspended for the window (use
+    :func:`flight_recorder` to capture spans).
     """
-    global enabled, registry, tracer
-    previous = (enabled, registry, tracer)
+    global enabled, registry, tracer, span_tracer
+    previous = (enabled, registry, tracer, span_tracer)
     registry = MetricsRegistry()
-    tracer = TraceRecorder() if trace else None
+    tracer = TraceRecorder(registry=registry) if trace else None
+    span_tracer = None
     enabled = True
     try:
         yield registry, tracer
     finally:
-        enabled, registry, tracer = previous
+        enabled, registry, tracer, span_tracer = previous
+
+
+@dataclass
+class FlightRecording:
+    """What a :func:`flight_recorder` window captured."""
+
+    registry: MetricsRegistry
+    spans: SpanTracer
+    trace: TraceRecorder | None
+
+
+@contextmanager
+def flight_recorder(
+    rate: float = 1.0,
+    *,
+    seed: int = 0,
+    capacity: int = DEFAULT_SPAN_CAPACITY,
+    trace: bool = False,
+) -> Iterator[FlightRecording]:
+    """Scoped full capture: metrics + sampled hierarchical spans.
+
+    ``rate`` is the head-based sampling rate for root spans (1.0 keeps
+    everything — right for explaining one query; production-style
+    monitoring wants 0.01-ish).  Restores the previous observability
+    state on exit like :func:`observed`.
+    """
+    global enabled, registry, tracer, span_tracer
+    previous = (enabled, registry, tracer, span_tracer)
+    registry = MetricsRegistry()
+    tracer = TraceRecorder(registry=registry) if trace else None
+    span_tracer = SpanTracer(rate=rate, seed=seed, capacity=capacity)
+    enabled = True
+    try:
+        yield FlightRecording(registry, span_tracer, tracer)
+    finally:
+        enabled, registry, tracer, span_tracer = previous
+
+
+# ----------------------------------------------------------------------
+# Worker fan-out: snapshot the window shape, reproduce it, merge back
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Picklable shape of the active capture window (no contents).
+
+    Shipped to worker processes so they can open an equivalent window
+    locally; the actual registries/tracers never cross the boundary
+    downstream — only the worker's results come back.
+    """
+
+    trace: bool
+    trace_capacity: int
+    spans: bool
+    span_rate: float
+    span_seed: int
+    span_capacity: int
+
+
+@dataclass
+class WorkerTelemetry:
+    """What one worker recorded; merged into the parent on return."""
+
+    registry: MetricsRegistry
+    trace: TraceRecorder | None
+    spans: SpanTracer | None
+
+
+def telemetry_snapshot() -> TelemetrySnapshot | None:
+    """Describe the active window for workers; ``None`` when disabled."""
+    if not enabled:
+        return None
+    current_spans = span_tracer
+    current_trace = tracer
+    return TelemetrySnapshot(
+        trace=current_trace is not None,
+        trace_capacity=(
+            current_trace.capacity if current_trace is not None else 0
+        ),
+        spans=current_spans is not None,
+        span_rate=current_spans.rate if current_spans is not None else 1.0,
+        span_seed=current_spans.seed if current_spans is not None else 0,
+        span_capacity=(
+            current_spans.capacity
+            if current_spans is not None
+            else DEFAULT_SPAN_CAPACITY
+        ),
+    )
+
+
+@contextmanager
+def worker_window(snapshot: TelemetrySnapshot) -> Iterator[WorkerTelemetry]:
+    """Open a capture window in a worker matching the parent's snapshot.
+
+    Yields the :class:`WorkerTelemetry` whose sinks the scoped code
+    records into; the caller returns it (pickled) to the parent, which
+    folds it in with :func:`absorb_worker_telemetry`.
+    """
+    global enabled, registry, tracer, span_tracer
+    previous = (enabled, registry, tracer, span_tracer)
+    registry = MetricsRegistry()
+    tracer = (
+        TraceRecorder(capacity=snapshot.trace_capacity, registry=registry)
+        if snapshot.trace
+        else None
+    )
+    span_tracer = (
+        SpanTracer(
+            rate=snapshot.span_rate,
+            seed=snapshot.span_seed,
+            capacity=snapshot.span_capacity,
+        )
+        if snapshot.spans
+        else None
+    )
+    enabled = True
+    telemetry = WorkerTelemetry(registry, tracer, span_tracer)
+    try:
+        yield telemetry
+    finally:
+        enabled, registry, tracer, span_tracer = previous
+
+
+def absorb_worker_telemetry(telemetry: WorkerTelemetry) -> None:
+    """Merge a worker's returned telemetry into the active window."""
+    if not enabled:
+        return
+    registry.merge(telemetry.registry)
+    if tracer is not None and telemetry.trace is not None:
+        tracer.merge(telemetry.trace)
+    if span_tracer is not None and telemetry.spans is not None:
+        span_tracer.merge(telemetry.spans)

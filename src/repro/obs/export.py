@@ -21,6 +21,7 @@ import json
 import math
 from pathlib import Path
 
+from .quantiles import DEFAULT_QUANTILES, QuantileSketch
 from .registry import Counter, Gauge, Histogram, MetricsRegistry, Timer
 
 #: Sorted ``(label, value)`` pairs keying one parsed sample.
@@ -53,6 +54,8 @@ def registry_to_dict(registry: MetricsRegistry) -> dict[str, dict[str, object]]:
             entry.update(_histogram_dict(metric.histogram))
         elif isinstance(metric, Histogram):
             entry.update(_histogram_dict(metric))
+        elif isinstance(metric, QuantileSketch):
+            entry.update(_sketch_dict(metric))
         out[metric.name] = entry
     return out
 
@@ -68,6 +71,20 @@ def _histogram_dict(histogram: Histogram) -> dict[str, object]:
             {"le": "+Inf" if math.isinf(bound) else bound, "count": cumulative}
             for bound, cumulative in histogram.cumulative()
         ],
+    }
+
+
+def _sketch_dict(sketch: QuantileSketch) -> dict[str, object]:
+    return {
+        "count": sketch.count,
+        "sum": sketch.sum,
+        "mean": sketch.mean,
+        "min": sketch.min if sketch.count else None,
+        "max": sketch.max if sketch.count else None,
+        "alpha": sketch.alpha,
+        "quantiles": {
+            str(q): value for q, value in sketch.quantiles().items()
+        },
     }
 
 
@@ -89,7 +106,12 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
     for metric in registry:
         if metric.help:
             lines.append(f"# HELP {metric.name} {metric.help}")
-        kind = "histogram" if isinstance(metric, Timer) else metric.kind
+        if isinstance(metric, Timer):
+            kind = "histogram"
+        elif isinstance(metric, QuantileSketch):
+            kind = "summary"
+        else:
+            kind = metric.kind
         lines.append(f"# TYPE {metric.name} {kind}")
         if isinstance(metric, (Counter, Gauge)):
             samples = list(metric.samples())
@@ -98,6 +120,14 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
                 samples = [({}, metric.value())]
             for labels, value in samples:
                 lines.append(f"{metric.name}{_label_text(labels)} {_num(value)}")
+        elif isinstance(metric, QuantileSketch):
+            for q in DEFAULT_QUANTILES:
+                lines.append(
+                    f'{metric.name}{{quantile="{_num(q)}"}} '
+                    f"{_num(metric.quantile(q))}"
+                )
+            lines.append(f"{metric.name}_sum {_num(metric.sum)}")
+            lines.append(f"{metric.name}_count {metric.count}")
         else:
             histogram = (
                 metric.histogram
@@ -227,6 +257,12 @@ def summarize_estimation(registry: MetricsRegistry) -> dict[str, float]:
     depth = registry.get("recursion_depth")
     timer = registry.get("estimate_seconds")
     steps = registry.get("decompose_steps_total")
+    latency = registry.get("estimate_latency_seconds")
+    p50 = p90 = p99 = 0.0
+    if isinstance(latency, QuantileSketch) and latency.count:
+        p50 = latency.quantile(0.5)
+        p90 = latency.quantile(0.9)
+        p99 = latency.quantile(0.99)
     return {
         "lattice_lookups": total_lookups,
         "lattice_hits": hits,
@@ -244,4 +280,7 @@ def summarize_estimation(registry: MetricsRegistry) -> dict[str, float]:
         "estimate_seconds": (
             timer.total_seconds if isinstance(timer, Timer) else 0.0
         ),
+        "estimate_latency_p50": p50,
+        "estimate_latency_p90": p90,
+        "estimate_latency_p99": p99,
     }

@@ -1,0 +1,148 @@
+"""Mergeable log-bucketed quantile sketch (DDSketch-style).
+
+Histograms with fixed boundaries (``repro.obs.registry.Histogram``)
+answer "how many observations fell under X" but cannot answer "what is
+the p99" with bounded error over an unknown range.  The serving roadmap
+item needs exactly that — live latency and q-error quantiles — so this
+module adds the standard log-bucketed sketch:
+
+* observations are mapped to geometric buckets ``ceil(log_gamma(x))``
+  with ``gamma = (1 + alpha) / (1 - alpha)``, giving every quantile a
+  *relative* error bound of ``alpha`` regardless of scale;
+* buckets are a sparse ``dict[int, int]``, so memory is proportional to
+  the number of distinct magnitudes seen (tens of buckets for latency
+  data), not the observation count;
+* two sketches with the same ``alpha`` merge by summing bucket counts,
+  which is what lets worker processes ship theirs back to the parent
+  (see :meth:`repro.obs.registry.MetricsRegistry.merge`).
+
+Zero and near-zero observations (anything below :attr:`QuantileSketch.
+min_trackable`) land in a dedicated zero bucket; negative observations
+are rejected, matching the latency/q-error use cases (both are >= 0 by
+construction, q-error >= 1).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from .registry import _Metric
+
+__all__ = ["QuantileSketch", "DEFAULT_ALPHA", "DEFAULT_QUANTILES"]
+
+#: Default relative-accuracy bound: quantile answers are within 1%.
+DEFAULT_ALPHA = 0.01
+
+#: The quantiles exporters report by default.
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class QuantileSketch(_Metric):
+    """Streaming quantiles with bounded relative error, mergeable."""
+
+    kind = "quantile"
+    __slots__ = (
+        "alpha",
+        "count",
+        "sum",
+        "min",
+        "max",
+        "_gamma",
+        "_log_gamma",
+        "_buckets",
+        "_zero_count",
+    )
+
+    #: Observations below this magnitude collapse into the zero bucket.
+    min_trackable = 1e-12
+
+    def __init__(self, name: str, help: str = "", alpha: float = DEFAULT_ALPHA) -> None:
+        super().__init__(name, help)
+        if not 0.0 < alpha < 1.0:
+            raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+        self.alpha = alpha
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._gamma = (1.0 + alpha) / (1.0 - alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: dict[int, int] = {}
+        self._zero_count = 0
+
+    def observe(self, value: float) -> None:
+        """Fold one observation into the sketch."""
+        if value < 0.0:
+            raise ValueError(f"{self.name}: quantile sketches track values >= 0")
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value < self.min_trackable:
+            self._zero_count += 1
+            return
+        index = math.ceil(math.log(value) / self._log_gamma)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` (within ``alpha`` relative error)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * (self.count - 1)
+        if rank >= self.count - 1:
+            # The top rank is the maximum, which is tracked exactly.
+            return self.max
+        seen = float(self._zero_count)
+        if rank < seen:
+            return 0.0
+        for index in sorted(self._buckets):
+            seen += self._buckets[index]
+            if rank < seen:
+                # Bucket i covers (gamma^(i-1), gamma^i]; report the
+                # midpoint, which is what bounds the relative error.
+                return (
+                    2.0 * self._gamma ** index / (self._gamma + 1.0)
+                )
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantiles(
+        self, qs: tuple[float, ...] = DEFAULT_QUANTILES
+    ) -> dict[float, float]:
+        """Several quantiles at once (the exporters' helper)."""
+        return {q: self.quantile(q) for q in qs}
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch in; requires an identical ``alpha``."""
+        if other.alpha != self.alpha:
+            raise ValueError(
+                f"{self.name}: cannot merge sketches with alpha "
+                f"{self.alpha} and {other.alpha}"
+            )
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+        self._zero_count += other._zero_count
+        for index, bucket_count in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + bucket_count
+
+    def bucket_items(self) -> Iterator[tuple[int, int]]:
+        """Sparse ``(bucket_index, count)`` pairs, ascending."""
+        return iter(sorted(self._buckets.items()))
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch({self.name!r}, count={self.count}, "
+            f"alpha={self.alpha})"
+        )

@@ -16,7 +16,16 @@ Metric families follow the Prometheus data model:
   count/sum/min/max;
 * :class:`Timer` — a histogram of elapsed seconds fed by a re-entrant
   ``with timer.time():`` context manager (nesting records each frame's
-  own elapsed time independently).
+  own elapsed time independently);
+* :class:`~repro.obs.quantiles.QuantileSketch` — streaming quantiles
+  with bounded relative error (defined in :mod:`repro.obs.quantiles`,
+  registered through :meth:`MetricsRegistry.quantile`).
+
+Every family is plain picklable data and supports ``merge``: worker
+processes return their registries and the parent folds them in with
+:meth:`MetricsRegistry.merge` (counters add, gauges take the incoming
+value, histograms/timers add matching buckets, sketches merge), which is
+how parallel runs keep their telemetry (see :mod:`repro.parallel`).
 """
 
 from __future__ import annotations
@@ -24,7 +33,10 @@ from __future__ import annotations
 import math
 import time
 from bisect import bisect_left
-from typing import Any, Iterator, TypeVar
+from typing import TYPE_CHECKING, Any, Iterator, TypeVar
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .quantiles import QuantileSketch
 
 __all__ = [
     "Counter",
@@ -104,6 +116,13 @@ class Counter(_Metric):
         for key, value in sorted(self._values.items()):
             yield dict(zip(self.label_names, key)), value
 
+    def merge(self, other: "Counter") -> None:
+        """Add another counter's per-label totals into this one."""
+        if other.label_names != self.label_names:
+            raise ValueError(f"{self.name}: label mismatch on merge")
+        for key, value in other._values.items():
+            self._values[key] = self._values.get(key, 0) + value
+
 
 class Gauge(_Metric):
     """A value that can go up and down (last write wins)."""
@@ -133,6 +152,12 @@ class Gauge(_Metric):
     def samples(self) -> Iterator[tuple[dict[str, str], float]]:
         for key, value in sorted(self._values.items()):
             yield dict(zip(self.label_names, key)), value
+
+    def merge(self, other: "Gauge") -> None:
+        """Adopt another gauge's values (the incoming write wins)."""
+        if other.label_names != self.label_names:
+            raise ValueError(f"{self.name}: label mismatch on merge")
+        self._values.update(other._values)
 
 
 class Histogram(_Metric):
@@ -186,6 +211,19 @@ class Histogram(_Metric):
         out.append((math.inf, self.count))
         return out
 
+    def merge(self, other: "Histogram") -> None:
+        """Add another histogram's buckets; boundaries must match."""
+        if other.boundaries != self.boundaries:
+            raise ValueError(f"{self.name}: boundary mismatch on merge")
+        for i, bucket in enumerate(other.bucket_counts):
+            self.bucket_counts[i] += bucket
+        self.count += other.count
+        self.sum += other.sum
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
 
 class Timer(_Metric):
     """A histogram of elapsed wall-clock seconds.
@@ -220,6 +258,10 @@ class Timer(_Metric):
     @property
     def total_seconds(self) -> float:
         return self.histogram.sum
+
+    def merge(self, other: "Timer") -> None:
+        """Merge the backing histograms; boundaries must match."""
+        self.histogram.merge(other.histogram)
 
 
 class _TimerFrame:
@@ -275,6 +317,20 @@ class MetricsRegistry:
     ) -> Timer:
         return self._get_or_create(Timer, name, help, boundaries=buckets)
 
+    def quantile(
+        self, name: str, help: str = "", alpha: float | None = None
+    ) -> "QuantileSketch":
+        # Imported here: quantiles.py needs _Metric from this module, so
+        # a top-level import would be circular.
+        from .quantiles import DEFAULT_ALPHA, QuantileSketch
+
+        return self._get_or_create(
+            QuantileSketch,
+            name,
+            help,
+            alpha=DEFAULT_ALPHA if alpha is None else alpha,
+        )
+
     def _get_or_create(self, cls: type[_M], name: str, help: str, **kwargs: Any) -> _M:
         existing = self._metrics.get(name)
         if existing is not None:
@@ -305,3 +361,26 @@ class MetricsRegistry:
     def clear(self) -> None:
         """Drop every metric (a fresh start for a new capture window)."""
         self._metrics.clear()
+
+    # -- merging -------------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry (typically a worker's) into this one.
+
+        Metrics present only in ``other`` are adopted as-is; metrics
+        present in both merge family-wise (counters/histograms/timers
+        add, gauges take the incoming value, quantile sketches combine
+        buckets).  A name registered under two different families is an
+        instrumentation bug and raises.
+        """
+        for name, metric in other._metrics.items():
+            existing = self._metrics.get(name)
+            if existing is None:
+                self._metrics[name] = metric
+                continue
+            if type(existing) is not type(metric):
+                raise ValueError(
+                    f"metric {name!r} registered as {existing.kind} here "
+                    f"but {metric.kind} in the merged registry"
+                )
+            existing.merge(metric)  # type: ignore[attr-defined]

@@ -1,0 +1,434 @@
+"""Hierarchical spans: the flight recorder's per-estimate timeline.
+
+Where the metrics registry aggregates and the :class:`~repro.obs.trace.
+TraceRecorder` keeps a flat event sequence, the span tracer keeps the
+*shape* of one execution: every estimate opens a root span, every
+compiled-plan step / decomposition node / summary lookup nests inside
+it, and each completed span carries its span/parent ids, wall and CPU
+time, and structured attributes.  That is exactly the per-step
+attribution the ROADMAP's serving and routing items need ("which
+sub-patterns did the summary answer directly, which were decomposed,
+and what did each step cost").
+
+Design constraints, in order:
+
+* **Free when off.**  ``repro.obs.span(...)`` call sites are guarded by
+  ``obs.enabled`` like every other instrumentation point (enforced by
+  the ``unguarded-obs`` lint rule), so a disabled pipeline allocates
+  nothing span-related.
+* **Cheap when sampled out.**  Sampling is *head-based* and
+  deterministic: the decision is made once per root span from a counter
+  and a seed (no RNG state, reproducible across runs), and a sampled-out
+  root suppresses its whole subtree through one shared, allocation-free
+  context object.
+* **Bounded.**  Completed spans land in a ring buffer (default
+  :data:`DEFAULT_SPAN_CAPACITY`); overflow drops the *oldest* spans and
+  counts them in :attr:`SpanTracer.dropped`.
+* **Mergeable.**  Tracers are plain picklable values; worker processes
+  return theirs and :meth:`SpanTracer.merge` folds them into the parent
+  with ids remapped and a fresh ``track`` lane per worker, so parallel
+  runs lose no telemetry (see :mod:`repro.parallel.batch`).
+
+The Chrome-trace exporter (:meth:`SpanTracer.to_chrome_trace`) renders
+the buffer as the Trace Event JSON array that ``chrome://tracing`` and
+Perfetto load directly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from pathlib import Path
+from typing import Iterator, Sequence
+
+__all__ = [
+    "DEFAULT_SPAN_CAPACITY",
+    "Span",
+    "SpanHandle",
+    "SpanTracer",
+    "NO_SPAN",
+    "spans_to_chrome_trace",
+]
+
+#: Default ring-buffer capacity: completed spans kept per tracer.
+DEFAULT_SPAN_CAPACITY = 16384
+
+#: Multiplier folding the seed into the sampling phase (golden-ratio
+#: conjugate: consecutive seeds land far apart in [0, 1)).
+_PHASE = 0.6180339887498949
+
+
+class SpanHandle:
+    """No-op base of everything :func:`repro.obs.span` can return.
+
+    Call sites only ever ``with obs.span(...) as span:`` and
+    ``span.set(...)``; this base makes both free when the tracer is
+    absent (:data:`NO_SPAN`) or the root was sampled out
+    (:class:`_SuppressedSpan`).
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes to the span (ignored off the record path)."""
+        return None
+
+
+#: The shared do-nothing handle returned when no span tracer is active.
+NO_SPAN = SpanHandle()
+
+
+class _SuppressedSpan(SpanHandle):
+    """Shared handle for a sampled-out subtree (one per tracer).
+
+    Entering it bumps the tracer's suppression depth so descendant
+    ``span()`` calls short-circuit without making their own sampling
+    decision; exiting unwinds it.  Re-entrant by construction — it only
+    counts — so one instance serves arbitrarily deep subtrees with zero
+    per-span allocation.
+    """
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "SpanTracer") -> None:
+        self._tracer = tracer
+
+    def __enter__(self) -> "_SuppressedSpan":
+        self._tracer._suppressed += 1
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._tracer._suppressed -= 1
+
+
+class Span(SpanHandle):
+    """One recorded region: ids, clocks, and structured attributes.
+
+    ``wall_ms``/``cpu_ms`` are filled on exit; *point* spans (zero
+    duration, recorded via :meth:`SpanTracer.point`) have both at 0.0
+    and ``point`` True.  ``track`` is the lane the span renders on in
+    the Chrome trace — 0 for spans recorded locally, a fresh lane per
+    merged worker tracer.
+    """
+
+    __slots__ = (
+        "span_id",
+        "parent_id",
+        "name",
+        "ts",
+        "wall_ms",
+        "cpu_ms",
+        "track",
+        "point",
+        "attrs",
+        "_tracer",
+        "_wall0",
+        "_cpu0",
+    )
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        attrs: dict[str, object],
+    ) -> None:
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.ts = 0.0
+        self.wall_ms = 0.0
+        self.cpu_ms = 0.0
+        self.track = 0
+        self.point = False
+        self.attrs = attrs
+        self._tracer = tracer
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def set(self, **attrs: object) -> None:
+        """Merge attributes discovered while the span is open."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        tracer._stack.append(self)
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        self.ts = self._wall0 - tracer._epoch
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.cpu_ms = (time.process_time() - self._cpu0) * 1000.0
+        self.wall_ms = (time.perf_counter() - self._wall0) * 1000.0
+        tracer = self._tracer
+        tracer._stack.pop()
+        tracer._append(self)
+
+    def __getstate__(
+        self,
+    ) -> tuple[int, int | None, str, float, float, float, int, bool, dict[str, object]]:
+        # The tracer back-reference is only needed while the span is
+        # open; completed spans pickle as plain values.
+        return (
+            self.span_id,
+            self.parent_id,
+            self.name,
+            self.ts,
+            self.wall_ms,
+            self.cpu_ms,
+            self.track,
+            self.point,
+            self.attrs,
+        )
+
+    def __setstate__(
+        self,
+        state: tuple[
+            int, int | None, str, float, float, float, int, bool, dict[str, object]
+        ],
+    ) -> None:
+        (
+            self.span_id,
+            self.parent_id,
+            self.name,
+            self.ts,
+            self.wall_ms,
+            self.cpu_ms,
+            self.track,
+            self.point,
+            self.attrs,
+        ) = state
+        self._tracer = None  # type: ignore[assignment]
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def __repr__(self) -> str:
+        kind = "point" if self.point else f"{self.wall_ms:.3f}ms"
+        return f"Span({self.name!r}, id={self.span_id}, {kind})"
+
+
+class SpanTracer:
+    """Bounded, sampled, mergeable recorder of hierarchical spans.
+
+    Parameters
+    ----------
+    rate:
+        Head-based sampling rate in ``[0, 1]``: the fraction of *root*
+        spans recorded.  The decision is deterministic in
+        ``(seed, root index)`` — no RNG — and covers the whole subtree.
+    seed:
+        Phase offset for the sampling sequence; the same seed replays
+        the same keep/drop pattern.
+    capacity:
+        Ring-buffer size for completed spans; the oldest spans are
+        dropped (and counted) when it overflows.
+    """
+
+    def __init__(
+        self,
+        *,
+        rate: float = 1.0,
+        seed: int = 0,
+        capacity: int = DEFAULT_SPAN_CAPACITY,
+    ) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"sampling rate must be in [0, 1], got {rate}")
+        if capacity < 1:
+            raise ValueError(f"span capacity must be >= 1, got {capacity}")
+        self.rate = rate
+        self.seed = seed
+        self.capacity = capacity
+        self.dropped = 0
+        #: Root spans seen / actually recorded (sampling numerator).
+        self.roots_started = 0
+        self.roots_sampled = 0
+        self._phase = (seed * _PHASE) % 1.0
+        self._buffer: list[Span] = []
+        self._head = 0
+        self._stack: list[Span] = []
+        self._suppressed = 0
+        self._next_id = 0
+        self._tracks = 0
+        self._suppressor = _SuppressedSpan(self)
+        self._epoch = time.perf_counter()
+
+    # -- recording -----------------------------------------------------
+
+    def span(self, name: str, **attrs: object) -> SpanHandle:
+        """Open a span; use as a context manager.
+
+        Returns the shared suppression handle when inside a sampled-out
+        subtree (or when this root loses the sampling draw), so the
+        caller never branches on sampling itself.
+        """
+        if self._suppressed:
+            return self._suppressor
+        if not self._stack:
+            self.roots_started += 1
+            if not self._sample(self.roots_started - 1):
+                return self._suppressor
+            self.roots_sampled += 1
+        span = Span(self, self._next_id, self._parent_id(), name, attrs)
+        self._next_id += 1
+        return span
+
+    def point(self, name: str, **attrs: object) -> None:
+        """Record an instantaneous span under the currently open span.
+
+        Points outside any sampled open span are discarded — they would
+        have no parent to attribute them to.  Traced plan replay emits
+        one point per op, so this path is hand-inlined (no
+        ``_parent_id``/``_append`` calls) to keep per-op cost down.
+        """
+        stack = self._stack
+        if self._suppressed or not stack:
+            return
+        span = Span(self, self._next_id, stack[-1].span_id, name, attrs)
+        self._next_id += 1
+        span.ts = time.perf_counter() - self._epoch
+        span.point = True
+        buffer = self._buffer
+        if len(buffer) < self.capacity:
+            buffer.append(span)
+        else:
+            buffer[self._head] = span
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+
+    @property
+    def recording(self) -> bool:
+        """True while inside a sampled open span (plan replay hooks ask)."""
+        return not self._suppressed and bool(self._stack)
+
+    def _parent_id(self) -> int | None:
+        return self._stack[-1].span_id if self._stack else None
+
+    def _sample(self, index: int) -> bool:
+        """Deterministic head-based draw for root number ``index``."""
+        rate = self.rate
+        if rate >= 1.0:
+            return True
+        if rate <= 0.0:
+            return False
+        phase = self._phase
+        return math.floor((index + 1) * rate + phase) > math.floor(
+            index * rate + phase
+        )
+
+    def _append(self, span: Span) -> None:
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(span)
+            return
+        self._buffer[self._head] = span
+        self._head = (self._head + 1) % self.capacity
+        self.dropped += 1
+
+    # -- views ---------------------------------------------------------
+
+    @property
+    def spans(self) -> list[Span]:
+        """Completed spans, oldest first (ring order unrolled)."""
+        return self._buffer[self._head :] + self._buffer[: self._head]
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans)
+
+    def by_name(self, name: str) -> list[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    # -- merging -------------------------------------------------------
+
+    def merge(self, other: "SpanTracer") -> None:
+        """Fold a worker tracer's spans into this one.
+
+        Incoming span/parent ids are remapped past this tracer's id
+        space and every merged batch lands on a fresh ``track`` lane, so
+        parent links stay acyclic and per-worker timelines stay visually
+        separate in the Chrome trace.  Timestamps remain relative to the
+        worker's own epoch (documented in ``docs/observability.md``).
+        """
+        offset = self._next_id
+        self._tracks += 1
+        track = self._tracks
+        highest = -1
+        for span in other.spans:
+            span.span_id += offset
+            if span.parent_id is not None:
+                span.parent_id += offset
+            span.track = track
+            if span.span_id > highest:
+                highest = span.span_id
+            self._append(span)
+        self._next_id = max(self._next_id, highest + 1)
+        self.dropped += other.dropped
+        self.roots_started += other.roots_started
+        self.roots_sampled += other.roots_sampled
+
+    # -- export --------------------------------------------------------
+
+    def to_chrome_trace(self) -> list[dict[str, object]]:
+        return spans_to_chrome_trace(self.spans)
+
+    def write_chrome_trace(self, path: str | Path) -> None:
+        """Write the Trace Event JSON array ``chrome://tracing`` loads."""
+        Path(path).write_text(
+            json.dumps(self.to_chrome_trace(), sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def __getstate__(self) -> dict[str, object]:
+        state = self.__dict__.copy()
+        # The suppressor holds a back-reference; rebuild it on unpickle.
+        del state["_suppressor"]
+        return state
+
+    def __setstate__(self, state: dict[str, object]) -> None:
+        self.__dict__.update(state)
+        self._suppressor = _SuppressedSpan(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanTracer(spans={len(self._buffer)}, rate={self.rate}, "
+            f"dropped={self.dropped})"
+        )
+
+
+def spans_to_chrome_trace(spans: Sequence[Span]) -> list[dict[str, object]]:
+    """Render spans as Chrome Trace Event objects (the JSON array format).
+
+    Duration spans become complete (``"ph": "X"``) events, points become
+    thread-scoped instant (``"ph": "i"``) events; ``ts``/``dur`` are in
+    microseconds per the format.  The resulting list round-trips through
+    ``json.dumps`` and loads in ``chrome://tracing`` / Perfetto.
+    """
+    events: list[dict[str, object]] = []
+    for span in sorted(spans, key=lambda s: (s.track, s.ts, s.span_id)):
+        event: dict[str, object] = {
+            "name": span.name,
+            "cat": "repro",
+            "pid": 0,
+            "tid": span.track,
+            "ts": round(span.ts * 1e6, 3),
+            "args": dict(span.attrs, span_id=span.span_id, parent_id=span.parent_id),
+        }
+        if span.point:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = round(span.wall_ms * 1000.0, 3)
+            event["args"]["cpu_ms"] = round(span.cpu_ms, 6)  # type: ignore[index]
+        events.append(event)
+    return events

@@ -8,10 +8,18 @@ carries a monotonically increasing ``seq``, a wall-clock offset ``ts``
 in seconds since the recorder started, the current span ``depth``, the
 ``event`` name, and the call site's keyword fields.
 
+Storage is a bounded ring (default :data:`DEFAULT_TRACE_CAPACITY`
+events): long captures keep the most recent window instead of growing
+without limit, and the overflow count is exposed both as
+:attr:`TraceRecorder.dropped` and — when the recorder was built with a
+registry, as the capture windows in :mod:`repro.obs` do — as the
+``trace_events_dropped_total`` counter.
+
 :meth:`TraceRecorder.span` wraps a region: it raises the depth for
 nested events and emits one closing event with the region's
 ``duration_ms``.  The JSONL serialisation (one event per line) is the
-on-disk format consumed by ``repro estimate --trace PATH``.
+on-disk format consumed by ``repro estimate --trace PATH``.  For
+hierarchical spans with ids and CPU time, see :mod:`repro.obs.spans`.
 """
 
 from __future__ import annotations
@@ -20,14 +28,30 @@ import json
 import time
 from pathlib import Path
 
-__all__ = ["TraceRecorder"]
+from .registry import MetricsRegistry
+
+__all__ = ["TraceRecorder", "DEFAULT_TRACE_CAPACITY"]
+
+#: Default ring capacity (~64k events), per the flight-recorder budget.
+DEFAULT_TRACE_CAPACITY = 65536
 
 
 class TraceRecorder:
-    """An append-only recorder of structured trace events."""
+    """A bounded recorder of structured trace events (drop-oldest ring)."""
 
-    def __init__(self) -> None:
-        self.events: list[dict[str, object]] = []
+    def __init__(
+        self,
+        *,
+        capacity: int = DEFAULT_TRACE_CAPACITY,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"trace capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._buffer: list[dict[str, object]] = []
+        self._head = 0
+        self._registry = registry
         self._start = time.perf_counter()
         self._depth = 0
         self._seq = 0
@@ -42,7 +66,17 @@ class TraceRecorder:
         }
         entry.update(fields)
         self._seq += 1
-        self.events.append(entry)
+        if len(self._buffer) < self.capacity:
+            self._buffer.append(entry)
+        else:
+            self._buffer[self._head] = entry
+            self._head = (self._head + 1) % self.capacity
+            self.dropped += 1
+            if self._registry is not None:
+                self._registry.counter(
+                    "trace_events_dropped_total",
+                    "Trace events evicted from the bounded ring buffer.",
+                ).inc()
         return entry
 
     def span(self, event: str, **fields: object) -> "_Span":
@@ -51,17 +85,48 @@ class TraceRecorder:
 
     # -- views ---------------------------------------------------------
 
+    @property
+    def events(self) -> list[dict[str, object]]:
+        """Retained events, oldest first (ring order unrolled)."""
+        return self._buffer[self._head :] + self._buffer[: self._head]
+
     def __len__(self) -> int:
-        return len(self.events)
+        return len(self._buffer)
 
     def by_event(self, name: str) -> list[dict[str, object]]:
         return [e for e in self.events if e["event"] == name]
+
+    def merge(self, other: "TraceRecorder") -> None:
+        """Append a worker recorder's events (re-sequenced, depth kept).
+
+        Worker timestamps stay relative to the worker's own start; the
+        merged stream is ordered by arrival at the parent, which is the
+        deterministic submission order used by :mod:`repro.parallel`.
+        """
+        for entry in other.events:
+            entry = dict(entry)
+            entry["seq"] = self._seq
+            self._seq += 1
+            if len(self._buffer) < self.capacity:
+                self._buffer.append(entry)
+            else:
+                self._buffer[self._head] = entry
+                self._head = (self._head + 1) % self.capacity
+                self.dropped += 1
+        self.dropped += other.dropped
 
     def to_jsonl(self) -> str:
         return "\n".join(json.dumps(e, sort_keys=True) for e in self.events)
 
     def write(self, path: str | Path) -> None:
         Path(path).write_text(self.to_jsonl() + "\n", encoding="utf-8")
+
+    def __getstate__(self) -> dict[str, object]:
+        # Registries don't cross process boundaries through the
+        # recorder; workers carry their own and merge explicitly.
+        state = self.__dict__.copy()
+        state["_registry"] = None
+        return state
 
 
 class _Span:

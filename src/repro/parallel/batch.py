@@ -8,13 +8,23 @@ recursive estimator's shared cross-query memo) matches the serial batch
 path.  Chunk results are concatenated in submission order; estimates
 are pure functions of ``(estimator, query)``, so the fan-out returns
 exactly what ``[estimator.estimate(q) for q in queries]`` would.
+
+Telemetry survives the fan-out: when the parent has observability
+enabled, a :class:`~repro.obs.TelemetrySnapshot` of the active capture
+window travels with each task, the worker records into an equivalent
+window of its own, and the returned
+:class:`~repro.obs.WorkerTelemetry` is merged into the parent registry
+/ tracer / span buffer in submission order — so parallel metric totals
+equal serial ones (asserted in ``tests/test_parallel.py``).
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from itertools import repeat
 from typing import TYPE_CHECKING, Sequence
 
+from .. import obs
 from ..trees.labeled_tree import LabeledTree
 from .pool import chunked
 
@@ -34,11 +44,18 @@ def _init_worker(estimator: "SelectivityEstimator") -> None:
     _worker_estimator = estimator
 
 
-def _estimate_chunk(trees: list[LabeledTree]) -> list[float]:
+def _estimate_chunk(
+    trees: list[LabeledTree],
+    snapshot: obs.TelemetrySnapshot | None,
+) -> tuple[list[float], obs.WorkerTelemetry | None]:
     estimator = _worker_estimator
     if estimator is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("estimation worker used before initialisation")
-    return estimator._estimate_trees(trees)
+    if snapshot is None:
+        return estimator._estimate_trees(trees), None
+    with obs.worker_window(snapshot) as telemetry:
+        values = estimator._estimate_trees(trees)
+    return values, telemetry
 
 
 def estimate_trees_parallel(
@@ -68,12 +85,17 @@ def estimate_trees_parallel(
         ]
     if not chunks:
         return []
+    snapshot = obs.telemetry_snapshot()
     estimates: list[float] = []
     with ProcessPoolExecutor(
         max_workers=min(workers, len(chunks)),
         initializer=_init_worker,
         initargs=(estimator,),
     ) as executor:
-        for values in executor.map(_estimate_chunk, chunks):
+        for values, telemetry in executor.map(
+            _estimate_chunk, chunks, repeat(snapshot)
+        ):
             estimates.extend(values)
+            if telemetry is not None:
+                obs.absorb_worker_telemetry(telemetry)
     return estimates

@@ -25,9 +25,11 @@ included.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
+from itertools import repeat
 from types import TracebackType
 from typing import Sequence
 
+from .. import obs
 from ..trees.canonical import Canon
 from ..trees.matching import DocumentIndex, _rooted
 from .pool import chunked
@@ -52,14 +54,32 @@ def _init_worker(index: DocumentIndex) -> None:
     _worker_maps.clear()
 
 
-def _count_chunk(candidates: list[Canon]) -> list[tuple[Canon, int]]:
+def _count_chunk(
+    candidates: list[Canon],
+    snapshot: obs.TelemetrySnapshot | None,
+) -> tuple[list[tuple[Canon, int]], obs.WorkerTelemetry | None]:
     """Count one chunk of candidates; only occurring ones are returned."""
     index = _worker_index
     if index is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("mining worker used before initialisation")
+    if snapshot is None:
+        return _count_candidates(candidates, index), None
+    with obs.worker_window(snapshot) as telemetry:
+        counted = _count_candidates(candidates, index)
+    return counted, telemetry
+
+
+def _count_candidates(
+    candidates: list[Canon], index: DocumentIndex
+) -> list[tuple[Canon, int]]:
     counted: list[tuple[Canon, int]] = []
     for candidate in candidates:
         count = sum(_rooted(candidate, index, _worker_maps).values())
+        if obs.enabled:
+            obs.registry.counter(
+                "mining_candidate_evaluations_total",
+                "Candidate patterns counted against the document index.",
+            ).inc()
         if count:
             counted.append((candidate, count))
     return counted
@@ -106,9 +126,14 @@ class ParallelMiningPool:
                 initargs=(self.index,),
             )
         chunks = chunked(candidates, self.workers * self.chunks_per_worker)
+        snapshot = obs.telemetry_snapshot()
         counts: dict[Canon, int] = {}
-        for pairs in self._executor.map(_count_chunk, chunks):
+        for pairs, telemetry in self._executor.map(
+            _count_chunk, chunks, repeat(snapshot)
+        ):
             counts.update(pairs)
+            if telemetry is not None:
+                obs.absorb_worker_telemetry(telemetry)
         return counts
 
     def close(self) -> None:

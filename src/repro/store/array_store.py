@@ -19,6 +19,7 @@ import sys
 from array import array
 from typing import Iterator
 
+from .. import obs
 from ..trees.canonical import Canon, PatternInterner
 from .base import SummaryStore
 
@@ -61,6 +62,15 @@ class ArrayStore(SummaryStore):
 
     def get(self, key: Canon) -> int | None:
         pattern_id = self._interner.id_of(key)
+        if obs.enabled:
+            obs.registry.counter(
+                "store_lookups_total",
+                "Store-backend key probes by backend and outcome.",
+                labels=("backend", "outcome"),
+            ).inc(
+                backend="array",
+                outcome="miss" if pattern_id is None else "hit",
+            )
         if pattern_id is None:
             return None
         return self._counts[pattern_id]

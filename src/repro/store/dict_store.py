@@ -13,6 +13,7 @@ from __future__ import annotations
 import sys
 from typing import Iterator
 
+from .. import obs
 from ..trees.canonical import Canon
 from .base import SummaryStore
 
@@ -53,7 +54,14 @@ class DictStore(SummaryStore):
         self._counts[key] = count
 
     def get(self, key: Canon) -> int | None:
-        return self._counts.get(key)
+        found = self._counts.get(key)
+        if obs.enabled:
+            obs.registry.counter(
+                "store_lookups_total",
+                "Store-backend key probes by backend and outcome.",
+                labels=("backend", "outcome"),
+            ).inc(backend="dict", outcome="hit" if found is not None else "miss")
+        return found
 
     def __contains__(self, key: Canon) -> bool:
         return key in self._counts

@@ -356,3 +356,186 @@ class TestParser:
     def test_module_entry_help(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--help"])
+
+
+class TestEstimateExplainFlag:
+    QUERY = "computer(laptops(laptop(brand,price)))"
+
+    def test_explain_prints_execution_backed_trace(self, summary_file, capsys):
+        code = main(
+            [
+                "estimate",
+                str(summary_file),
+                self.QUERY,
+                "--estimator",
+                "recursive",
+                "--explain",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "estimate  :" in printed
+        assert "s(t1) * s(t2) / s(common)" in printed
+        assert "ms)" in printed  # span-sourced wall time on the root step
+        assert "summary lookups" in printed
+
+    def test_explain_json_is_parseable(self, summary_file, capsys):
+        code = main(
+            ["estimate", str(summary_file), self.QUERY, "--explain-json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        derivation = payload["derivation"]
+        assert derivation["kind"] == "decomposition"
+        assert derivation["children"]
+        assert payload["estimate"] == derivation["estimate"]
+        assert "wall_ms" in derivation
+
+    def test_explain_matches_plain_estimate(self, summary_file, capsys):
+        assert main(["estimate", str(summary_file), self.QUERY]) == 0
+        plain = capsys.readouterr().out
+        assert (
+            main(["estimate", str(summary_file), self.QUERY, "--explain"]) == 0
+        )
+        explained = capsys.readouterr().out
+        line = next(l for l in plain.splitlines() if l.startswith("estimate"))
+        assert line in explained
+
+    def test_explain_rejects_batch(self, summary_file, tmp_path, capsys):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("laptop(brand)\n")
+        code = main(
+            [
+                "estimate",
+                str(summary_file),
+                "--batch",
+                str(batch),
+                "--explain",
+            ]
+        )
+        assert code == 2
+        assert "--explain" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("estimator", ["fixed", "markov"])
+    def test_explain_rejects_non_recursive(self, summary_file, estimator, capsys):
+        code = main(
+            [
+                "estimate",
+                str(summary_file),
+                self.QUERY,
+                "--estimator",
+                estimator,
+                "--explain",
+            ]
+        )
+        assert code == 2
+        assert "recursive or voting" in capsys.readouterr().err
+
+
+class TestTraceCommand:
+    QUERY = "computer(laptops(laptop(brand,price)))"
+
+    def test_single_query_writes_chrome_trace(self, summary_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(["trace", str(summary_file), self.QUERY, "-o", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "roots sampled" in printed
+        events = json.loads(out.read_text())
+        assert isinstance(events, list) and events
+        names = {event["name"] for event in events}
+        assert "estimate" in names
+        for event in events:
+            assert event["ph"] in ("X", "i")
+            assert event["cat"] == "repro"
+
+    def test_batch_with_workers_keeps_all_roots(
+        self, summary_file, tmp_path, capsys
+    ):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("laptop(brand)\nlaptop(price)\n" + self.QUERY + "\n")
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                str(summary_file),
+                "--batch",
+                str(batch),
+                "--workers",
+                "2",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "3/3 roots sampled" in capsys.readouterr().out
+        events = json.loads(out.read_text())
+        roots = [
+            event
+            for event in events
+            if event["name"] == "estimate" and event["args"]["parent_id"] is None
+        ]
+        assert len(roots) == 3
+
+    def test_sample_rate_zero_keeps_nothing(self, summary_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace",
+                str(summary_file),
+                self.QUERY,
+                "--sample-rate",
+                "0",
+                "-o",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert "0/1 roots sampled" in capsys.readouterr().out
+        assert json.loads(out.read_text()) == []
+
+    def test_bad_sample_rate_is_usage_error(self, summary_file, tmp_path, capsys):
+        code = main(
+            [
+                "trace",
+                str(summary_file),
+                self.QUERY,
+                "--sample-rate",
+                "2",
+                "-o",
+                str(tmp_path / "t.json"),
+            ]
+        )
+        assert code == 2
+        assert "--sample-rate" in capsys.readouterr().err
+
+    def test_query_and_batch_conflict(self, summary_file, tmp_path, capsys):
+        batch = tmp_path / "queries.txt"
+        batch.write_text("laptop(brand)\n")
+        code = main(
+            [
+                "trace",
+                str(summary_file),
+                self.QUERY,
+                "--batch",
+                str(batch),
+                "-o",
+                str(tmp_path / "t.json"),
+            ]
+        )
+        assert code == 2
+
+    def test_missing_query_and_batch(self, summary_file, tmp_path, capsys):
+        code = main(
+            ["trace", str(summary_file), "-o", str(tmp_path / "t.json")]
+        )
+        assert code == 2
+        assert "missing query" in capsys.readouterr().err
+
+
+class TestStatsLatencyQuantiles:
+    def test_latency_line_printed(self, summary_file, capsys):
+        code = main(["stats", str(summary_file), "laptop(brand,price)"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "latency p50/p90/p99" in printed

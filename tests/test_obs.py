@@ -431,3 +431,436 @@ class TestObservabilityNeutrality:
         with obs.observed(trace=True):
             observed = prune_derivable(small_imdb_lattice, 0.1)
         assert dict(observed.patterns()) == dict(plain.patterns())
+
+
+# ----------------------------------------------------------------------
+# Hierarchical spans (the flight recorder)
+# ----------------------------------------------------------------------
+
+
+from repro.obs import (  # noqa: E402  (grouped with the tests that use them)
+    QuantileSketch,
+    Span,
+    SpanTracer,
+    spans_to_chrome_trace,
+)
+from repro.obs.spans import NO_SPAN, SpanHandle
+
+
+class TestSpanTracer:
+    def test_nesting_records_parent_links(self):
+        tracer = SpanTracer()
+        with tracer.span("root", kind="outer") as root:
+            with tracer.span("child"):
+                tracer.point("leaf", n=1)
+            root.set(answer=42)
+        spans = {span.name: span for span in tracer.spans}
+        assert spans["root"].parent_id is None
+        assert spans["child"].parent_id == spans["root"].span_id
+        assert spans["leaf"].parent_id == spans["child"].span_id
+        assert spans["leaf"].point is True
+        assert spans["root"].attrs == {"kind": "outer", "answer": 42}
+
+    def test_point_outside_any_span_is_discarded(self):
+        tracer = SpanTracer()
+        tracer.point("orphan")
+        assert len(tracer) == 0
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = SpanTracer(capacity=3)
+        for i in range(5):
+            with tracer.span("s", i=i):
+                pass
+        assert tracer.dropped == 2
+        assert [span.attrs["i"] for span in tracer.spans] == [2, 3, 4]
+
+    def test_invalid_rate_and_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            SpanTracer(rate=1.5)
+        with pytest.raises(ValueError):
+            SpanTracer(rate=-0.1)
+        with pytest.raises(ValueError):
+            SpanTracer(capacity=0)
+
+    def test_sampled_out_root_suppresses_whole_subtree(self):
+        tracer = SpanTracer(rate=0.0)
+        with tracer.span("root") as handle:
+            inner = tracer.span("child")
+            with inner:
+                tracer.point("leaf")
+            # One shared suppression handle serves the whole subtree.
+            assert inner is handle
+        assert len(tracer) == 0
+        assert tracer.roots_started == 1
+        assert tracer.roots_sampled == 0
+
+    def test_merge_remaps_ids_onto_fresh_track(self):
+        parent = SpanTracer()
+        with parent.span("local"):
+            pass
+        worker = SpanTracer()
+        with worker.span("remote"):
+            with worker.span("remote-child"):
+                pass
+        parent.merge(worker)
+        spans = {span.name: span for span in parent.spans}
+        assert spans["remote"].track == 1
+        assert spans["remote-child"].parent_id == spans["remote"].span_id
+        local_ids = {spans["local"].span_id}
+        assert spans["remote"].span_id not in local_ids
+        # Post-merge ids keep growing past the merged range.
+        with parent.span("after"):
+            pass
+        ids = [span.span_id for span in parent.spans]
+        assert len(ids) == len(set(ids))
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        tracer = SpanTracer(rate=0.5, seed=7, capacity=8)
+        with tracer.span("root", q=1):
+            tracer.point("p")
+        clone = pickle.loads(pickle.dumps(tracer))
+        assert [span.name for span in clone.spans] == [
+            span.name for span in tracer.spans
+        ]
+        assert clone.rate == tracer.rate
+        assert clone.roots_started == tracer.roots_started
+        # The rebuilt suppressor still works.
+        clone2 = pickle.loads(pickle.dumps(SpanTracer(rate=0.0)))
+        with clone2.span("dropped"):
+            pass
+        assert len(clone2) == 0
+
+    def test_chrome_trace_event_shapes(self):
+        tracer = SpanTracer()
+        with tracer.span("work", step=3):
+            tracer.point("mark", v=1.5)
+        events = tracer.to_chrome_trace()
+        by_name = {event["name"]: event for event in events}
+        work, mark = by_name["work"], by_name["mark"]
+        assert work["ph"] == "X" and "dur" in work
+        assert work["cat"] == "repro" and work["pid"] == 0
+        assert mark["ph"] == "i" and mark["s"] == "t"
+        assert mark["args"]["parent_id"] == work["args"]["span_id"]
+        json.dumps(events)  # must be serialisable as-is
+
+    def test_write_chrome_trace(self, tmp_path):
+        tracer = SpanTracer()
+        with tracer.span("only"):
+            pass
+        out = tmp_path / "trace.json"
+        tracer.write_chrome_trace(out)
+        events = json.loads(out.read_text())
+        assert isinstance(events, list) and events[0]["name"] == "only"
+
+
+class TestSpanSampling:
+    def _decisions(self, rate, seed, n):
+        tracer = SpanTracer(rate=rate, seed=seed)
+        kept = []
+        for i in range(n):
+            with tracer.span("root", i=i):
+                pass
+        for span in tracer.spans:
+            kept.append(span.attrs["i"])
+        return kept
+
+    def test_deterministic_for_fixed_seed(self):
+        first = self._decisions(0.1, 5, 100)
+        second = self._decisions(0.1, 5, 100)
+        assert first == second
+        assert len(first) == 10  # head-based: exactly n*rate for exact rates
+
+    def test_different_seeds_shift_the_phase(self):
+        seeds = {tuple(self._decisions(0.3, seed, 50)) for seed in range(5)}
+        assert len(seeds) > 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        rate=st.floats(0.0, 1.0, allow_nan=False),
+        seed=st.integers(0, 1000),
+        n=st.integers(1, 200),
+    )
+    def test_sampled_count_tracks_rate(self, rate, seed, n):
+        tracer = SpanTracer(rate=rate, seed=seed)
+        for _ in range(n):
+            with tracer.span("root"):
+                pass
+        assert tracer.roots_started == n
+        assert abs(tracer.roots_sampled - n * rate) <= 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rate=st.floats(0.0, 1.0, allow_nan=False),
+        seed=st.integers(0, 1000),
+    )
+    def test_decisions_replay_identically(self, rate, seed):
+        one = SpanTracer(rate=rate, seed=seed)
+        two = SpanTracer(rate=rate, seed=seed)
+        picks = [
+            (one._sample(i), two._sample(i)) for i in range(64)
+        ]
+        assert all(a == b for a, b in picks)
+
+
+@st.composite
+def span_shapes(draw):
+    """A random nesting script: list of (depth-delta, points) actions."""
+    return draw(
+        st.lists(
+            st.tuples(st.sampled_from(["open", "close", "point"]), st.integers(0, 2)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+
+
+class TestSpanProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(script=span_shapes())
+    def test_ids_acyclic_and_intervals_nested(self, script):
+        tracer = SpanTracer()
+        open_spans = []
+        for action, extra in script:
+            if action == "open":
+                span = tracer.span(f"s{len(open_spans)}")
+                span.__enter__()
+                open_spans.append(span)
+            elif action == "close" and open_spans:
+                open_spans.pop().__exit__(None, None, None)
+            elif action == "point":
+                tracer.point("p", extra=extra)
+        while open_spans:
+            open_spans.pop().__exit__(None, None, None)
+
+        by_id = {span.span_id: span for span in tracer.spans}
+        for span in tracer.spans:
+            # Parent ids point strictly backwards: the graph is acyclic.
+            if span.parent_id is not None:
+                assert span.parent_id < span.span_id
+                parent = by_id[span.parent_id]
+                assert not parent.point
+                # Child intervals sit inside the parent's interval.
+                slop = 1e-6
+                assert span.ts >= parent.ts - slop
+                child_end = span.ts + span.wall_ms / 1000.0
+                parent_end = parent.ts + parent.wall_ms / 1000.0
+                assert child_end <= parent_end + slop
+
+    @settings(max_examples=40, deadline=None)
+    @given(script=span_shapes(), capacity=st.integers(1, 16))
+    def test_ring_never_exceeds_capacity(self, script, capacity):
+        tracer = SpanTracer(capacity=capacity)
+        depth = 0
+        for action, _ in script:
+            if action == "open":
+                tracer.span("s").__enter__()
+                depth += 1
+            elif action == "close" and depth:
+                tracer._stack[-1].__exit__(None, None, None)
+                depth -= 1
+            else:
+                tracer.point("p")
+        while depth:
+            tracer._stack[-1].__exit__(None, None, None)
+            depth -= 1
+        assert len(tracer) <= capacity
+        total_recorded = len(tracer) + tracer.dropped
+        assert total_recorded == tracer._next_id
+
+
+class TestDisabledSpansAllocateNothing:
+    def test_disabled_estimates_touch_no_obs_code(self, small_nasa_lattice):
+        import tracemalloc
+
+        estimator = RecursiveDecompositionEstimator(small_nasa_lattice)
+        query = LabeledTree.path(["dataset", "title"])
+        estimator.estimate(query)  # warm caches outside the measurement
+        obs_dir = str(__import__("pathlib").Path(obs.__file__).parent)
+        tracemalloc.start()
+        try:
+            for _ in range(5):
+                estimator.estimate(query)
+            snapshot = tracemalloc.take_snapshot()
+        finally:
+            tracemalloc.stop()
+        stats = snapshot.filter_traces(
+            [tracemalloc.Filter(True, obs_dir + "/*")]
+        ).statistics("filename")
+        assert stats == []
+
+    def test_span_calls_without_tracer_return_shared_handle(self):
+        assert obs.span("anything") is NO_SPAN  # lint: disable=unguarded-obs -- the no-op path is exactly what this test exercises
+        assert obs.span_point("anything") is None  # lint: disable=unguarded-obs -- the no-op path is exactly what this test exercises
+        assert obs.span_recording() is False
+        assert isinstance(NO_SPAN, SpanHandle)
+        with obs.span("nested") as handle:  # lint: disable=unguarded-obs -- the no-op path is exactly what this test exercises
+            handle.set(ignored=True)
+
+
+class TestFlightRecorder:
+    def test_records_estimate_spans_and_restores_state(self, small_nasa_lattice):
+        estimator = RecursiveDecompositionEstimator(small_nasa_lattice)
+        query = LabeledTree.path(["dataset", "title"])
+        plain = estimator.estimate(query)
+        with obs.flight_recorder() as recording:
+            inside = estimator.estimate(query)
+        assert obs.enabled is False and obs.span_tracer is None
+        assert inside == plain
+        roots = [
+            span
+            for span in recording.spans
+            if span.name == "estimate" and span.parent_id is None
+        ]
+        assert len(roots) == 1
+        assert roots[0].attrs["value"] == plain
+
+    def test_latency_sketch_populated(self, small_nasa_lattice):
+        estimator = RecursiveDecompositionEstimator(small_nasa_lattice)
+        query = LabeledTree.path(["dataset", "title"])
+        with obs.flight_recorder() as recording:
+            estimator.estimate(query)
+            estimator.estimate(query)
+        sketch = recording.registry.quantile("estimate_latency_seconds")
+        assert sketch.count == 2
+        stats = summarize_estimation(recording.registry)
+        assert stats["estimate_latency_p50"] > 0.0
+
+    def test_worker_window_round_trip(self):
+        import pickle
+
+        with obs.flight_recorder(trace=True):
+            snapshot = obs.telemetry_snapshot()
+            assert snapshot is not None and snapshot.spans and snapshot.trace
+            shipped = pickle.loads(pickle.dumps(snapshot))
+            with obs.worker_window(shipped) as telemetry:
+                obs.registry.counter("worker_things_total").inc(3)  # lint: disable=unguarded-obs -- worker_window, enabled by construction
+                with obs.span("worker-root"):  # lint: disable=unguarded-obs -- worker_window, enabled by construction
+                    pass
+                obs.event("worker_event")  # lint: disable=unguarded-obs -- worker_window, enabled by construction
+            returned = pickle.loads(pickle.dumps(telemetry))
+            obs.absorb_worker_telemetry(returned)
+            assert obs.registry.counter("worker_things_total").value() == 3  # lint: disable=unguarded-obs -- flight_recorder window, enabled by construction
+            assert obs.span_tracer is not None
+            assert [s.name for s in obs.span_tracer.spans] == ["worker-root"]
+            assert obs.tracer is not None and len(obs.tracer) == 1
+
+    def test_snapshot_none_when_disabled(self):
+        assert obs.telemetry_snapshot() is None
+
+
+class TestQuantileSketch:
+    def test_quantiles_within_relative_error(self):
+        sketch = QuantileSketch("lat", alpha=0.01)
+        values = [0.1 * (i + 1) for i in range(1000)]
+        for value in values:
+            sketch.observe(value)
+        ordered = sorted(values)
+        for q in (0.5, 0.9, 0.99):
+            exact = ordered[int(q * (len(ordered) - 1))]
+            assert sketch.quantile(q) == pytest.approx(exact, rel=0.025)
+        assert sketch.count == 1000
+        assert sketch.quantile(0.0) == pytest.approx(min(values), rel=0.025)
+        assert sketch.quantile(1.0) == max(values)
+
+    def test_merge_equals_combined_stream(self):
+        left = QuantileSketch("lat")
+        right = QuantileSketch("lat")
+        both = QuantileSketch("lat")
+        for i in range(200):
+            value = (i % 17 + 1) * 0.01
+            (left if i % 2 else right).observe(value)
+            both.observe(value)
+        left.merge(right)
+        assert left.count == both.count
+        assert left.sum == pytest.approx(both.sum)
+        for q in (0.5, 0.9, 0.99):
+            assert left.quantile(q) == both.quantile(q)
+
+    def test_merge_rejects_mismatched_alpha(self):
+        with pytest.raises(ValueError):
+            QuantileSketch("lat", alpha=0.01).merge(
+                QuantileSketch("lat", alpha=0.05)
+            )
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            QuantileSketch("lat").observe(-1.0)
+
+    def test_zero_and_tiny_values_hit_zero_bucket(self):
+        sketch = QuantileSketch("lat")
+        sketch.observe(0.0)
+        sketch.observe(1e-15)
+        assert sketch.count == 2
+        assert sketch.quantile(0.5) == 0.0
+
+    def test_registry_accessor_and_exports(self):
+        registry = MetricsRegistry()
+        sketch = registry.quantile("latency_seconds", "Help text.")
+        for value in (0.001, 0.002, 0.004):
+            sketch.observe(value)
+        assert registry.quantile("latency_seconds") is sketch
+        snapshot = registry_to_dict(registry)["latency_seconds"]
+        assert snapshot["type"] == "quantile" and snapshot["count"] == 3
+        text = to_prometheus_text(registry)
+        assert "# TYPE latency_seconds summary" in text
+        parsed = parse_prometheus_text(text)
+        assert parsed["latency_seconds_count"][()] == 3.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(1e-9, 1e9, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_relative_error_bound_property(self, values):
+        sketch = QuantileSketch("x", alpha=0.01)
+        for value in values:
+            sketch.observe(value)
+        ordered = sorted(values)
+        for q in (0.0, 0.5, 1.0):
+            exact = ordered[int(q * (len(ordered) - 1))]
+            assert sketch.quantile(q) == pytest.approx(exact, rel=0.021)
+
+
+class TestRegistryMerge:
+    def test_counters_gauges_histograms_merge(self):
+        ours = MetricsRegistry()
+        theirs = MetricsRegistry()
+        ours.counter("c_total", labels=("k",)).inc(2, k="a")
+        theirs.counter("c_total", labels=("k",)).inc(3, k="a")
+        theirs.counter("c_total", labels=("k",)).inc(5, k="b")
+        theirs.counter("new_total").inc(7)
+        ours.histogram("h", buckets=(1.0, 2.0)).observe(0.5)
+        theirs.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        theirs.gauge("g").set(9)
+        ours.merge(theirs)
+        assert ours.counter("c_total", labels=("k",)).value(k="a") == 5
+        assert ours.counter("c_total", labels=("k",)).value(k="b") == 5
+        assert ours.counter("new_total").value() == 7
+        assert ours.histogram("h", buckets=(1.0, 2.0)).count == 2
+        assert ours.gauge("g").value() == 9
+
+    def test_merge_rejects_kind_mismatch(self):
+        ours = MetricsRegistry()
+        theirs = MetricsRegistry()
+        ours.counter("thing")
+        theirs.gauge("thing")
+        with pytest.raises(ValueError):
+            ours.merge(theirs)
+
+    def test_trace_recorder_merge_and_drop_counter(self):
+        registry = MetricsRegistry()
+        recorder = TraceRecorder(capacity=2, registry=registry)
+        for i in range(4):
+            recorder.record("e", i=i)
+        assert recorder.dropped == 2
+        assert registry.counter("trace_events_dropped_total").value() == 2
+        other = TraceRecorder(capacity=2)
+        other.record("late", i=99)
+        recorder.merge(other)
+        names = [event["event"] for event in recorder.events]
+        assert names[-1] == "late"

@@ -227,6 +227,83 @@ class TestEstimateBatch:
 
 
 # ----------------------------------------------------------------------
+# Worker telemetry merge: parallel runs lose no metrics or spans
+# ----------------------------------------------------------------------
+
+
+class TestWorkerTelemetryMerge:
+    @staticmethod
+    def _counter_totals(registry) -> dict[str, dict[tuple, float]]:
+        from repro.obs.registry import Counter
+
+        return {
+            metric.name: {
+                tuple(sorted(labels.items())): value
+                for labels, value in metric.samples()
+            }
+            for metric in registry
+            if isinstance(metric, Counter)
+        }
+
+    def test_single_chunk_parallel_counters_equal_serial(self, nasa_queries) -> None:
+        # One chunk -> one worker runs the whole batch with the same
+        # shared memo the serial path uses, so every counter (store
+        # lookups, lattice outcomes, memo hits, plan requests) must come
+        # back bit-equal through the telemetry merge.
+        summary, queries = nasa_queries
+        serial_estimator = RecursiveDecompositionEstimator(summary, voting=True)
+        with obs.observed() as (serial_registry, _):
+            serial_values = serial_estimator.estimate_batch(queries)
+        parallel_estimator = RecursiveDecompositionEstimator(summary, voting=True)
+        with obs.observed() as (parallel_registry, _):
+            parallel_values = parallel_estimator.estimate_batch(
+                queries, workers=2, chunk_size=len(queries)
+            )
+        assert parallel_values == serial_values
+        serial_counts = self._counter_totals(serial_registry)
+        assert serial_counts["store_lookups_total"]
+        assert serial_counts["estimate_batch_queries_total"]
+        assert self._counter_totals(parallel_registry) == serial_counts
+
+    def test_multi_chunk_keeps_per_query_telemetry(self, nasa_queries) -> None:
+        summary, queries = nasa_queries
+        estimator = RecursiveDecompositionEstimator(summary, voting=True)
+        with obs.flight_recorder() as recording:
+            values = estimator.estimate_batch(queries, workers=2, chunk_size=3)
+        roots = [
+            span
+            for span in recording.spans
+            if span.name == "estimate" and span.parent_id is None
+        ]
+        assert len(roots) == len(queries)
+        assert sorted(span.attrs["value"] for span in roots) == sorted(values)
+        # Merged worker spans land on distinct track lanes and their
+        # parent links stay intact across the id remapping.
+        by_id = {span.span_id: span for span in recording.spans}
+        assert len(by_id) == len(recording.spans.spans)
+        for span in recording.spans:
+            if span.parent_id is not None:
+                assert by_id[span.parent_id].track == span.track
+        latency = recording.registry.quantile("estimate_latency_seconds")
+        assert latency.count == len(queries)
+
+    def test_mining_candidate_counter_matches_serial(
+        self, figure1_doc: LabeledTree
+    ) -> None:
+        with obs.observed() as (serial_registry, _):
+            serial = mine_lattice(figure1_doc, 3)
+        with obs.observed() as (parallel_registry, _):
+            parallel = mine_lattice(figure1_doc, 3, workers=2)
+        assert_identical_mining(serial, parallel)
+        name = "mining_candidate_evaluations_total"
+        serial_counter = serial_registry.get(name)
+        parallel_counter = parallel_registry.get(name)
+        assert serial_counter is not None and parallel_counter is not None
+        assert serial_counter.value() == parallel_counter.value()
+        assert serial_counter.value() > 0
+
+
+# ----------------------------------------------------------------------
 # Timing-split metrics (candidate generation vs counting)
 # ----------------------------------------------------------------------
 
