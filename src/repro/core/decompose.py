@@ -137,7 +137,7 @@ def _covered_neighbours(
 ) -> list[int]:
     """Covered nodes adjacent to ``members`` but not in it."""
     out: list[int] = []
-    for node in members:
+    for node in sorted(members):
         parent = tree.parent(node)
         if parent != -1 and parent in covered and parent not in members:
             out.append(parent)

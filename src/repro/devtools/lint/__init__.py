@@ -1,19 +1,29 @@
-"""Project lint: AST checks for TreeLattice invariants.
+"""Project lint: AST checks + whole-program parallel-determinism suite.
 
 Usage::
 
     python -m repro.devtools.lint src tests benchmarks
-    python -m repro.devtools.lint --format json src/repro/core
+    python -m repro.devtools.lint --format sarif --output lint.sarif src
+    python -m repro.devtools.lint --changed --baseline lint-baseline.json
     python -m repro.devtools.lint --list-rules
 
-Suppress a finding on its line with ``# lint: disable=<rule>`` (comma
-separated for several rules, ``all`` for every rule).  See
-``docs/static_analysis.md`` for the rule catalogue.
+Suppress a finding with ``# lint: disable=<rule>`` anywhere on the
+offending statement's line span (comma separated for several rules,
+``all`` for every rule), or a whole file with
+``# lint: disable-file=<rule>``.  Accepted findings live in
+``lint-baseline.json`` with written justifications.  See
+``docs/static_analysis.md`` for the rule catalogue and the baseline
+workflow.
 """
 
 from __future__ import annotations
 
 from . import checkers  # noqa: F401  (imports register the checkers)
+from . import parallel_checkers  # noqa: F401  (registers the project suite)
+from .baseline import BaselineEntry, apply_baseline, load_baseline, write_baseline
+from .cache import LintCache, checker_fingerprint, project_fingerprint
+from .callgraph import CallGraph, SubmissionSite, build_callgraph, callgraph_for
+from .changed import ChangedModeError, changed_python_files
 from .engine import (
     Checker,
     FileContext,
@@ -24,20 +34,43 @@ from .engine import (
     lint_paths,
     lint_source,
     main,
+    parse_file_suppressions,
     parse_suppressions,
     register,
+    statement_spans,
 )
+from .project import ProjectModel, build_project
+from .sarif import render_sarif, to_sarif
 
 __all__ = [
+    "BaselineEntry",
+    "CallGraph",
+    "ChangedModeError",
     "Checker",
     "FileContext",
     "Finding",
+    "LintCache",
+    "ProjectModel",
+    "SubmissionSite",
     "all_checkers",
+    "apply_baseline",
+    "build_callgraph",
+    "build_project",
+    "callgraph_for",
+    "changed_python_files",
+    "checker_fingerprint",
     "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "main",
+    "parse_file_suppressions",
     "parse_suppressions",
+    "project_fingerprint",
     "register",
+    "render_sarif",
+    "statement_spans",
+    "to_sarif",
+    "write_baseline",
 ]

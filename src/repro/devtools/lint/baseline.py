@@ -1,0 +1,162 @@
+"""Findings baseline: land strict rules without blocking on old debt.
+
+A baseline file (conventionally ``lint-baseline.json``) records known
+findings together with a written justification.  The CLI subtracts
+baselined findings from a run, so new rules gate *new* code immediately
+while the accepted exceptions stay documented in review-able form.
+
+Matching is on ``(path, rule, message)`` — line numbers shift too often
+to key on, but they are kept in the file for human navigation.  Each
+entry is consumed at most once per run (two identical violations need
+two entries), and entries that no longer match anything are reported as
+**stale** so the baseline shrinks as debt is paid down
+(``--fail-stale`` turns that into a CI gate).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from .engine import Finding
+
+__all__ = [
+    "BaselineEntry",
+    "BaselineError",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+_FORMAT_VERSION = 1
+_DEFAULT_JUSTIFICATION = "TODO: justify this accepted finding"
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be understood."""
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding, with the reason it is accepted."""
+
+    rule: str
+    path: str
+    message: str
+    line: int = 0
+    justification: str = _DEFAULT_JUSTIFICATION
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (_normalise(self.path), self.rule, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+def _normalise(path: str) -> str:
+    return Path(path).as_posix()
+
+
+def _entry_key(finding: Finding) -> tuple[str, str, str]:
+    return (_normalise(finding.path), finding.rule, finding.message)
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Read a baseline file; raises :class:`BaselineError` on bad shape."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise BaselineError(f"baseline {path} has no 'entries' list")
+    entries_raw = payload["entries"]
+    if not isinstance(entries_raw, list):
+        raise BaselineError(f"baseline {path} has no 'entries' list")
+    entries: list[BaselineEntry] = []
+    for raw in entries_raw:
+        if not isinstance(raw, dict):
+            raise BaselineError(f"baseline {path}: entry is not an object")
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    message=str(raw["message"]),
+                    line=int(raw.get("line", 0)),
+                    justification=str(raw.get("justification", _DEFAULT_JUSTIFICATION)),
+                )
+            )
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline {path}: entry missing required field {exc}"
+            ) from exc
+    return entries
+
+
+def write_baseline(
+    path: Path, findings: list[Finding], previous: list[BaselineEntry] | None = None
+) -> list[BaselineEntry]:
+    """Write ``findings`` as the new baseline, keeping old justifications.
+
+    Entries whose ``(path, rule, message)`` key already existed inherit
+    the written justification; genuinely new entries get a TODO marker
+    that review is expected to replace.  Returns what was written.
+    """
+    inherited: dict[tuple[str, str, str], list[str]] = {}
+    for entry in previous or []:
+        inherited.setdefault(entry.key, []).append(entry.justification)
+    entries: list[BaselineEntry] = []
+    for finding in sorted(findings):
+        key = _entry_key(finding)
+        pool = inherited.get(key)
+        justification = pool.pop(0) if pool else _DEFAULT_JUSTIFICATION
+        entries.append(
+            BaselineEntry(
+                rule=finding.rule,
+                path=_normalise(finding.path),
+                message=finding.message,
+                line=finding.line,
+                justification=justification,
+            )
+        )
+    payload = {
+        "version": _FORMAT_VERSION,
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return entries
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[BaselineEntry]
+) -> tuple[list[Finding], list[BaselineEntry]]:
+    """Subtract baselined findings.
+
+    Returns ``(new_findings, stale_entries)`` — findings not covered by
+    the baseline, and entries that matched nothing this run.
+    """
+    budget: dict[tuple[str, str, str], int] = {}
+    for entry in entries:
+        budget[entry.key] = budget.get(entry.key, 0) + 1
+    new_findings: list[Finding] = []
+    for finding in findings:
+        key = _entry_key(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+        else:
+            new_findings.append(finding)
+    stale: list[BaselineEntry] = []
+    remaining = dict(budget)
+    for entry in entries:
+        if remaining.get(entry.key, 0) > 0:
+            remaining[entry.key] -= 1
+            stale.append(entry)
+    return new_findings, stale

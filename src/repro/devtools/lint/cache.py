@@ -1,0 +1,178 @@
+"""Incremental cache (mtime-keyed, content-verified) for the lint pass.
+
+The cache keeps, per file, the post-suppression findings split into two
+buckets with different validity rules:
+
+* **local** findings (per-file checkers) are valid while the file's
+  ``(mtime_ns, size)`` is unchanged, with a sha256 content check as the
+  fallback when only the mtime moved (a fresh checkout restoring a CI
+  cache touches every file without changing any);
+* **project** findings (checkers with ``requires_project``) additionally
+  require the *project fingerprint* — a hash over every modelled
+  module's ``(path, sha256, size)`` — to match, because editing module
+  A can change what is worker-reachable in module B.
+
+A checker-set fingerprint (rule ids + selected rules + format version)
+guards the whole file: upgrading the linter or changing ``--rule``
+flags silently drops the cache instead of serving wrong answers.
+Corrupt or foreign cache files are treated as empty, never as errors —
+a cache must not be able to break a build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .engine import Finding, all_checkers
+from .project import ProjectModel
+
+__all__ = ["LintCache", "checker_fingerprint", "project_fingerprint"]
+
+_FORMAT_VERSION = 3
+
+
+def checker_fingerprint(rules: list[str] | None) -> str:
+    """Identity of the checker set this run will execute."""
+    registered = sorted(
+        f"{cls.rule}:{int(cls.requires_project)}" for cls in all_checkers()
+    )
+    selected = sorted(rules) if rules is not None else ["<all>"]
+    blob = json.dumps([_FORMAT_VERSION, registered, selected])
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def project_fingerprint(project: ProjectModel) -> str:
+    """Hash of every modelled module's ``(path, sha256, size)``."""
+    blob = json.dumps(project.fingerprint_files())
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class LintCache:
+    """On-disk incremental state (see module docstring for validity)."""
+
+    def __init__(self, path: Path, checker_fp: str) -> None:
+        self.path = path
+        self.checker_fp = checker_fp
+        #: file path -> {"mtime_ns", "size", "local", "project"}.
+        self.files: dict[str, dict[str, object]] = {}
+        self.project_fp = ""
+        self.hits = 0
+        self.misses = 0
+
+    # -- persistence ---------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Path, checker_fp: str) -> "LintCache":
+        cache = cls(path, checker_fp)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(payload, dict):
+            return cache
+        if payload.get("version") != _FORMAT_VERSION:
+            return cache
+        if payload.get("checker_fp") != checker_fp:
+            return cache
+        project_fp = payload.get("project_fp")
+        files = payload.get("files")
+        if not isinstance(project_fp, str) or not isinstance(files, dict):
+            return cache
+        cache.project_fp = project_fp
+        for key, entry in files.items():
+            if isinstance(key, str) and isinstance(entry, dict):
+                cache.files[key] = entry
+        return cache
+
+    def save(self) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "checker_fp": self.checker_fp,
+            "project_fp": self.project_fp,
+            "files": self.files,
+        }
+        self.path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # -- lookups -------------------------------------------------------
+
+    def _entry_if_fresh(self, path: Path) -> dict[str, object] | None:
+        entry = self.files.get(str(path))
+        if entry is None:
+            return None
+        try:
+            stat = path.stat()
+        except OSError:
+            return None
+        if entry.get("mtime_ns") == stat.st_mtime_ns and entry.get("size") == stat.st_size:
+            return entry
+        # Stat moved (e.g. a fresh checkout) — fall back to content.
+        digest = entry.get("sha256")
+        if not isinstance(digest, str) or not digest:
+            return None
+        try:
+            if hashlib.sha256(path.read_bytes()).hexdigest() != digest:
+                return None
+        except OSError:
+            return None
+        entry["mtime_ns"] = stat.st_mtime_ns
+        entry["size"] = stat.st_size
+        return entry
+
+    def lookup_local(self, path: Path) -> list[Finding] | None:
+        """Cached per-file findings, if the file is unchanged."""
+        entry = self._entry_if_fresh(path)
+        if entry is None:
+            return None
+        return _decode_findings(entry.get("local"))
+
+    def lookup_project(self, path: Path, project_fp: str) -> list[Finding] | None:
+        """Cached project findings, if file *and* whole project match."""
+        if project_fp != self.project_fp:
+            return None
+        entry = self._entry_if_fresh(path)
+        if entry is None:
+            return None
+        return _decode_findings(entry.get("project"))
+
+    def store(
+        self,
+        path: Path,
+        local: list[Finding],
+        project: list[Finding],
+    ) -> None:
+        try:
+            stat = path.stat()
+            data = path.read_bytes()
+        except OSError:
+            return
+        self.files[str(path)] = {
+            "mtime_ns": stat.st_mtime_ns,
+            "size": stat.st_size,
+            "sha256": hashlib.sha256(data).hexdigest(),
+            "local": [finding.to_dict() for finding in local],
+            "project": [finding.to_dict() for finding in project],
+        }
+
+
+def _decode_findings(raw: object) -> list[Finding] | None:
+    if not isinstance(raw, list):
+        return None
+    out: list[Finding] = []
+    for item in raw:
+        if not isinstance(item, dict):
+            return None
+        try:
+            out.append(
+                Finding(
+                    path=str(item["path"]),
+                    line=int(item["line"]),
+                    col=int(item["col"]),
+                    rule=str(item["rule"]),
+                    message=str(item["message"]),
+                )
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+    return out

@@ -1,0 +1,78 @@
+"""``--changed`` mode: lint only files differing from the merge base.
+
+Pre-commit wants sub-second feedback, so instead of the whole tree we
+lint the Python files that differ from ``git merge-base HEAD
+origin/main`` (falling back to a local ``main`` when no remote-tracking
+ref exists) plus untracked files.  The whole-program model still loads
+the changed files' *entire* enclosing packages, so cross-module
+resolution keeps working on a partial lint.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+__all__ = ["ChangedModeError", "changed_python_files"]
+
+_BASE_CANDIDATES = ("origin/main", "main")
+
+
+class ChangedModeError(RuntimeError):
+    """git could not answer; the caller should exit with a usage error."""
+
+
+def _git(args: list[str], cwd: Path) -> str:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            check=False,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise ChangedModeError(f"git {args[0]} failed: {exc}") from exc
+    if proc.returncode != 0:
+        detail = proc.stderr.strip() or f"exit code {proc.returncode}"
+        raise ChangedModeError(f"git {' '.join(args)} failed: {detail}")
+    return proc.stdout
+
+
+def _merge_base(cwd: Path) -> str:
+    last_error: ChangedModeError | None = None
+    for candidate in _BASE_CANDIDATES:
+        try:
+            return _git(["merge-base", "HEAD", candidate], cwd).strip()
+        except ChangedModeError as exc:
+            last_error = exc
+    raise ChangedModeError(
+        "cannot find a merge base against origin/main or main"
+        + (f" ({last_error})" if last_error else "")
+    )
+
+
+def changed_python_files(cwd: Path | str = ".") -> list[Path]:
+    """Python files changed since the merge base, plus untracked ones.
+
+    Paths are returned relative to ``cwd`` (git's own convention is
+    repo-root-relative; we ask git to re-root them).  Files deleted in
+    the working tree are excluded.  Raises :class:`ChangedModeError`
+    when git is unavailable or the merge base cannot be determined.
+    """
+    root = Path(cwd)
+    base = _merge_base(root)
+    diff = _git(["diff", "--name-only", "--relative", base, "--", "*.py"], root)
+    untracked = _git(
+        ["ls-files", "--others", "--exclude-standard", "--", "*.py"], root
+    )
+    seen: dict[Path, None] = {}
+    for line in (*diff.splitlines(), *untracked.splitlines()):
+        name = line.strip()
+        if not name or not name.endswith(".py"):
+            continue
+        path = root / name
+        if path.is_file():
+            seen.setdefault(path, None)
+    return sorted(seen)

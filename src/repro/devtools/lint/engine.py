@@ -3,13 +3,22 @@
 The engine is deliberately small: a checker is an :class:`ast.NodeVisitor`
 subclass with a ``rule`` id and a ``description``; it reports findings
 through its :class:`FileContext`.  The runner parses each file once,
-runs every registered checker over the module AST, filters findings
-suppressed by ``# lint: disable=<rule>`` comments on the offending line,
-and renders the survivors as text or JSON.
+builds the whole-program model for checkers that need it
+(``requires_project``), runs every registered checker over the module
+AST, filters findings suppressed by ``# lint: disable=<rule>`` comments
+anywhere on the offending *statement's* line span (or a file-level
+``# lint: disable-file=<rule>``), and renders the survivors as text,
+JSON, or SARIF 2.1.0.
+
+The CLI adds a findings baseline (``--baseline`` /
+``--write-baseline`` / ``--fail-stale`` — see
+:mod:`~repro.devtools.lint.baseline`), an mtime-keyed incremental cache
+(``--cache``, :mod:`~repro.devtools.lint.cache`), and a ``--changed``
+mode for pre-commit (:mod:`~repro.devtools.lint.changed`).
 
 Exit codes follow the CLI convention of :mod:`repro.cli`: ``0`` when the
 tree is clean, ``1`` when findings remain, ``2`` for usage errors
-(unknown rule names, paths that do not exist).
+(unknown rule names, paths that do not exist, git failures).
 """
 
 from __future__ import annotations
@@ -21,7 +30,12 @@ import json
 import re
 import sys
 from pathlib import Path
-from typing import ClassVar, Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator, Sequence
+
+from .project import ProjectModel, build_project
+
+if TYPE_CHECKING:
+    from .cache import LintCache
 
 __all__ = [
     "Finding",
@@ -30,6 +44,8 @@ __all__ = [
     "register",
     "all_checkers",
     "parse_suppressions",
+    "parse_file_suppressions",
+    "statement_spans",
     "lint_source",
     "lint_file",
     "lint_paths",
@@ -58,10 +74,20 @@ class Finding:
 class FileContext:
     """Per-file state shared by every checker run over that file."""
 
-    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        tree: ast.Module,
+        project: ProjectModel | None = None,
+    ) -> None:
         self.path = path
         self.source = source
         self.tree = tree
+        #: whole-program model, when the runner built one (``lint_paths``
+        #: always does; ``lint_source`` only when handed one).  Checkers
+        #: with ``requires_project = True`` are skipped when it is None.
+        self.project = project
         self.findings: list[Finding] = []
 
     def report(self, node: ast.AST, rule: str, message: str) -> None:
@@ -89,6 +115,9 @@ class Checker(ast.NodeVisitor):
 
     rule: ClassVar[str] = ""
     description: ClassVar[str] = ""
+    #: project checkers need the whole-program model; the runner skips
+    #: them for contexts built without one (e.g. bare ``lint_source``).
+    requires_project: ClassVar[bool] = False
 
     def __init__(self, ctx: FileContext) -> None:
         self.ctx = ctx
@@ -129,14 +158,18 @@ def all_checkers() -> tuple[type[Checker], ...]:
 # ----------------------------------------------------------------------
 
 _DISABLE_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+_DISABLE_FILE_RE = re.compile(
+    r"#\s*lint:\s*disable-file=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
 
 
 def parse_suppressions(source: str) -> dict[int, set[str]]:
     """Map line number -> rule ids disabled on that line.
 
-    The sentinel rule id ``all`` disables every check on the line.
-    Comments attach to the physical line they appear on; put them on the
-    line the finding is reported for.
+    The sentinel rule id ``all`` disables every check.  A comment
+    anywhere on a statement's line span suppresses findings reported
+    for that statement (see :func:`statement_spans`); a comment on its
+    own line — outside any statement — suppresses nothing.
     """
     suppressed: dict[int, set[str]] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
@@ -147,11 +180,63 @@ def parse_suppressions(source: str) -> dict[int, set[str]]:
     return suppressed
 
 
-def _is_suppressed(finding: Finding, suppressed: dict[int, set[str]]) -> bool:
-    rules = suppressed.get(finding.line)
-    if rules is None:
+def parse_file_suppressions(source: str) -> set[str]:
+    """Rule ids disabled for the whole file via ``disable-file=``."""
+    rules: set[str] = set()
+    for line in source.splitlines():
+        match = _DISABLE_FILE_RE.search(line)
+        if match:
+            rules.update(rule.strip() for rule in match.group(1).split(","))
+    return rules
+
+
+def statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line span of every statement, for suppression matching.
+
+    A simple statement spans ``lineno..end_lineno`` — a ``disable=``
+    comment anywhere inside a multi-line call or assignment counts.  A
+    compound statement (``def``/``if``/``with``/``for``/``try``…)
+    contributes only its *header* (``lineno`` up to the line before its
+    first body statement), so a comment inside a function body never
+    blankets findings on the ``def`` line's siblings.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.stmt, ast.ExceptHandler)):
+            continue
+        start = node.lineno
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            first_body = min(child.lineno for child in body if isinstance(child, ast.stmt))
+            end = max(start, first_body - 1)
+        else:
+            end = getattr(node, "end_lineno", None) or start
+        spans.append((start, end))
+    return spans
+
+
+def _is_suppressed(
+    finding: Finding,
+    suppressed: dict[int, set[str]],
+    spans: list[tuple[int, int]],
+    file_rules: set[str],
+) -> bool:
+    if finding.rule in file_rules or "all" in file_rules:
+        return True
+
+    def matches(rules: set[str] | None) -> bool:
+        return rules is not None and (finding.rule in rules or "all" in rules)
+
+    if matches(suppressed.get(finding.line)):
+        return True
+    if not suppressed:
         return False
-    return finding.rule in rules or "all" in rules
+    for start, end in spans:
+        if start <= finding.line <= end:
+            for lineno in range(start, end + 1):
+                if matches(suppressed.get(lineno)):
+                    return True
+    return False
 
 
 # ----------------------------------------------------------------------
@@ -159,40 +244,84 @@ def _is_suppressed(finding: Finding, suppressed: dict[int, set[str]]) -> bool:
 # ----------------------------------------------------------------------
 
 
-def lint_source(
+def _lint_split(
     source: str,
-    path: str = "<string>",
-    rules: Iterable[str] | None = None,
-) -> list[Finding]:
-    """Lint one source string; returns surviving findings, sorted."""
+    path: str,
+    rules: Iterable[str] | None,
+    project: ProjectModel | None,
+    need_local: bool = True,
+    need_project: bool = True,
+) -> tuple[list[Finding], list[Finding]]:
+    """Run checkers over one source; returns (local, project) findings.
+
+    The split exists for the incremental cache: per-file findings stay
+    valid while the file is unchanged, project findings only while the
+    whole modelled project is unchanged.
+    """
     wanted = set(rules) if rules is not None else None
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
-            Finding(
-                path=path,
-                line=exc.lineno or 0,
-                col=exc.offset or 0,
-                rule="syntax-error",
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
-    ctx = FileContext(path, source, tree)
+        finding = Finding(
+            path=path,
+            line=exc.lineno or 0,
+            col=exc.offset or 0,
+            rule="syntax-error",
+            message=f"file does not parse: {exc.msg}",
+        )
+        return ([finding] if need_local else [], [])
+    local_ctx = FileContext(path, source, tree, project)
+    project_ctx = FileContext(path, source, tree, project)
     for checker_cls in all_checkers():
         if wanted is not None and checker_cls.rule not in wanted:
             continue
         if not checker_cls.applies_to(path):
             continue
-        checker_cls(ctx).run()
+        if checker_cls.requires_project:
+            if project is None or not need_project:
+                continue
+            checker_cls(project_ctx).run()
+        else:
+            if not need_local:
+                continue
+            checker_cls(local_ctx).run()
     suppressed = parse_suppressions(source)
-    return sorted(f for f in ctx.findings if not _is_suppressed(f, suppressed))
+    file_rules = parse_file_suppressions(source)
+    spans = statement_spans(tree) if (suppressed or file_rules) else []
+    local = sorted(
+        f for f in local_ctx.findings if not _is_suppressed(f, suppressed, spans, file_rules)
+    )
+    project_findings = sorted(
+        f for f in project_ctx.findings if not _is_suppressed(f, suppressed, spans, file_rules)
+    )
+    return local, project_findings
 
 
-def lint_file(path: Path, rules: Iterable[str] | None = None) -> list[Finding]:
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    rules: Iterable[str] | None = None,
+    project: ProjectModel | None = None,
+) -> list[Finding]:
+    """Lint one source string; returns surviving findings, sorted.
+
+    Checkers with ``requires_project`` only run when a
+    :class:`~repro.devtools.lint.project.ProjectModel` is supplied (and
+    ``path`` names a modelled file); :func:`lint_paths` always builds
+    one.
+    """
+    local, project_findings = _lint_split(source, path, rules, project)
+    return sorted([*local, *project_findings])
+
+
+def lint_file(
+    path: Path,
+    rules: Iterable[str] | None = None,
+    project: ProjectModel | None = None,
+) -> list[Finding]:
     """Lint one file on disk."""
     source = path.read_text(encoding="utf-8")
-    return lint_source(source, str(path), rules)
+    return lint_source(source, str(path), rules, project)
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
@@ -211,12 +340,52 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
 
 
 def lint_paths(
-    paths: Sequence[Path], rules: Iterable[str] | None = None
+    paths: Sequence[Path],
+    rules: Iterable[str] | None = None,
+    cache: "LintCache | None" = None,
 ) -> list[Finding]:
-    """Lint every Python file under ``paths``; findings sorted by location."""
+    """Lint every Python file under ``paths``; findings sorted by location.
+
+    Builds the whole-program model once (loading the targets' entire
+    enclosing packages, so partial lints still resolve cross-module
+    names).  With a :class:`~repro.devtools.lint.cache.LintCache`,
+    unchanged files are served from disk instead of re-checked.
+    """
+    files = list(iter_python_files(paths))
+    project = build_project(files)
+    project_fp = ""
+    if cache is not None:
+        from .cache import project_fingerprint
+
+        project_fp = project_fingerprint(project)
+    rule_list = list(rules) if rules is not None else None
     findings: list[Finding] = []
-    for file_path in iter_python_files(paths):
-        findings.extend(lint_file(file_path, rules))
+    for file_path in files:
+        local = cache.lookup_local(file_path) if cache is not None else None
+        proj = cache.lookup_project(file_path, project_fp) if cache is not None else None
+        if local is None or proj is None:
+            source = file_path.read_text(encoding="utf-8")
+            computed_local, computed_project = _lint_split(
+                source,
+                str(file_path),
+                rule_list,
+                project,
+                need_local=local is None,
+                need_project=proj is None,
+            )
+            if local is None:
+                local = computed_local
+            if proj is None:
+                proj = computed_project
+            if cache is not None:
+                cache.misses += 1
+        elif cache is not None:
+            cache.hits += 1
+        if cache is not None:
+            cache.store(file_path, local, proj)
+        findings.extend(sorted([*local, *proj]))
+    if cache is not None:
+        cache.project_fp = project_fp
     return findings
 
 
@@ -235,9 +404,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--rule",
@@ -251,7 +426,56 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list registered rules and exit",
     )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed since git merge-base HEAD origin/main",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        metavar="FILE",
+        help="subtract findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the --baseline file from this run's findings and exit",
+    )
+    parser.add_argument(
+        "--fail-stale",
+        action="store_true",
+        help="exit 1 when baseline entries no longer reproduce",
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        metavar="FILE",
+        help="incremental cache file (created on first use)",
+    )
     return parser
+
+
+def _render(findings: list[Finding], fmt: str) -> str:
+    if fmt == "json":
+        return (
+            json.dumps(
+                {
+                    "findings": [f.to_dict() for f in findings],
+                    "count": len(findings),
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+    if fmt == "sarif":
+        from .sarif import render_sarif
+
+        return render_sarif(findings)
+    lines = [f.render() for f in findings]
+    if findings:
+        lines.append(f"{len(findings)} finding(s)")
+    return "\n".join(lines) + ("\n" if lines else "")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -264,35 +488,81 @@ def main(argv: Sequence[str] | None = None) -> int:
         for cls in all_checkers():
             print(f"{cls.rule:24} {cls.description}")
         return 0
-    if not args.paths:
-        parser.print_usage(sys.stderr)
-        print("error: no paths given", file=sys.stderr)
+    if args.write_baseline and args.baseline is None:
+        print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
         return 2
+    if args.changed:
+        if args.paths:
+            print("error: --changed cannot be combined with explicit paths", file=sys.stderr)
+            return 2
+        from .changed import ChangedModeError, changed_python_files
+
+        try:
+            paths: list[Path] = changed_python_files()
+        except ChangedModeError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        paths = list(args.paths)
+        if not paths:
+            parser.print_usage(sys.stderr)
+            print("error: no paths given", file=sys.stderr)
+            return 2
     if args.rules:
         unknown = sorted(set(args.rules) - known_rules)
         if unknown:
             print(f"error: unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
             return 2
 
-    try:
-        findings = lint_paths(args.paths, rules=args.rules)
-    except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    cache = None
+    if args.cache is not None:
+        from .cache import LintCache, checker_fingerprint
 
-    if args.format == "json":
-        print(
-            json.dumps(
-                {
-                    "findings": [f.to_dict() for f in findings],
-                    "count": len(findings),
-                },
-                indent=2,
-            )
-        )
+        cache = LintCache.load(args.cache, checker_fingerprint(args.rules))
+
+    if paths:
+        try:
+            findings = lint_paths(paths, rules=args.rules, cache=cache)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     else:
-        for finding in findings:
-            print(finding.render())
-        if findings:
-            print(f"{len(findings)} finding(s)")
-    return 1 if findings else 0
+        findings = []  # --changed with a clean tree
+    if cache is not None:
+        cache.save()
+
+    from .baseline import BaselineError, apply_baseline, load_baseline, write_baseline
+
+    entries = []
+    if args.baseline is not None and args.baseline.exists():
+        try:
+            entries = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    if args.write_baseline:
+        written = write_baseline(args.baseline, findings, entries)
+        print(f"wrote {len(written)} baseline entr{'y' if len(written) == 1 else 'ies'} to {args.baseline}")
+        return 0
+    new_findings, stale = apply_baseline(findings, entries)
+
+    rendered = _render(new_findings, args.format)
+    if args.output is not None:
+        args.output.write_text(rendered, encoding="utf-8")
+    elif rendered:
+        sys.stdout.write(rendered)
+
+    for entry in stale:
+        print(
+            f"stale baseline entry: {entry.path}: [{entry.rule}] {entry.message}",
+            file=sys.stderr,
+        )
+    if stale:
+        hint = "remove them with --write-baseline" if not args.fail_stale else "failing (--fail-stale)"
+        print(f"{len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'}; {hint}", file=sys.stderr)
+
+    if new_findings:
+        return 1
+    if stale and args.fail_stale:
+        return 1
+    return 0

@@ -1,0 +1,907 @@
+"""Parallel-determinism checker suite: purity, pickling, merge order.
+
+The paper reproduction holds one invariant the test suite can only
+sample: serial and process-pool runs are bit-identical — counts *and*
+dict order.  These checkers machine-check the three ways parallel code
+breaks that promise, using the whole-program model
+(:mod:`~repro.devtools.lint.project`) and the call graph
+(:mod:`~repro.devtools.lint.callgraph`) instead of name heuristics:
+
+``worker-purity``
+    Any function reachable from an executor submission site must not
+    write module/class globals (pool initializers are the sanctioned
+    exception — installing per-process state is their job), must not
+    call wall-clock/entropy sources (``random.*``, ``uuid.*``,
+    ``secrets.*``, ``time.time``, ``datetime.now``, ``os.environ``,
+    ``os.urandom`` — monotonic clocks like ``perf_counter`` stay legal:
+    they feed telemetry, which merges deterministically), and must not
+    iterate a ``set``/``frozenset`` without ``sorted(...)``.
+``pickle-safety``
+    Objects crossing a process-pool boundary must not carry lambdas,
+    locally-defined functions/classes, open file handles, or
+    generators; thread pools are exempt (nothing pickles).
+``order-discipline``
+    Results must be consumed in submission order: flag
+    ``as_completed`` consumption loops (with a sharper message when a
+    telemetry merge happens inside one, per the PR 6 contract) and
+    ``dict.update`` calls fed from unordered sets.
+
+All three stay silent when resolution fails — a missed exotic call is
+cheaper than drowning the build in false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Callable, ClassVar, Iterator
+
+from .callgraph import CallGraph, SubmissionSite, callgraph_for
+from .engine import Checker, register
+from .project import ClassInfo, FunctionInfo, ModuleInfo, ProjectModel
+
+__all__ = [
+    "WorkerAnalysis",
+    "worker_analysis_for",
+    "WorkerPurityChecker",
+    "PickleSafetyChecker",
+    "OrderDisciplineChecker",
+]
+
+_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+_AnnotationProbe = Callable[[ast.expr], bool]
+
+#: External call targets that make worker output depend on anything but
+#: the inputs.  Exact matches.
+_FORBIDDEN_CALLS = {
+    "time.time": "reads the wall clock",
+    "time.time_ns": "reads the wall clock",
+    "os.urandom": "draws entropy",
+    "os.getenv": "reads the process environment",
+    "datetime.datetime.now": "reads the wall clock",
+    "datetime.datetime.utcnow": "reads the wall clock",
+    "datetime.datetime.today": "reads the wall clock",
+    "datetime.date.today": "reads the wall clock",
+}
+
+#: Seeded constructors are fine — a ``random.Random(seed)`` stream is
+#: deterministic; the module-level functions share hidden global state.
+_ALLOWED_RANDOM = {"random.Random", "random.SystemRandom"}
+
+#: Method calls that mutate their receiver in place.
+_MUTATOR_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "clear",
+    "remove",
+    "discard",
+    "sort",
+    "reverse",
+}
+
+
+def _forbidden_call_reason(target: str) -> str | None:
+    """Why calling external ``target`` breaks worker determinism."""
+    reason = _FORBIDDEN_CALLS.get(target)
+    if reason is not None:
+        return reason
+    if target.startswith("random.") and target not in _ALLOWED_RANDOM:
+        return "draws from the process-global random generator"
+    if target == "uuid" or target.startswith("uuid."):
+        return "generates process-unique ids"
+    if target.startswith("secrets."):
+        return "draws entropy"
+    return None
+
+
+# ----------------------------------------------------------------------
+# Worker reachability (memoised per project model)
+# ----------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class WorkerAnalysis:
+    """Which functions can run inside a worker, and via which entry."""
+
+    graph: CallGraph
+    #: function ident -> task-submission root that reaches it.
+    task_origin: dict[str, str]
+    #: function ident -> pool-initializer root that reaches it.
+    init_origin: dict[str, str]
+
+    def origin(self, ident: str) -> str | None:
+        """Worker entry-point ident that first reaches ``ident``."""
+        return self.task_origin.get(ident) or self.init_origin.get(ident)
+
+    def is_worker(self, ident: str) -> bool:
+        return ident in self.task_origin or ident in self.init_origin
+
+    def initializer_only(self, ident: str) -> bool:
+        """Reachable solely through ``initializer=`` roots.
+
+        Installing per-process state is exactly what an initializer is
+        for, so these functions are exempt from the global-write check
+        (but not from the nondeterminism or set-iteration checks).
+        """
+        return ident in self.init_origin and ident not in self.task_origin
+
+
+def build_worker_analysis(project: ProjectModel) -> WorkerAnalysis:
+    graph = callgraph_for(project)
+    task_roots: dict[str, None] = {}
+    init_roots: dict[str, None] = {}
+    for site in graph.sites:
+        if site.target is None:
+            continue
+        if site.kind == "initializer":
+            init_roots.setdefault(site.target.ident, None)
+        else:
+            task_roots.setdefault(site.target.ident, None)
+    return WorkerAnalysis(
+        graph=graph,
+        task_origin=graph.reachable(list(task_roots)),
+        init_origin=graph.reachable(list(init_roots)),
+    )
+
+
+def worker_analysis_for(project: ProjectModel) -> WorkerAnalysis:
+    analysis = project.analysis("worker-analysis", build_worker_analysis)
+    assert isinstance(analysis, WorkerAnalysis)
+    return analysis
+
+
+def _root_label(analysis: WorkerAnalysis, ident: str) -> str:
+    """Human-readable worker entry name for messages."""
+    root = analysis.origin(ident)
+    if root is None:
+        return "an executor submission"
+    module, _, qualname = root.partition(":")
+    return f"worker entry '{module}.{qualname}'"
+
+
+def _module_functions(module: ModuleInfo) -> Iterator[FunctionInfo]:
+    yield from module.functions.values()
+    for cls in module.classes.values():
+        yield from cls.methods.values()
+
+
+# ----------------------------------------------------------------------
+# Conservative expression typing shared by the checkers
+# ----------------------------------------------------------------------
+
+
+class _ExprTypes:
+    """Answers "is this expression a set / a dict" from static tables."""
+
+    def __init__(
+        self,
+        project: ProjectModel,
+        module: ModuleInfo,
+        function: FunctionInfo | None,
+    ) -> None:
+        self.project = project
+        self.module = module
+        self.function = function
+        self.owner: ClassInfo | None = (
+            module.classes.get(function.owner)
+            if function is not None and function.owner is not None
+            else None
+        )
+        #: local name -> annotation expr (params, AnnAssign).
+        self.local_annotations: dict[str, ast.expr] = {}
+        #: local name -> last assigned value expr.
+        self.local_values: dict[str, ast.expr] = {}
+        #: every name bound locally (shadows module globals).
+        self.local_names: set[str] = set()
+        if function is not None:
+            self._seed(function.node)
+
+    def _seed(self, node: _FunctionNode) -> None:
+        args = node.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            self.local_names.add(arg.arg)
+            if arg.annotation is not None:
+                self.local_annotations[arg.arg] = arg.annotation
+        if args.vararg is not None:
+            self.local_names.add(args.vararg.arg)
+        if args.kwarg is not None:
+            self.local_names.add(args.kwarg.arg)
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    for name_node in ast.walk(target):
+                        if isinstance(name_node, ast.Name):
+                            self.local_names.add(name_node.id)
+                            self.local_values.setdefault(name_node.id, sub.value)
+            elif isinstance(sub, ast.AnnAssign) and isinstance(sub.target, ast.Name):
+                self.local_names.add(sub.target.id)
+                self.local_annotations[sub.target.id] = sub.annotation
+                if sub.value is not None:
+                    self.local_values.setdefault(sub.target.id, sub.value)
+            elif isinstance(sub, (ast.For, ast.AsyncFor)):
+                for name_node in ast.walk(sub.target):
+                    if isinstance(name_node, ast.Name):
+                        self.local_names.add(name_node.id)
+            elif isinstance(sub, (ast.With, ast.AsyncWith)):
+                for item in sub.items:
+                    if item.optional_vars is not None:
+                        for name_node in ast.walk(item.optional_vars):
+                            if isinstance(name_node, ast.Name):
+                                self.local_names.add(name_node.id)
+            elif isinstance(sub, ast.comprehension):
+                for name_node in ast.walk(sub.target):
+                    if isinstance(name_node, ast.Name):
+                        self.local_names.add(name_node.id)
+
+    def is_shadowed(self, name: str) -> bool:
+        return name in self.local_names
+
+    # -- set-ness ------------------------------------------------------
+
+    def is_set(self, expr: ast.expr, _depth: int = 0) -> bool:
+        if _depth > 4:
+            return False
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                return not self.is_shadowed(func.id)
+            # ``a.union(b)`` / ``a.intersection(b)`` on a known set.
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in ("union", "intersection", "difference", "symmetric_difference", "copy")
+            ):
+                return self.is_set(func.value, _depth + 1)
+            return False
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set(expr.left, _depth + 1) or self.is_set(expr.right, _depth + 1)
+        if isinstance(expr, ast.Name):
+            annotation = self.local_annotations.get(expr.id)
+            if annotation is not None:
+                return self.project.annotation_is_set(annotation)
+            value = self.local_values.get(expr.id)
+            if value is not None and value is not expr:
+                return self.is_set(value, _depth + 1)
+            if not self.is_shadowed(expr.id):
+                return self._module_var_is(expr.id, self.project.annotation_is_set)
+            return False
+        if isinstance(expr, ast.Attribute):
+            return self._attr_is(expr, self.project.annotation_is_set)
+        return False
+
+    # -- dict-ness -----------------------------------------------------
+
+    def is_dict(self, expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Dict, ast.DictComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and func.id == "dict":
+                return not self.is_shadowed(func.id)
+            return False
+        if isinstance(expr, ast.Name):
+            annotation = self.local_annotations.get(expr.id)
+            if annotation is not None:
+                return self.project.annotation_is_dict(annotation)
+            value = self.local_values.get(expr.id)
+            if value is not None and value is not expr:
+                return self.is_dict(value)
+            if not self.is_shadowed(expr.id):
+                return self._module_var_is(expr.id, self.project.annotation_is_dict)
+            return False
+        if isinstance(expr, ast.Attribute):
+            return self._attr_is(expr, self.project.annotation_is_dict)
+        return False
+
+    # -- shared lookups ------------------------------------------------
+
+    def _module_var_is(self, name: str, probe: _AnnotationProbe) -> bool:
+        annotation = self.module.var_annotations.get(name)
+        if annotation is not None:
+            return probe(annotation)
+        return False
+
+    def _attr_is(self, expr: ast.Attribute, probe: _AnnotationProbe) -> bool:
+        if (
+            isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+            and self.owner is not None
+        ):
+            annotation = self.owner.attr_annotations.get(expr.attr)
+            if annotation is not None:
+                return probe(annotation)
+            return False
+        resolved = self.project.resolve_expr(self.module, expr)
+        if resolved is not None and resolved.kind == "variable":
+            owner, _, attr = resolved.qualname.rpartition(".")
+            target_module = self.project.modules.get(resolved.module)
+            if target_module is None:
+                return False
+            if owner:
+                cls = target_module.classes.get(owner)
+                annotation = cls.attr_annotations.get(attr) if cls is not None else None
+            else:
+                annotation = target_module.var_annotations.get(resolved.qualname)
+            if annotation is not None:
+                return probe(annotation)
+        return False
+
+
+# ----------------------------------------------------------------------
+# Shared base: project checkers scoped to production code
+# ----------------------------------------------------------------------
+
+
+class _ProjectChecker(Checker):
+    """Base for the suite: needs the model, skips test/bench trees."""
+
+    requires_project: ClassVar[bool] = True
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        # Tests and benchmarks exercise executors on purpose (seeded
+        # violations, scaling rigs); the contract protects `src/repro`.
+        normalized = path.replace("\\", "/")
+        parts = normalized.split("/")
+        filename = parts[-1]
+        return (
+            "tests" not in parts
+            and "benchmarks" not in parts
+            and not filename.startswith(("test_", "bench_"))
+        )
+
+    def run(self) -> None:
+        project = self.ctx.project
+        if project is None:
+            return
+        module = project.module_for_path(self.ctx.path)
+        if module is None:
+            return
+        self.project = project
+        self.module = module
+        self.analysis = worker_analysis_for(project)
+        self.check()
+
+    def check(self) -> None:
+        raise NotImplementedError
+
+
+# ----------------------------------------------------------------------
+# worker-purity
+# ----------------------------------------------------------------------
+
+
+@register
+class WorkerPurityChecker(_ProjectChecker):
+    rule = "worker-purity"
+    description = (
+        "functions reachable from executor submissions must not write "
+        "globals, call entropy/wall-clock sources, or iterate sets unsorted"
+    )
+
+    def check(self) -> None:
+        for function in _module_functions(self.module):
+            if not self.analysis.is_worker(function.ident):
+                continue
+            _PurityScan(
+                self,
+                function,
+                exempt_global_writes=self.analysis.initializer_only(function.ident),
+            ).run()
+
+
+class _PurityScan(ast.NodeVisitor):
+    """Check one worker-reachable function body for impurities."""
+
+    def __init__(
+        self,
+        checker: WorkerPurityChecker,
+        function: FunctionInfo,
+        exempt_global_writes: bool,
+    ) -> None:
+        self.checker = checker
+        self.project = checker.project
+        self.module = checker.module
+        self.function = function
+        self.exempt_global_writes = exempt_global_writes
+        self.types = _ExprTypes(self.project, self.module, function)
+        self.declared_global: set[str] = set()
+        self.root = _root_label(checker.analysis, function.ident)
+        for sub in ast.walk(function.node):
+            if isinstance(sub, ast.Global):
+                self.declared_global.update(sub.names)
+
+    def run(self) -> None:
+        for stmt in self.function.node.body:
+            self.visit(stmt)
+
+    def _report(self, node: ast.AST, message: str) -> None:
+        self.checker.report(
+            node, f"{self.function.qualname!r} (reachable from {self.root}) {message}"
+        )
+
+    # -- nested scopes: do not descend (they get their own idents only
+    # -- if module-level; nested defs are part of this body's effects
+    # -- when called, but scanning them here double-reports closures).
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    # -- global writes -------------------------------------------------
+
+    def _flag_global_write(self, node: ast.AST, what: str) -> None:
+        if self.exempt_global_writes:
+            return
+        self._report(
+            node,
+            f"writes {what}; worker results must depend only on the "
+            "task arguments — return the value or move the write into "
+            "the pool initializer",
+        )
+
+    def _check_write_target(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.declared_global:
+                self._flag_global_write(target, f"module global {target.id!r}")
+            return
+        if isinstance(target, ast.Subscript) or isinstance(target, ast.Attribute):
+            base = target.value
+            self._check_mutation_base(target, base)
+
+    def _check_mutation_base(self, node: ast.AST, base: ast.expr) -> None:
+        """Writes through ``base[...]``/``base.attr`` hitting shared state."""
+        if isinstance(base, ast.Name):
+            if self.types.is_shadowed(base.id) and base.id not in self.declared_global:
+                return
+            if base.id in self.declared_global or self._is_module_state(base.id):
+                self._flag_global_write(node, f"module global {base.id!r}")
+            return
+        resolved = self.project.resolve_expr(self.module, base)
+        if resolved is None:
+            return
+        if resolved.kind == "variable":
+            self._flag_global_write(
+                node, f"module-level state {resolved.module}.{resolved.qualname!r}"
+            )
+        elif resolved.kind == "class":
+            self._flag_global_write(node, f"class attribute on {resolved.qualname!r}")
+        elif resolved.kind == "module":
+            self._flag_global_write(node, f"attribute of module {resolved.module!r}")
+
+    def _is_module_state(self, name: str) -> bool:
+        return (
+            name in self.module.var_annotations or name in self.module.var_values
+        ) and not self.types.is_shadowed(name)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_write_target(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_write_target(node.target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._check_write_target(node.target)
+        self.generic_visit(node)
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        for target in node.targets:
+            self._check_write_target(target)
+        self.generic_visit(node)
+
+    # -- calls: mutators on globals + nondeterminism sources -----------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATOR_METHODS:
+            self._check_mutation_base(node, func.value)
+        resolved = self.project.resolve_expr(self.module, func)
+        if resolved is not None and resolved.kind == "external":
+            reason = _forbidden_call_reason(resolved.target)
+            if reason is not None:
+                self._report(
+                    node,
+                    f"calls {resolved.target}() which {reason}; worker "
+                    "output would differ between runs and from serial",
+                )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        # ``os.environ`` reads differ per worker environment.
+        resolved = self.project.resolve_expr(self.module, node)
+        if resolved is not None and resolved.kind == "external":
+            if resolved.target == "os.environ":
+                self._report(
+                    node,
+                    "reads os.environ; worker behaviour must not depend "
+                    "on per-process environment",
+                )
+        self.generic_visit(node)
+
+    # -- unordered set iteration ---------------------------------------
+
+    def _check_iteration(self, node: ast.AST, iterable: ast.expr) -> None:
+        if isinstance(iterable, ast.Call):
+            func = iterable.func
+            if isinstance(func, ast.Name) and func.id == "sorted":
+                return  # the endorsed spelling
+        if self.types.is_set(iterable):
+            self._report(
+                node,
+                "iterates a set/frozenset without sorted(); set order "
+                "varies across processes — wrap the iterable in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node, node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension_node(self, node: ast.AST, generators: list[ast.comprehension]) -> None:
+        for gen in generators:
+            self._check_iteration(node, gen.iter)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self.visit_comprehension_node(node, node.generators)
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self.visit_comprehension_node(node, node.generators)
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self.visit_comprehension_node(node, node.generators)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self.visit_comprehension_node(node, node.generators)
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# pickle-safety
+# ----------------------------------------------------------------------
+
+
+@register
+class PickleSafetyChecker(_ProjectChecker):
+    rule = "pickle-safety"
+    description = (
+        "no lambdas, local functions/classes, open handles, or generators "
+        "may cross a process-pool pickle boundary"
+    )
+
+    def check(self) -> None:
+        for site in self.analysis.graph.sites:
+            if site.module != self.module.name:
+                continue
+            if not site.crosses_pickle_boundary:
+                continue
+            self._check_site(site)
+
+    def _check_site(self, site: SubmissionSite) -> None:
+        local_defs = self._local_definitions(site.enclosing)
+        bindings = self._local_bindings(site.enclosing)
+        if site.func_expr is not None:
+            self._check_callable(site, site.func_expr, local_defs, bindings)
+        for expr in site.payload:
+            self._check_payload(site, expr, local_defs, bindings)
+
+    def _local_definitions(self, enclosing: FunctionInfo | None) -> dict[str, str]:
+        """Names defined *inside* the enclosing function: not picklable."""
+        out: dict[str, str] = {}
+        if enclosing is None:
+            return out
+        for sub in ast.walk(enclosing.node):
+            if sub is enclosing.node:
+                continue
+            if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out[sub.name] = "function"
+            elif isinstance(sub, ast.ClassDef):
+                out[sub.name] = "class"
+        return out
+
+    def _local_bindings(self, enclosing: FunctionInfo | None) -> dict[str, ast.expr]:
+        out: dict[str, ast.expr] = {}
+        if enclosing is None:
+            return out
+        for sub in ast.walk(enclosing.node):
+            if isinstance(sub, ast.Assign) and len(sub.targets) == 1:
+                target = sub.targets[0]
+                if isinstance(target, ast.Name):
+                    out[target.id] = sub.value
+            elif isinstance(sub, (ast.With, ast.AsyncWith)):
+                for item in sub.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        out[item.optional_vars.id] = item.context_expr
+        return out
+
+    def _check_callable(
+        self,
+        site: SubmissionSite,
+        expr: ast.expr,
+        local_defs: dict[str, str],
+        bindings: dict[str, ast.expr],
+    ) -> None:
+        where = f"{site.kind}() on a {site.executor_target or 'process pool'}"
+        if isinstance(expr, ast.Lambda):
+            self.report(
+                expr,
+                f"lambda passed to {where} cannot pickle; define a "
+                "module-level function instead",
+            )
+            return
+        if isinstance(expr, ast.Name):
+            kind = local_defs.get(expr.id)
+            if kind is not None:
+                self.report(
+                    expr,
+                    f"locally-defined {kind} {expr.id!r} passed to {where} "
+                    "cannot pickle; move it to module level",
+                )
+                return
+            bound = bindings.get(expr.id)
+            if bound is not None and isinstance(bound, ast.Lambda):
+                self.report(
+                    expr,
+                    f"{expr.id!r} is a lambda and cannot pickle across "
+                    f"{where}; define a module-level function instead",
+                )
+
+    def _check_payload(
+        self,
+        site: SubmissionSite,
+        expr: ast.expr,
+        local_defs: dict[str, str],
+        bindings: dict[str, ast.expr],
+    ) -> None:
+        where = f"the {site.executor_target or 'process pool'} boundary"
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Lambda):
+                self.report(node, f"lambda crosses {where} and cannot pickle")
+            elif isinstance(node, ast.GeneratorExp):
+                self.report(
+                    node,
+                    f"generator expression crosses {where}; generators "
+                    "cannot pickle — materialise it (list(...)) first",
+                )
+            elif isinstance(node, ast.Call):
+                self._check_payload_call(node, where)
+            elif isinstance(node, ast.Name):
+                self._check_payload_name(node, where, local_defs, bindings)
+
+    def _check_payload_call(self, node: ast.Call, where: str) -> None:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id == "open":
+            self.report(
+                node,
+                f"open file handle crosses {where}; handles cannot pickle "
+                "— pass the path and open inside the worker",
+            )
+            return
+        resolved = self.project.resolve_expr(self.module, func)
+        if resolved is not None and resolved.kind == "function":
+            info = self.project.get_function(resolved.ident)
+            if info is not None and info.is_generator:
+                self.report(
+                    node,
+                    f"call to generator function {info.qualname!r} crosses "
+                    f"{where}; generators cannot pickle — materialise the "
+                    "values first",
+                )
+
+    def _check_payload_name(
+        self,
+        node: ast.Name,
+        where: str,
+        local_defs: dict[str, str],
+        bindings: dict[str, ast.expr],
+    ) -> None:
+        kind = local_defs.get(node.id)
+        if kind is not None:
+            self.report(
+                node,
+                f"locally-defined {kind} {node.id!r} crosses {where} and "
+                "cannot pickle; move it to module level",
+            )
+            return
+        bound = bindings.get(node.id)
+        if bound is None:
+            return
+        if isinstance(bound, ast.Lambda):
+            self.report(node, f"{node.id!r} is a lambda and cannot pickle across {where}")
+        elif isinstance(bound, ast.GeneratorExp):
+            self.report(
+                node,
+                f"{node.id!r} is a generator expression and cannot pickle "
+                f"across {where}; materialise it first",
+            )
+        elif isinstance(bound, ast.Call):
+            func = bound.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                self.report(
+                    node,
+                    f"{node.id!r} is an open file handle and cannot pickle "
+                    f"across {where}; pass the path instead",
+                )
+                return
+            resolved = self.project.resolve_expr(self.module, func)
+            if resolved is not None and resolved.kind == "function":
+                info = self.project.get_function(resolved.ident)
+                if info is not None and info.is_generator:
+                    self.report(
+                        node,
+                        f"{node.id!r} holds a generator (from "
+                        f"{info.qualname!r}) and cannot pickle across {where}",
+                    )
+
+
+# ----------------------------------------------------------------------
+# order-discipline
+# ----------------------------------------------------------------------
+
+
+@register
+class OrderDisciplineChecker(_ProjectChecker):
+    rule = "order-discipline"
+    description = (
+        "consume executor results in submission order: no as_completed "
+        "loops, no dict.update merges fed from unordered sets"
+    )
+
+    _MERGE_NAMES = frozenset({"update", "merge", "absorb_worker_telemetry"})
+
+    def check(self) -> None:
+        self._function: FunctionInfo | None = None
+        self._types = _ExprTypes(self.project, self.module, None)
+        self._scan_body(self.module.tree.body, None)
+
+    def _scan_body(self, body: list[ast.stmt], function: FunctionInfo | None) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt, function)
+
+    def _scan_stmt(self, stmt: ast.stmt, function: FunctionInfo | None) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info = self._function_info(stmt, function)
+            if info is not None:
+                previous = self._types
+                self._types = _ExprTypes(self.project, self.module, info)
+                self._scan_body(stmt.body, info)
+                self._types = previous
+            else:
+                self._scan_body(stmt.body, function)
+            return
+        if isinstance(stmt, ast.ClassDef):
+            self._scan_body(stmt.body, function)
+            return
+        self._visit_exprs(stmt)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            if self._is_as_completed(stmt.iter):
+                merge = self._merge_call_in(stmt.body)
+                if merge is not None:
+                    self.report(
+                        merge,
+                        "telemetry merged inside an as_completed loop runs "
+                        "in completion order; merge worker results in "
+                        "submission order (iterate the futures list)",
+                    )
+                else:
+                    self.report(
+                        stmt,
+                        "results consumed via as_completed() arrive in "
+                        "completion order, which varies run to run; iterate "
+                        "the futures in submission order instead",
+                    )
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._scan_stmt(child, function)
+            elif hasattr(child, "body") and isinstance(getattr(child, "body"), list):
+                # except handlers / match cases
+                for sub in getattr(child, "body"):
+                    if isinstance(sub, ast.stmt):
+                        self._scan_stmt(sub, function)
+
+    def _visit_exprs(self, stmt: ast.stmt) -> None:
+        # Walk only this statement's own expressions; nested statements
+        # are scanned by their own _scan_stmt visit (no double reports).
+        for node in self._own_nodes(stmt):
+            if isinstance(node, ast.Call):
+                self._check_update(node)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    if self._is_as_completed(gen.iter):
+                        self.report(
+                            node,
+                            "comprehension over as_completed() consumes "
+                            "results in completion order; iterate the "
+                            "futures in submission order instead",
+                        )
+
+    def _own_nodes(self, stmt: ast.stmt) -> Iterator[ast.AST]:
+        stack: list[ast.AST] = [stmt]
+        while stack:
+            node = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.stmt, ast.ExceptHandler)):
+                    continue
+                yield child
+                stack.append(child)
+
+    def _function_info(
+        self, node: _FunctionNode, parent: FunctionInfo | None
+    ) -> FunctionInfo | None:
+        if parent is not None:
+            return None  # nested defs share the enclosing table
+        info = self.module.functions.get(node.name)
+        if info is not None and info.node is node:
+            return info
+        for cls in self.module.classes.values():
+            method = cls.methods.get(node.name)
+            if method is not None and method.node is node:
+                return method
+        return None
+
+    def _is_as_completed(self, expr: ast.expr) -> bool:
+        if not isinstance(expr, ast.Call):
+            return False
+        resolved = self.project.resolve_expr(self.module, expr.func)
+        return (
+            resolved is not None
+            and resolved.kind == "external"
+            and resolved.target
+            in (
+                "concurrent.futures.as_completed",
+                "concurrent.futures._base.as_completed",
+                "asyncio.as_completed",
+            )
+        )
+
+    def _merge_call_in(self, body: list[ast.stmt]) -> ast.Call | None:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                name = None
+                if isinstance(func, ast.Attribute):
+                    name = func.attr
+                elif isinstance(func, ast.Name):
+                    name = func.id
+                if name in self._MERGE_NAMES:
+                    return node
+        return None
+
+    def _check_update(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "update"):
+            return
+        if not node.args:
+            return
+        if not self._types.is_dict(func.value):
+            return
+        argument = node.args[0]
+        unordered = self._types.is_set(argument)
+        if not unordered and isinstance(argument, ast.DictComp):
+            unordered = any(self._types.is_set(gen.iter) for gen in argument.generators)
+        if unordered:
+            self.report(
+                node,
+                "dict.update() fed from a set iterates in unordered set "
+                "order; sort the keys first so merges are deterministic",
+            )

@@ -1,0 +1,641 @@
+"""Whole-program project model: modules, imports, symbols, resolution.
+
+The per-file checkers of :mod:`repro.devtools.lint.checkers` see one AST
+at a time; the parallel-determinism suite needs to answer questions that
+cross file boundaries ("what does ``obs.worker_window`` resolve to",
+"which class does this parameter annotation name").  This module builds
+that substrate once per lint run:
+
+* a **module graph**: every ``.py`` file reachable from the lint targets'
+  enclosing packages, named by its dotted import path;
+* per-module **symbol tables**: top-level functions, classes (with their
+  methods), variables (with conservative type guesses), and the import
+  alias table, including relative imports and re-export chains;
+* a **resolver** that maps a dotted name used in one module to the
+  project entity (or external stdlib target) it denotes.
+
+Resolution is deliberately conservative: anything the static tables
+cannot pin down resolves to ``None`` and downstream checkers stay
+silent about it.  Nothing here imports the analysed code — the model is
+built purely from source text, so linting never executes project code.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import hashlib
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+__all__ = [
+    "Resolved",
+    "FunctionInfo",
+    "ClassInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "build_project",
+    "package_root",
+]
+
+_FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: Annotation heads that denote unordered set types.
+_SET_HEADS = {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+#: Annotation heads that denote dict types.
+_DICT_HEADS = {"dict", "Dict", "defaultdict", "OrderedDict", "Counter", "Mapping", "MutableMapping"}
+
+
+@dataclasses.dataclass(frozen=True)
+class Resolved:
+    """Outcome of resolving a name: a project entity or an external ref.
+
+    ``kind`` is one of ``"function"``, ``"class"``, ``"variable"``,
+    ``"module"`` (project entities — ``module``/``qualname`` locate the
+    definition) or ``"external"`` (``target`` is the dotted path outside
+    the project, e.g. ``"concurrent.futures.as_completed"``).
+    """
+
+    kind: str
+    module: str = ""
+    qualname: str = ""
+    target: str = ""
+
+    @property
+    def ident(self) -> str:
+        """Stable id for project entities: ``module:qualname``."""
+        return f"{self.module}:{self.qualname}"
+
+
+@dataclasses.dataclass
+class FunctionInfo:
+    """One function or method definition."""
+
+    module: str
+    qualname: str
+    node: _FunctionNode
+    owner: str | None = None  # enclosing class name for methods
+    is_generator: bool = False
+
+    @property
+    def ident(self) -> str:
+        return f"{self.module}:{self.qualname}"
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclasses.dataclass
+class ClassInfo:
+    """One class definition with its direct methods and class variables."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    base_exprs: list[ast.expr] = dataclasses.field(default_factory=list)
+    methods: dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    #: attribute name -> annotation expression (class-level or ``self.x:``
+    #: annotations found in methods), used for conservative typing.
+    attr_annotations: dict[str, ast.expr] = dataclasses.field(default_factory=dict)
+    #: attribute name -> value expression assigned to ``self.x`` / class var.
+    attr_values: dict[str, ast.expr] = dataclasses.field(default_factory=dict)
+
+    @property
+    def ident(self) -> str:
+        return f"{self.module}:{self.name}"
+
+
+@dataclasses.dataclass
+class ModuleInfo:
+    """Symbol table of one project module."""
+
+    name: str
+    path: Path
+    source: str
+    tree: ast.Module
+    #: alias -> ("module", dotted) for ``import x.y as alias`` /
+    #: ("from", base, symbol) for ``from base import symbol as alias``.
+    imports: dict[str, tuple[str, ...]] = dataclasses.field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = dataclasses.field(default_factory=dict)
+    classes: dict[str, ClassInfo] = dataclasses.field(default_factory=dict)
+    #: top-level variable name -> annotation expr (or None).
+    var_annotations: dict[str, ast.expr | None] = dataclasses.field(default_factory=dict)
+    #: top-level variable name -> last assigned value expr.
+    var_values: dict[str, ast.expr] = dataclasses.field(default_factory=dict)
+
+
+def package_root(path: Path) -> Path | None:
+    """Topmost package directory containing ``path``, or ``None``.
+
+    ``src/repro/parallel/pool.py`` maps to ``src/repro``; module names
+    are then derived relative to the package root's parent, so the file
+    becomes ``repro.parallel.pool``.  A file outside any package has no
+    root (its module name is just its stem).
+    """
+    current = path.resolve().parent
+    if not (current / "__init__.py").exists():
+        return None
+    while (current.parent / "__init__.py").exists() and current.parent != current:
+        current = current.parent
+    return current
+
+
+def _module_name(path: Path, root: Path) -> str:
+    relative = path.resolve().relative_to(root)
+    parts = list(relative.parts)
+    parts[-1] = relative.stem
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts) if parts else relative.stem
+
+
+class ProjectModel:
+    """The resolved whole-program view the project checkers query."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self._by_path: dict[Path, ModuleInfo] = {}
+        #: class ident -> idents of project classes that list it as a base.
+        self.subclasses: dict[str, set[str]] = {}
+        self._analysis_cache: dict[str, object] = {}
+
+    # -- construction --------------------------------------------------
+
+    def add_module(self, name: str, path: Path, source: str, tree: ast.Module) -> ModuleInfo:
+        info = ModuleInfo(name=name, path=path.resolve(), source=source, tree=tree)
+        _populate(info)
+        self.modules[name] = info
+        self._by_path[info.path] = info
+        return info
+
+    def finalize(self) -> None:
+        """Resolve the class hierarchy once every module is loaded."""
+        self.subclasses = {}
+        for module in self.modules.values():
+            for cls in module.classes.values():
+                for base_expr in cls.base_exprs:
+                    base = self.resolve_expr(module, base_expr)
+                    if base is not None and base.kind == "class":
+                        self.subclasses.setdefault(base.ident, set()).add(cls.ident)
+
+    # -- lookup --------------------------------------------------------
+
+    def module_for_path(self, path: Path | str) -> ModuleInfo | None:
+        return self._by_path.get(Path(path).resolve())
+
+    def get_class(self, ident: str) -> ClassInfo | None:
+        module_name, _, qualname = ident.partition(":")
+        module = self.modules.get(module_name)
+        if module is None:
+            return None
+        return module.classes.get(qualname)
+
+    def get_function(self, ident: str) -> FunctionInfo | None:
+        module_name, _, qualname = ident.partition(":")
+        module = self.modules.get(module_name)
+        if module is None:
+            return None
+        if qualname in module.functions:
+            return module.functions[qualname]
+        owner, _, name = qualname.rpartition(".")
+        if owner:
+            cls = module.classes.get(owner)
+            if cls is not None:
+                return cls.methods.get(name)
+        return None
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve_name(
+        self, module: ModuleInfo, name: str, _seen: frozenset[tuple[str, str]] = frozenset()
+    ) -> Resolved | None:
+        """What top-level ``name`` denotes inside ``module``."""
+        if (module.name, name) in _seen:
+            return None
+        seen = _seen | {(module.name, name)}
+        if name in module.classes:
+            return Resolved(kind="class", module=module.name, qualname=name)
+        if name in module.functions:
+            return Resolved(kind="function", module=module.name, qualname=name)
+        if name in module.var_annotations or name in module.var_values:
+            return Resolved(kind="variable", module=module.name, qualname=name)
+        imported = module.imports.get(name)
+        if imported is None:
+            return None
+        if imported[0] == "module":
+            dotted = imported[1]
+            if dotted in self.modules:
+                return Resolved(kind="module", module=dotted, qualname="")
+            return Resolved(kind="external", target=dotted)
+        base, symbol = imported[1], imported[2]
+        target_module = self.modules.get(base)
+        if target_module is None:
+            submodule = self.modules.get(f"{base}.{symbol}")
+            if submodule is not None:
+                return Resolved(kind="module", module=submodule.name, qualname="")
+            return Resolved(kind="external", target=f"{base}.{symbol}")
+        submodule = self.modules.get(f"{base}.{symbol}")
+        resolved = self.resolve_name(target_module, symbol, seen)
+        if resolved is not None:
+            return resolved
+        if submodule is not None:
+            return Resolved(kind="module", module=submodule.name, qualname="")
+        return None
+
+    def resolve_dotted(self, module: ModuleInfo, parts: Sequence[str]) -> Resolved | None:
+        """Resolve ``a.b.c`` used inside ``module`` to an entity."""
+        if not parts:
+            return None
+        current = self.resolve_name(module, parts[0])
+        for attr in parts[1:]:
+            if current is None:
+                return None
+            current = self.member(current, attr)
+        return current
+
+    def member(self, owner: Resolved, attr: str) -> Resolved | None:
+        """Member ``attr`` of a resolved entity (module/class/instance)."""
+        if owner.kind == "external":
+            return Resolved(kind="external", target=f"{owner.target}.{attr}")
+        if owner.kind == "module":
+            target = self.modules.get(owner.module)
+            if target is None:
+                return None
+            return self.resolve_name(target, attr)
+        if owner.kind == "class":
+            return self.class_member(owner.ident, attr)
+        if owner.kind == "variable":
+            cls = self.variable_class(owner)
+            if cls is not None:
+                return self.class_member(cls.ident, attr)
+            return None
+        return None
+
+    def class_member(self, class_ident: str, attr: str) -> Resolved | None:
+        """Look ``attr`` up on a class, walking project base classes."""
+        seen: set[str] = set()
+        stack = [class_ident]
+        while stack:
+            ident = stack.pop(0)
+            if ident in seen:
+                continue
+            seen.add(ident)
+            cls = self.get_class(ident)
+            if cls is None:
+                continue
+            if attr in cls.methods:
+                info = cls.methods[attr]
+                return Resolved(kind="function", module=info.module, qualname=info.qualname)
+            if attr in cls.attr_annotations or attr in cls.attr_values:
+                return Resolved(
+                    kind="variable", module=cls.module, qualname=f"{cls.name}.{attr}"
+                )
+            module = self.modules[cls.module]
+            for base_expr in cls.base_exprs:
+                base = self.resolve_expr(module, base_expr)
+                if base is not None and base.kind == "class":
+                    stack.append(base.ident)
+        return None
+
+    def method_implementations(self, class_ident: str, attr: str) -> list[FunctionInfo]:
+        """Every project implementation a ``obj.attr()`` call may reach.
+
+        The statically resolved implementation (walking up the bases)
+        plus every override in project subclasses — the conservative
+        answer for dynamic dispatch.
+        """
+        out: list[FunctionInfo] = []
+        resolved = self.class_member(class_ident, attr)
+        if resolved is not None and resolved.kind == "function":
+            info = self.get_function(resolved.ident)
+            if info is not None:
+                out.append(info)
+        for sub in sorted(self._descendants(class_ident)):
+            cls = self.get_class(sub)
+            if cls is not None and attr in cls.methods:
+                out.append(cls.methods[attr])
+        return out
+
+    def _descendants(self, class_ident: str) -> set[str]:
+        out: set[str] = set()
+        stack = list(self.subclasses.get(class_ident, ()))
+        while stack:
+            ident = stack.pop()
+            if ident in out:
+                continue
+            out.add(ident)
+            stack.extend(self.subclasses.get(ident, ()))
+        return out
+
+    # -- typing helpers ------------------------------------------------
+
+    def variable_class(self, variable: Resolved) -> ClassInfo | None:
+        """The class a project variable is an instance of, if inferable."""
+        module = self.modules.get(variable.module)
+        if module is None:
+            return None
+        owner, _, attr = variable.qualname.rpartition(".")
+        if owner:
+            cls = module.classes.get(owner)
+            if cls is None:
+                return None
+            annotation = cls.attr_annotations.get(attr)
+            value = cls.attr_values.get(attr)
+        else:
+            annotation = module.var_annotations.get(variable.qualname)
+            value = module.var_values.get(variable.qualname)
+        if annotation is not None:
+            resolved = self.annotation_class(module, annotation)
+            if resolved is not None:
+                return resolved
+        if value is not None and isinstance(value, ast.Call):
+            resolved_value = self.resolve_expr(module, value.func)
+            if resolved_value is not None and resolved_value.kind == "class":
+                return self.get_class(resolved_value.ident)
+        return None
+
+    def annotation_class(self, module: ModuleInfo, annotation: ast.expr) -> ClassInfo | None:
+        """Project class named by an annotation (handles strings, unions)."""
+        for candidate in _annotation_atoms(annotation):
+            resolved = self.resolve_expr(module, candidate)
+            if resolved is not None and resolved.kind == "class":
+                return self.get_class(resolved.ident)
+        return None
+
+    def annotation_head(self, annotation: ast.expr) -> set[str]:
+        """Bare head names an annotation mentions (``set[int]`` -> {set})."""
+        heads: set[str] = set()
+        for atom in _annotation_atoms(annotation):
+            if isinstance(atom, ast.Name):
+                heads.add(atom.id)
+            elif isinstance(atom, ast.Attribute):
+                heads.add(atom.attr)
+        return heads
+
+    def annotation_is_set(self, annotation: ast.expr) -> bool:
+        return bool(self.annotation_head(annotation) & _SET_HEADS)
+
+    def annotation_is_dict(self, annotation: ast.expr) -> bool:
+        return bool(self.annotation_head(annotation) & _DICT_HEADS)
+
+    def resolve_expr(self, module: ModuleInfo, expr: ast.expr) -> Resolved | None:
+        """Resolve a ``Name``/``Attribute`` chain expression."""
+        parts = _dotted_parts(expr)
+        if parts is None:
+            return None
+        return self.resolve_dotted(module, parts)
+
+    # -- analysis memo -------------------------------------------------
+
+    def analysis(self, key: str, build: "Callable[[ProjectModel], object]") -> object:
+        """Memoised per-project analysis (the call graph, reachability)."""
+        if key not in self._analysis_cache:
+            self._analysis_cache[key] = build(self)
+        return self._analysis_cache[key]
+
+    def fingerprint_files(self) -> list[tuple[str, str, int]]:
+        """``(path, sha256, size)`` per module, for cache keys.
+
+        Content-hashed rather than mtime-keyed so a fresh checkout with
+        identical sources (a CI cache restore) still matches.
+        """
+        out: list[tuple[str, str, int]] = []
+        for module in self.modules.values():
+            try:
+                data = module.path.read_bytes()
+            except OSError:
+                out.append((str(module.path), "", 0))
+                continue
+            out.append((str(module.path), hashlib.sha256(data).hexdigest(), len(data)))
+        return sorted(out)
+
+
+def _dotted_parts(expr: ast.expr) -> list[str] | None:
+    parts: list[str] = []
+    current = expr
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return list(reversed(parts))
+    return None
+
+
+def _annotation_atoms(annotation: ast.expr) -> Iterator[ast.expr]:
+    """Name-like atoms of an annotation: unions, subscript heads, strings."""
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        try:
+            parsed = ast.parse(annotation.value, mode="eval")
+        except SyntaxError:
+            return
+        yield from _annotation_atoms(parsed.body)
+        return
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op, ast.BitOr):
+        yield from _annotation_atoms(annotation.left)
+        yield from _annotation_atoms(annotation.right)
+        return
+    if isinstance(annotation, ast.Subscript):
+        head = annotation.value
+        if isinstance(head, (ast.Name, ast.Attribute)):
+            name = head.id if isinstance(head, ast.Name) else head.attr
+            if name in ("Optional", "Union", "Annotated", "Final", "ClassVar"):
+                inner = annotation.slice
+                if isinstance(inner, ast.Tuple):
+                    for element in inner.elts:
+                        yield from _annotation_atoms(element)
+                else:
+                    yield from _annotation_atoms(inner)
+                return
+        yield from _annotation_atoms(annotation.value)
+        return
+    if isinstance(annotation, (ast.Name, ast.Attribute)):
+        yield annotation
+
+
+def _top_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Module body plus one level of ``if``/``try`` nesting.
+
+    Covers the two idioms that hide imports from a flat scan:
+    ``if TYPE_CHECKING:`` annotation imports and ``try/except
+    ImportError`` optional dependencies.  Both bind module-level names.
+    """
+    for stmt in tree.body:
+        yield stmt
+        if isinstance(stmt, ast.If):
+            yield from stmt.body
+            yield from stmt.orelse
+        elif isinstance(stmt, ast.Try):
+            yield from stmt.body
+            for handler in stmt.handlers:
+                yield from handler.body
+            yield from stmt.orelse
+            yield from stmt.finalbody
+
+
+def _populate(info: ModuleInfo) -> None:
+    """Fill one module's import and symbol tables from its AST."""
+    package = info.name.rpartition(".")[0]
+    for stmt in _top_level_statements(info.tree):
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                if alias.asname is not None:
+                    info.imports[alias.asname] = ("module", alias.name)
+                else:
+                    root = alias.name.split(".", 1)[0]
+                    info.imports[root] = ("module", root)
+        elif isinstance(stmt, ast.ImportFrom):
+            base = _import_base(stmt, info.name, package)
+            if base is None:
+                continue
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                bound = alias.asname or alias.name
+                info.imports[bound] = ("from", base, alias.name)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[stmt.name] = FunctionInfo(
+                module=info.name,
+                qualname=stmt.name,
+                node=stmt,
+                is_generator=_is_generator(stmt),
+            )
+        elif isinstance(stmt, ast.ClassDef):
+            info.classes[stmt.name] = _class_info(info.name, stmt)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    info.var_annotations.setdefault(target.id, None)
+                    info.var_values[target.id] = stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            info.var_annotations[stmt.target.id] = stmt.annotation
+            if stmt.value is not None:
+                info.var_values[stmt.target.id] = stmt.value
+
+
+def _import_base(stmt: ast.ImportFrom, module_name: str, package: str) -> str | None:
+    if stmt.level == 0:
+        return stmt.module
+    # Relative import: strip ``level`` trailing components off the
+    # current package path (level 1 = current package).
+    parts = package.split(".") if package else []
+    # ``from . import x`` inside a package __init__ resolves against the
+    # package itself, which is ``module_name`` when it has no dot.
+    if not parts and module_name:
+        parts = [module_name]
+    cut = stmt.level - 1
+    if cut > len(parts):
+        return None
+    base_parts = parts[: len(parts) - cut] if cut else parts
+    if stmt.module:
+        base_parts = base_parts + stmt.module.split(".")
+    return ".".join(base_parts) if base_parts else None
+
+
+def _class_info(module_name: str, node: ast.ClassDef) -> ClassInfo:
+    cls = ClassInfo(
+        module=module_name,
+        name=node.name,
+        node=node,
+        base_exprs=[b for b in node.bases if isinstance(b, (ast.Name, ast.Attribute))],
+    )
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            cls.methods[stmt.name] = FunctionInfo(
+                module=module_name,
+                qualname=f"{node.name}.{stmt.name}",
+                node=stmt,
+                owner=node.name,
+                is_generator=_is_generator(stmt),
+            )
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            cls.attr_annotations[stmt.target.id] = stmt.annotation
+            if stmt.value is not None:
+                cls.attr_values[stmt.target.id] = stmt.value
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    cls.attr_values[target.id] = stmt.value
+    # ``self.x: T = ...`` / ``self.x = ...`` inside methods also declare
+    # instance attributes; record them for conservative typing.
+    for method in cls.methods.values():
+        for sub in ast.walk(method.node):
+            if (
+                isinstance(sub, ast.AnnAssign)
+                and isinstance(sub.target, ast.Attribute)
+                and isinstance(sub.target.value, ast.Name)
+                and sub.target.value.id == "self"
+            ):
+                cls.attr_annotations.setdefault(sub.target.attr, sub.annotation)
+                if sub.value is not None:
+                    cls.attr_values.setdefault(sub.target.attr, sub.value)
+            elif isinstance(sub, ast.Assign):
+                for target in sub.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        cls.attr_values.setdefault(target.attr, sub.value)
+    return cls
+
+
+def _is_generator(node: _FunctionNode) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Yield, ast.YieldFrom)):
+            # Nested functions' yields do not make the outer a generator,
+            # but the distinction does not matter for a conservative
+            # "may be a generator" answer.
+            return True
+    return False
+
+
+def build_project(paths: Iterable[Path]) -> ProjectModel:
+    """Build the whole-program model for the packages enclosing ``paths``.
+
+    Every argument file's enclosing package is loaded *entirely*, so a
+    partial lint (``--changed``, a single file) still resolves imports
+    into unlinted modules.  Files that fail to parse are skipped — the
+    per-file lint pass reports the syntax error.
+    """
+    roots: dict[Path, None] = {}
+    loose_files: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            for file in sorted(path.rglob("*.py")):
+                _classify(file, roots, loose_files)
+        elif path.suffix == ".py":
+            _classify(path, roots, loose_files)
+    model = ProjectModel()
+    seen: set[Path] = set()
+    for root in sorted(roots):
+        for file in sorted(root.rglob("*.py")):
+            _load(model, file, root.parent, seen)
+    for file in loose_files:
+        _load(model, file, file.parent, seen)
+    model.finalize()
+    return model
+
+
+def _classify(file: Path, roots: dict[Path, None], loose: list[Path]) -> None:
+    resolved = file.resolve()
+    root = package_root(resolved)
+    if root is not None:
+        roots.setdefault(root, None)
+    else:
+        loose.append(resolved)
+
+
+def _load(model: ProjectModel, file: Path, root: Path, seen: set[Path]) -> None:
+    resolved = file.resolve()
+    if resolved in seen:
+        return
+    seen.add(resolved)
+    try:
+        source = resolved.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(resolved))
+    except (OSError, SyntaxError):
+        return
+    model.add_module(_module_name(resolved, root), resolved, source, tree)

@@ -1,0 +1,92 @@
+"""SARIF 2.1.0 export so findings land in GitHub code scanning.
+
+One run, one tool (``repro-lint``), one result per finding.  Rule
+metadata comes straight from the checker registry, so ``ruleIndex``
+stays consistent with ``--list-rules`` ordering.  Only the stable
+subset of the schema is emitted — enough for ``codeql-action/
+upload-sarif`` to render annotations, nothing speculative.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .engine import Checker, Finding, all_checkers
+
+__all__ = ["to_sarif", "render_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro-lint"
+_INFO_URI = "https://example.invalid/repro/docs/static_analysis.md"
+
+
+def _rule_descriptor(checker: type[Checker]) -> dict[str, object]:
+    return {
+        "id": checker.rule,
+        "name": checker.rule,
+        "shortDescription": {"text": checker.description or checker.rule},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _artifact_uri(path: str) -> str:
+    candidate = Path(path)
+    return candidate.as_posix()
+
+
+def to_sarif(findings: list[Finding]) -> dict[str, object]:
+    """Build the SARIF log object for ``findings``."""
+    checkers = list(all_checkers())
+    rule_index = {checker.rule: index for index, checker in enumerate(checkers)}
+    rules = [_rule_descriptor(checker) for checker in checkers]
+    results: list[dict[str, object]] = []
+    for finding in findings:
+        result: dict[str, object] = {
+            "ruleId": finding.rule,
+            "message": {"text": finding.message},
+            "level": "error",
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _artifact_uri(finding.path),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": max(finding.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        index = rule_index.get(finding.rule)
+        if index is not None:
+            result["ruleIndex"] = index
+        results.append(result)
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _INFO_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+                "columnKind": "unicodeCodePoints",
+            }
+        ],
+    }
+
+
+def render_sarif(findings: list[Finding]) -> str:
+    """The SARIF log as pretty-printed JSON text."""
+    return json.dumps(to_sarif(findings), indent=2) + "\n"

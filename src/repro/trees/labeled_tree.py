@@ -274,7 +274,7 @@ class LabeledTree:
         if not node_set:
             raise TreeBuildError("cannot induce a subtree on an empty node set")
         # The induced root is the unique node whose parent is outside the set.
-        roots = [n for n in node_set if self.parents[n] not in node_set]
+        roots = [n for n in sorted(node_set) if self.parents[n] not in node_set]
         if len(roots) != 1:
             raise TreeBuildError(
                 f"node set {sorted(node_set)} does not induce a connected subtree"

@@ -1,0 +1,545 @@
+"""Whole-program analyzer: project model, call graph, and the
+parallel-determinism checker suite against seeded fixture packages."""
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.lint import (
+    Finding,
+    build_project,
+    callgraph_for,
+    lint_paths,
+)
+from repro.devtools.lint.parallel_checkers import worker_analysis_for
+from repro.devtools.lint.project import package_root
+
+
+def make_package(tmp_path: Path, files: dict[str, str]) -> Path:
+    """Materialise a fixture package tree under ``tmp_path``."""
+    root = tmp_path / "fixture"
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def findings_for_rule(root: Path, rule: str) -> list[Finding]:
+    return [f for f in lint_paths([root]) if f.rule == rule]
+
+
+# ----------------------------------------------------------------------
+# Project model
+# ----------------------------------------------------------------------
+
+
+def test_package_root_and_module_naming(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/sub/__init__.py": "",
+            "pkg/sub/mod.py": "x = 1\n",
+        },
+    )
+    mod = root / "pkg" / "sub" / "mod.py"
+    assert package_root(mod) == (root / "pkg").resolve()
+    project = build_project([root])
+    info = project.module_for_path(mod)
+    assert info is not None and info.name == "pkg.sub.mod"
+
+
+def test_resolve_name_through_reexport_chain(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "from .impl import thing\n",
+            "pkg/impl.py": "def thing():\n    return 1\n",
+            "pkg/user.py": "from pkg import thing\n",
+        },
+    )
+    project = build_project([root])
+    user = project.module_for_path(root / "pkg" / "user.py")
+    resolved = project.resolve_name(user, "thing")
+    assert resolved is not None
+    assert resolved.kind == "function"
+    assert resolved.ident == "pkg.impl:thing"
+
+
+def test_resolve_relative_import_and_external(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "def helper():\n    return 0\n",
+            "pkg/b.py": "import json\nfrom .a import helper\n",
+        },
+    )
+    project = build_project([root])
+    b = project.module_for_path(root / "pkg" / "b.py")
+    helper = project.resolve_name(b, "helper")
+    assert helper is not None and helper.ident == "pkg.a:helper"
+    external = project.resolve_dotted(b, ["json", "dumps"])
+    assert external is not None
+    assert external.kind == "external" and external.target == "json.dumps"
+
+
+def test_method_implementations_include_subclass_overrides(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/base.py": (
+                "class Base:\n"
+                "    def run(self):\n"
+                "        return 0\n"
+            ),
+            "pkg/sub.py": (
+                "from .base import Base\n"
+                "class Sub(Base):\n"
+                "    def run(self):\n"
+                "        return 1\n"
+            ),
+        },
+    )
+    project = build_project([root])
+    impls = project.method_implementations("pkg.base:Base", "run")
+    assert sorted(i.ident for i in impls) == ["pkg.base:Base.run", "pkg.sub:Sub.run"]
+
+
+def test_partial_lint_still_loads_whole_package(tmp_path):
+    """Linting one file models its entire enclosing package."""
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/a.py": "def helper():\n    return 0\n",
+            "pkg/b.py": "from .a import helper\n",
+        },
+    )
+    project = build_project([root / "pkg" / "b.py"])
+    assert "pkg.a" in project.modules
+    b = project.module_for_path(root / "pkg" / "b.py")
+    assert project.resolve_name(b, "helper") is not None
+
+
+# ----------------------------------------------------------------------
+# Call graph + submission sites
+# ----------------------------------------------------------------------
+
+
+WORKER_PKG = {
+    "wrk/__init__.py": "",
+    "wrk/state.py": (
+        """
+        calls = 0
+
+        def bump():
+            global calls
+            calls += 1
+        """
+    ),
+    "wrk/work.py": (
+        """
+        import random
+
+        from . import state
+
+        _seed = None
+
+        def init_worker(seed):
+            global _seed
+            _seed = seed
+
+        def transform(label):
+            return label.upper()
+
+        def estimate_chunk(chunk):
+            state.bump()
+            labels = {item for item in chunk}
+            out = [transform(label) for label in labels]
+            jitter = random.random()
+            return {"n": len(out), "jitter": jitter}
+        """
+    ),
+    "wrk/pool.py": (
+        """
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+
+        from .work import estimate_chunk, init_worker
+
+        def run(chunks):
+            results = {}
+            with ProcessPoolExecutor(initializer=init_worker, initargs=(1,)) as pool:
+                futures = [pool.submit(estimate_chunk, chunk) for chunk in chunks]
+                for future in as_completed(futures):
+                    results.update(future.result())
+            return results
+        """
+    ),
+}
+
+
+def test_callgraph_finds_submission_and_initializer_sites(tmp_path):
+    root = make_package(tmp_path, WORKER_PKG)
+    project = build_project([root])
+    graph = callgraph_for(project)
+    kinds = sorted((site.kind, site.module) for site in graph.sites)
+    assert ("initializer", "wrk.pool") in kinds
+    assert ("submit", "wrk.pool") in kinds
+    targets = {site.target.ident for site in graph.sites if site.target is not None}
+    assert targets == {"wrk.work:init_worker", "wrk.work:estimate_chunk"}
+
+
+def test_worker_reachability_crosses_modules(tmp_path):
+    root = make_package(tmp_path, WORKER_PKG)
+    project = build_project([root])
+    analysis = worker_analysis_for(project)
+    # estimate_chunk -> state.bump and -> transform are worker-reachable.
+    assert analysis.is_worker("wrk.state:bump")
+    assert analysis.is_worker("wrk.work:transform")
+    assert analysis.origin("wrk.state:bump") == "wrk.work:estimate_chunk"
+    # The initializer is reachable only as an initializer.
+    assert analysis.initializer_only("wrk.work:init_worker")
+    # The parent-side submit loop is not worker code.
+    assert not analysis.is_worker("wrk.pool:run")
+
+
+def test_executor_tracked_through_self_attribute(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/mgr.py": (
+                """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def task(x):
+                    return x
+
+                class Manager:
+                    def __init__(self):
+                        self._executor = ProcessPoolExecutor(max_workers=2)
+
+                    def launch(self, items):
+                        return list(self._executor.map(task, items))
+                """
+            ),
+        },
+    )
+    project = build_project([root])
+    graph = callgraph_for(project)
+    (site,) = [s for s in graph.sites if s.kind == "map"]
+    assert site.target is not None and site.target.ident == "pkg.mgr:task"
+    assert "ProcessPoolExecutor" in site.executor_target
+
+
+# ----------------------------------------------------------------------
+# worker-purity
+# ----------------------------------------------------------------------
+
+
+def test_worker_purity_catches_seeded_violations(tmp_path):
+    root = make_package(tmp_path, WORKER_PKG)
+    findings = findings_for_rule(root, "worker-purity")
+    messages = [f.message for f in findings]
+    # 1. Cross-module global write: estimate_chunk -> state.bump().
+    assert any("'bump'" in m and "module global 'calls'" in m for m in messages)
+    # 2. Unsorted set iteration inside the worker.
+    assert any("iterates a set/frozenset without sorted()" in m for m in messages)
+    # 3. Entropy source.
+    assert any("random.random()" in m for m in messages)
+    # Every message names the worker entry point for navigation.
+    assert all("wrk.work.estimate_chunk" in m for m in messages)
+
+
+def test_worker_purity_initializer_may_write_globals(tmp_path):
+    root = make_package(tmp_path, WORKER_PKG)
+    findings = findings_for_rule(root, "worker-purity")
+    assert not any("'init_worker'" in f.message for f in findings)
+
+
+def test_worker_purity_good_twin_is_clean(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "wrk/__init__.py": "",
+            "wrk/work.py": (
+                """
+                import random
+                import time
+
+                def estimate_chunk(chunk, seed):
+                    rng = random.Random(seed)
+                    started = time.perf_counter()
+                    labels = {item for item in chunk}
+                    out = [label.upper() for label in sorted(labels)]
+                    return {"n": len(out), "seconds": time.perf_counter() - started}
+                """
+            ),
+            "wrk/pool.py": (
+                """
+                from concurrent.futures import ProcessPoolExecutor
+
+                from .work import estimate_chunk
+
+                def run(chunks):
+                    with ProcessPoolExecutor() as pool:
+                        return list(pool.map(estimate_chunk, chunks))
+                """
+            ),
+        },
+    )
+    assert findings_for_rule(root, "worker-purity") == []
+
+
+def test_worker_purity_ignores_parent_side_impurity(tmp_path):
+    """The same patterns outside the worker cone are legal."""
+    root = make_package(
+        tmp_path,
+        {
+            "wrk/__init__.py": "",
+            "wrk/mine.py": (
+                """
+                import random
+
+                from concurrent.futures import ProcessPoolExecutor
+
+                def count(chunk):
+                    return len(chunk)
+
+                def mine(chunks, seed):
+                    rng = random.random()
+                    with ProcessPoolExecutor() as pool:
+                        totals = list(pool.map(count, chunks))
+                    return totals, rng
+                """
+            ),
+        },
+    )
+    assert findings_for_rule(root, "worker-purity") == []
+
+
+# ----------------------------------------------------------------------
+# pickle-safety
+# ----------------------------------------------------------------------
+
+
+def test_pickle_safety_catches_lambda_handle_and_generator(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "wrk/__init__.py": "",
+            "wrk/bad.py": (
+                """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def consume(x):
+                    return x
+
+                def run(items):
+                    handle = open("data.txt")
+                    with ProcessPoolExecutor() as pool:
+                        a = pool.submit(lambda x: x + 1, 5)
+                        b = pool.submit(consume, handle)
+                        c = pool.submit(consume, (i for i in items))
+                    return a, b, c
+                """
+            ),
+        },
+    )
+    messages = [f.message for f in findings_for_rule(root, "pickle-safety")]
+    assert any("lambda passed to" in m for m in messages)
+    assert any("open file handle" in m for m in messages)
+    assert any("generator expression" in m for m in messages)
+
+
+def test_pickle_safety_catches_local_function(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "wrk/__init__.py": "",
+            "wrk/bad.py": (
+                """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def run(items):
+                    def helper(x):
+                        return x
+
+                    with ProcessPoolExecutor() as pool:
+                        return list(pool.map(helper, items))
+                """
+            ),
+        },
+    )
+    messages = [f.message for f in findings_for_rule(root, "pickle-safety")]
+    assert any("locally-defined function 'helper'" in m for m in messages)
+
+
+def test_pickle_safety_exempts_thread_pools(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "wrk/__init__.py": "",
+            "wrk/threads.py": (
+                """
+                from concurrent.futures import ThreadPoolExecutor
+
+                def run(items):
+                    with ThreadPoolExecutor() as pool:
+                        return pool.submit(lambda: len(items))
+                """
+            ),
+        },
+    )
+    assert findings_for_rule(root, "pickle-safety") == []
+
+
+def test_pickle_safety_good_twin_is_clean(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "wrk/__init__.py": "",
+            "wrk/good.py": (
+                """
+                from concurrent.futures import ProcessPoolExecutor
+
+                def consume(path, values):
+                    return path, sum(values)
+
+                def run(items):
+                    with ProcessPoolExecutor() as pool:
+                        return pool.submit(consume, "data.txt", list(items))
+                """
+            ),
+        },
+    )
+    assert findings_for_rule(root, "pickle-safety") == []
+
+
+# ----------------------------------------------------------------------
+# order-discipline
+# ----------------------------------------------------------------------
+
+
+def test_order_discipline_flags_as_completed_telemetry_merge(tmp_path):
+    """The seeded violation: a merge inside an as_completed loop."""
+    root = make_package(tmp_path, WORKER_PKG)
+    findings = findings_for_rule(root, "order-discipline")
+    assert len(findings) == 1
+    assert "completion order" in findings[0].message
+    assert "submission order" in findings[0].message
+
+
+def test_order_discipline_flags_bare_as_completed_loop(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "wrk/__init__.py": "",
+            "wrk/merge.py": (
+                """
+                from concurrent.futures import as_completed
+
+                def collect(futures):
+                    out = []
+                    for future in as_completed(futures):
+                        out.append(future.result())
+                    return out
+                """
+            ),
+        },
+    )
+    findings = findings_for_rule(root, "order-discipline")
+    assert len(findings) == 1
+    assert "as_completed" in findings[0].message
+
+
+def test_order_discipline_flags_set_fed_dict_update(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "wrk/__init__.py": "",
+            "wrk/merge.py": (
+                """
+                def merge(acc: dict, keys: set):
+                    acc.update({key: 1 for key in keys})
+                    return acc
+                """
+            ),
+        },
+    )
+    findings = findings_for_rule(root, "order-discipline")
+    assert len(findings) == 1
+    assert "unordered set" in findings[0].message
+
+
+def test_order_discipline_good_twin_is_clean(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "wrk/__init__.py": "",
+            "wrk/merge.py": (
+                """
+                def collect(futures):
+                    out = []
+                    for future in futures:
+                        out.append(future.result())
+                    return out
+
+                def merge(acc: dict, keys: set):
+                    acc.update({key: 1 for key in sorted(keys)})
+                    return acc
+                """
+            ),
+        },
+    )
+    assert findings_for_rule(root, "order-discipline") == []
+
+
+# ----------------------------------------------------------------------
+# Scoping and suppression interplay
+# ----------------------------------------------------------------------
+
+
+def test_suite_reports_in_worker_module_not_test_file(tmp_path):
+    bad = WORKER_PKG["wrk/work.py"]
+    root = make_package(
+        tmp_path,
+        {
+            "wrk/__init__.py": "",
+            "wrk/test_rig.py": WORKER_PKG["wrk/pool.py"].replace(".work", ".helpers"),
+            "wrk/helpers.py": bad,
+        },
+    )
+    # A submission site inside a test_* file still makes its target a
+    # worker — the purity contract is a property of the worker function.
+    findings = findings_for_rule(root, "worker-purity")
+    assert findings != []
+    # But the findings land on the worker module; test files themselves
+    # are never reported against.
+    assert all(f.path.endswith("helpers.py") for f in findings)
+
+
+def test_suite_honours_inline_suppression(tmp_path):
+    files = dict(WORKER_PKG)
+    files["wrk/work.py"] = files["wrk/work.py"].replace(
+        "jitter = random.random()",
+        "jitter = random.random()  # lint: disable=worker-purity",
+    )
+    root = make_package(tmp_path, files)
+    messages = [f.message for f in findings_for_rule(root, "worker-purity")]
+    assert not any("random.random()" in m for m in messages)
+    # The other violations still report.
+    assert any("module global 'calls'" in m for m in messages)
+
+
+def test_lint_source_without_project_skips_suite(tmp_path):
+    from repro.devtools.lint import lint_source
+
+    findings = lint_source(
+        textwrap.dedent(WORKER_PKG["wrk/work.py"]), path="wrk/work.py"
+    )
+    assert not any(f.rule == "worker-purity" for f in findings)
