@@ -140,6 +140,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="estimation scheme (default: recursive + voting)",
     )
     p.add_argument(
+        "--backend",
+        choices=("auto", "plan", "array", "numpy"),
+        default=None,
+        metavar="NAME",
+        help="warm-replay backend for --batch: plan = legacy per-query "
+        "replay (default), array/numpy = vectorised flat-array kernels, "
+        "auto = fastest available; all are bit-identical",
+    )
+    p.add_argument(
         "--store",
         choices=("dict", "array"),
         default=None,
@@ -378,6 +387,8 @@ def _do_estimate(args: argparse.Namespace) -> int:
     if args.batch is not None and args.query is not None:
         raise CliUsageError("give either a query or --batch FILE, not both")
     explaining = args.explain or args.explain_json
+    if args.backend is not None and args.batch is None:
+        raise CliUsageError("--backend only applies to --batch estimation")
     if explaining:
         if args.batch is not None:
             raise CliUsageError("--explain works on a single query, not --batch")
@@ -468,9 +479,15 @@ def _do_estimate_batch(
     texts = _read_batch_file(args.batch)
     queries = [_parse_query(text) for text in texts]
     start = time.perf_counter()
-    estimates = estimator.estimate_batch(queries, workers=args.workers)
+    estimates = estimator.estimate_batch(
+        queries, workers=args.workers, backend=args.backend
+    )
     elapsed_ms = (time.perf_counter() - start) * 1000
     print(f"estimator : {estimator.name}")
+    if args.backend is not None:
+        from .kernels import resolve_backend
+
+        print(f"backend   : {resolve_backend(args.backend)}")
     print(f"queries   : {len(queries)}  (from {args.batch})")
     for text, estimate in zip(texts, estimates):
         print(f"{text} ~= {estimate:.2f}")

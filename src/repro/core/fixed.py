@@ -20,7 +20,10 @@ shapes replay the factor products without re-deriving the cover.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, ContextManager, Sequence
+
+if TYPE_CHECKING:
+    from ..kernels.program import PlanT
 
 from .. import obs
 from ..trees.canonical import PatternInterner, canon, encode_canon
@@ -68,11 +71,42 @@ class FixedDecompositionEstimator(SelectivityEstimator):
         """Drop compiled cover plans (and the fallback's caches)."""
         self._plans.clear()
         self._fallback.clear_cache()
+        if self._kernels is not None:
+            self._kernels.clear()
 
     def _estimate_trees(self, trees: Sequence[LabeledTree]) -> list[float]:
         """Batch hook: pruned-block fallbacks share one memo per batch."""
         with self._fallback.batch_cache():
             return [self._estimate_tree(tree) for tree in trees]
+
+    # ------------------------------------------------------------------
+    # Kernel batch hooks (see SelectivityEstimator._estimate_trees_kernel)
+    # ------------------------------------------------------------------
+
+    supports_kernels = True
+
+    def _kernel_probe(self, tree: LabeledTree) -> tuple[int, "PlanT | None"]:
+        pattern_id = self._plan_keys.intern(canon(tree))
+        return pattern_id, self._plans.get(pattern_id)
+
+    def _kernel_warm_plans(self) -> Sequence[tuple[int, "PlanT"]]:
+        return list(self._plans.items())
+
+    def _kernel_batch_scope(self) -> ContextManager[None]:
+        # Cold covers fall back to the recursive estimator for pruned
+        # blocks; share its memo across the batch, exactly like the
+        # legacy batch hook.  Cover plans donate nothing to that memo,
+        # so no pending-flush bookkeeping is needed here.
+        return self._fallback.batch_cache()
+
+    def _note_kernel_hit(self, tree: LabeledTree, plan: "PlanT") -> None:
+        assert isinstance(plan, CoverPlan)
+        if obs.enabled:
+            record_plan_request(
+                self.name, "hit", len(self._plans), len(self._plan_keys)
+            )
+            if plan.blocks is not None:
+                self._record_cover(tree, plan.blocks)
 
     def _estimate_tree(self, tree: LabeledTree) -> float:
         pattern_id = self._plan_keys.intern(canon(tree))

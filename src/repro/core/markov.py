@@ -21,7 +21,12 @@ before the plan cache is consulted, and a pruned gram raises
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Sequence
+
 from .. import obs
+
+if TYPE_CHECKING:
+    from ..kernels.program import PlanT
 from ..trees.canonical import Canon, PatternInterner
 from ..trees.labeled_tree import LabeledTree
 from .estimator import SelectivityEstimator
@@ -88,6 +93,30 @@ class MarkovPathEstimator(SelectivityEstimator):
     def clear_cache(self) -> None:
         """Drop compiled gram plans."""
         self._plans.clear()
+        if self._kernels is not None:
+            self._kernels.clear()
+
+    # ------------------------------------------------------------------
+    # Kernel batch hooks (see SelectivityEstimator._estimate_trees_kernel)
+    # ------------------------------------------------------------------
+
+    supports_kernels = True
+
+    def _kernel_probe(self, tree: LabeledTree) -> tuple[int, "PlanT | None"]:
+        # Branching rejection runs on every probe, exactly like the
+        # legacy warm path (labels are needed to key the cache anyway).
+        labels = self._path_labels(tree)
+        pattern_id = self._plan_keys.intern(_path_canon(labels))
+        return pattern_id, self._plans.get(pattern_id)
+
+    def _kernel_warm_plans(self) -> Sequence[tuple[int, "PlanT"]]:
+        return list(self._plans.items())
+
+    def _note_kernel_hit(self, tree: LabeledTree, plan: "PlanT") -> None:
+        if obs.enabled:
+            record_plan_request(
+                self.name, "hit", len(self._plans), len(self._plan_keys)
+            )
 
     def _estimate_tree(self, tree: LabeledTree) -> float:
         # Branching rejection runs on every call (warm included): the

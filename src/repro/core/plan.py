@@ -37,10 +37,17 @@ __all__ = [
     "CoverPlan",
     "GramPlan",
     "record_plan_request",
+    "RATIO_OP",
+    "AVG_OP",
 ]
 
 _OP_RATIO = 0
 _OP_AVG = 1
+
+#: Public aliases for the plan opcodes, consumed by the kernel lowerer
+#: (:mod:`repro.kernels.program`) when translating plan ops.
+RATIO_OP = _OP_RATIO
+AVG_OP = _OP_AVG
 
 _OpsT = tuple[tuple[int, int, tuple[int, ...]], ...]
 _MemoSlotsT = tuple[tuple[int, int], ...]
@@ -180,6 +187,15 @@ class CompiledPlan:
     @property
     def num_ops(self) -> int:
         return len(self._ops)
+
+    def kernel_parts(self) -> tuple[list[float], _OpsT, int]:
+        """``(base, ops, root)`` for kernel lowering.
+
+        The returned base list is the live slot vector — callers must
+        copy, never mutate (the kernel lowerer snapshots it into its own
+        ``array('d')``).
+        """
+        return (self._base, self._ops, self.root)
 
     def __getstate__(
         self,

@@ -28,7 +28,10 @@ entirely on later queries.  Warm replays are bit-identical to cold runs
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:
+    from ..kernels.program import PlanT
 
 from .. import obs
 from ..trees.canonical import Canon, PatternInterner, canon, encode_canon
@@ -105,6 +108,9 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
         # estimator-owned interner) -> compiled evaluation plan.
         self._plan_keys = PatternInterner()
         self._plans: dict[int, CompiledPlan] = {}
+        # Warm plans seen by the current kernel batch whose memo
+        # donations have not been replayed yet (see _before_kernel_cold).
+        self._kernel_pending: list[CompiledPlan] = []
 
     def clear_cache(self) -> None:
         """Forget memoised selectivities *and* compiled plans.
@@ -116,6 +122,8 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
         if self._shared_memo is not None:
             self._shared_memo.clear()
         self._plans.clear()
+        if self._kernels is not None:
+            self._kernels.clear()
 
     @contextmanager
     def batch_cache(self) -> Iterator[None]:
@@ -138,6 +146,68 @@ class RecursiveDecompositionEstimator(SelectivityEstimator):
         """Batch hook: one memo shared by every query in the batch."""
         with self.batch_cache():
             return [self._estimate_tree(tree) for tree in trees]
+
+    # ------------------------------------------------------------------
+    # Kernel batch hooks (see SelectivityEstimator._estimate_trees_kernel)
+    # ------------------------------------------------------------------
+
+    supports_kernels = True
+
+    def _kernel_probe(self, tree: LabeledTree) -> tuple[int, "PlanT | None"]:
+        pattern_id = self._plan_keys.intern(canon(tree))
+        return pattern_id, self._plans.get(pattern_id)
+
+    def _kernel_warm_plans(self) -> Sequence[tuple[int, "PlanT"]]:
+        return list(self._plans.items())
+
+    @contextmanager
+    def _kernel_batch_scope(self) -> Iterator[None]:
+        """Batch memo plus the pending-donation list for this batch.
+
+        On exit, warm plans whose donations were never needed by a cold
+        compile are flushed only when the memo is *persistent*
+        (``shared_cache=True``): a later batch's cold compile must see
+        exactly the memo a legacy batch would have left behind.  With a
+        per-batch memo the leftover donations die with the scope, so the
+        flush (which replays plans scalar-ly) is skipped — that is what
+        keeps all-warm kernel batches free of per-query Python work.
+        """
+        persistent = self._shared_memo is not None
+        self._kernel_pending = []
+        with self.batch_cache():
+            try:
+                yield
+            finally:
+                if persistent:
+                    self._before_kernel_cold()
+                self._kernel_pending = []
+
+    def _note_kernel_hit(self, tree: LabeledTree, plan: "PlanT") -> None:
+        assert isinstance(plan, CompiledPlan)
+        self._kernel_pending.append(plan)
+        if obs.enabled:
+            record_plan_request(
+                self.name, "hit", len(self._plans), len(self._plan_keys)
+            )
+
+    def _before_kernel_cold(self) -> None:
+        """Replay pending warm plans' memo donations (legacy order).
+
+        In the legacy batch loop every warm replay donates its sub-twig
+        values to the shared memo *before* later queries run.  The
+        kernel path defers warm queries, so right before a cold compile
+        it re-establishes the exact memo a legacy run would have: each
+        pending plan's ``evaluate(memo)`` — bit-identical to the kernel
+        result — donates in the original query order.  All-warm batches
+        never pay this.
+        """
+        if not self._kernel_pending:
+            return
+        memo = self._shared_memo
+        if memo is not None:
+            for plan in self._kernel_pending:
+                plan.evaluate(memo)
+        self._kernel_pending.clear()
 
     def _estimate_tree(self, tree: LabeledTree) -> float:
         memo = self._shared_memo if self._shared_memo is not None else {}

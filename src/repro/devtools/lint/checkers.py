@@ -30,6 +30,10 @@ rationale per rule):
     Summary-store internals (``_counts`` and the intern tables) are
     private to ``repro.store`` / the interner; everything else goes
     through the :class:`~repro.store.SummaryStore` surface.
+``kernel-purity``
+    The kernel layer imports :mod:`repro.obs` only through its guarded
+    ``record.py`` bridge, and executor hot loops stay free of recording
+    calls and string formatting (no allocation when obs is disabled).
 """
 
 from __future__ import annotations
@@ -49,6 +53,7 @@ __all__ = [
     "DictOrderTiebreakChecker",
     "PublicAnnotationsChecker",
     "StoreInternalsChecker",
+    "KernelPurityChecker",
 ]
 
 _FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
@@ -753,3 +758,144 @@ class StoreInternalsChecker(Checker):
                 "(get/items/byte_size/...) instead",
             )
         self.generic_visit(node)
+
+
+@register
+class KernelPurityChecker(Checker):
+    """Kernel executors stay observability-free and allocation-lean.
+
+    The flat-array executors (:mod:`repro.kernels`) are the per-batch
+    hot path: their throughput contract (and the <5%-disabled-overhead
+    obs guarantee) holds only while the kernel layer funnels every
+    recording through the guarded helpers in ``kernels/record.py`` and
+    keeps per-op loops free of recording calls and string formatting
+    (both allocate even when observability is off).  Two checks:
+
+    * only ``repro/kernels/record.py`` may import :mod:`repro.obs`, in
+      any form (absolute, relative, or submodule);
+    * inside executor functions (names starting with ``execute`` /
+      ``run``), loop bodies — including comprehensions — may not call
+      ``record_*`` helpers or build formatted strings (f-strings with
+      interpolation, ``str.format``, ``%``-formatting).
+    """
+
+    rule = "kernel-purity"
+    description = (
+        "kernels import obs only via record.py; executor hot loops stay "
+        "free of recording calls and string formatting"
+    )
+
+    _EXECUTOR_PREFIXES = ("execute", "run")
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        return "repro/kernels/" in path.replace("\\", "/")
+
+    def run(self) -> None:
+        self._in_record_module = self.ctx.path.replace("\\", "/").endswith(
+            "repro/kernels/record.py"
+        )
+        self.visit(self.ctx.tree)
+
+    # -- obs import confinement -----------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self._in_record_module:
+            for alias in node.names:
+                if alias.name == "repro.obs" or alias.name.startswith(
+                    "repro.obs."
+                ):
+                    self._report_import(node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if not self._in_record_module and self._imports_obs(node):
+            self._report_import(node)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _imports_obs(node: ast.ImportFrom) -> bool:
+        module = node.module or ""
+        if node.level == 0:
+            if module == "repro.obs" or module.startswith("repro.obs."):
+                return True
+            return module == "repro" and any(
+                alias.name == "obs" for alias in node.names
+            )
+        # Relative forms seen from inside repro/kernels/:
+        # ``from ..obs import x`` / ``from .. import obs``.
+        if module == "obs" or module.startswith("obs."):
+            return True
+        return not module and any(alias.name == "obs" for alias in node.names)
+
+    def _report_import(self, node: ast.stmt) -> None:
+        self.report(
+            node,
+            "kernel modules must not import repro.obs directly; route "
+            "recording through the guarded helpers in kernels/record.py",
+        )
+
+    # -- executor hot-loop discipline -----------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_executor(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_executor(node)
+        self.generic_visit(node)
+
+    def _check_executor(self, node: _FunctionNode) -> None:
+        if not node.name.startswith(self._EXECUTOR_PREFIXES):
+            return
+        for statement in node.body:
+            for child in ast.walk(statement):
+                loop_body: list[ast.AST] = []
+                if isinstance(child, (ast.For, ast.While)):
+                    loop_body = list(child.body)
+                elif isinstance(
+                    child, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+                ):
+                    loop_body = [child.elt]
+                elif isinstance(child, ast.DictComp):
+                    loop_body = [child.key, child.value]
+                for part in loop_body:
+                    self._check_hot_body(node.name, part)
+
+    def _check_hot_body(self, function: str, body: ast.AST) -> None:
+        for node in ast.walk(body):
+            if isinstance(node, ast.Call):
+                callee = node.func
+                name = None
+                if isinstance(callee, ast.Name):
+                    name = callee.id
+                elif isinstance(callee, ast.Attribute):
+                    name = callee.attr
+                if name is not None and name.startswith("record_"):
+                    self.report(
+                        node,
+                        f"recording helper {name!r} called inside the "
+                        f"per-op loop of kernel executor {function!r}; "
+                        "hoist it out of the hot loop",
+                    )
+                if isinstance(callee, ast.Attribute) and callee.attr == "format":
+                    self._report_formatting(node, function)
+            elif isinstance(node, ast.JoinedStr) and any(
+                isinstance(value, ast.FormattedValue) for value in node.values
+            ):
+                self._report_formatting(node, function)
+            elif (
+                isinstance(node, ast.BinOp)
+                and isinstance(node.op, ast.Mod)
+                and isinstance(node.left, ast.Constant)
+                and isinstance(node.left.value, str)
+            ):
+                self._report_formatting(node, function)
+
+    def _report_formatting(self, node: ast.AST, function: str) -> None:
+        self.report(
+            node,
+            "string formatting inside the per-op loop of kernel executor "
+            f"{function!r} allocates even with observability disabled; "
+            "move message building out of the hot loop",
+        )

@@ -1,0 +1,133 @@
+"""Vectorised flat-array estimation kernels.
+
+This package lowers the per-shape compiled decomposition plans (PR 5's
+``CompiledPlan`` / ``CoverPlan`` / ``GramPlan``) to flat int-array
+programs — an opcode stream plus packed operand table over dense slot
+indices — and executes whole query batches through one of two
+interchangeable backends:
+
+* ``"array"`` — a dependency-free ``array('d')`` interpreter
+  (:mod:`repro.kernels.exec_python`);
+* ``"numpy"`` — whole-batch vectorised column ops over one
+  concatenated slot vector (:mod:`repro.kernels.exec_numpy`),
+  used when the optional numpy dependency is importable.
+
+Both backends are bit-identical to legacy plan replay (the ``"plan"``
+backend) — same float operations in the same order per query — which
+the cross-backend hypothesis suite asserts.  Backend selection lives in
+:mod:`repro.kernels.backend`; estimators expose it via
+``estimate_batch(backend=...)`` and the CLI via ``--backend``.
+
+:class:`KernelState` is the per-estimator cache tying it together:
+lowered programs keyed by interned pattern id (picklable — shipped once
+per worker process and reused across chunks) plus a bounded per-process
+cache of numpy :class:`~repro.kernels.exec_numpy.PreparedBatch` index
+structures keyed by batch shape.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from .backend import (
+    HAVE_NUMPY,
+    KERNEL_BACKENDS,
+    available_backends,
+    resolve_backend,
+)
+from .program import KernelProgram, lower_plan
+from .record import record_kernel_batch, record_prepared_batch
+
+if TYPE_CHECKING:
+    from .program import PlanT
+
+__all__ = [
+    "HAVE_NUMPY",
+    "KERNEL_BACKENDS",
+    "available_backends",
+    "resolve_backend",
+    "KernelProgram",
+    "lower_plan",
+    "KernelState",
+    "record_kernel_batch",
+    "record_prepared_batch",
+]
+
+
+class KernelState:
+    """Per-estimator kernel caches: lowered programs + prepared batches.
+
+    ``programs`` maps interned pattern id -> :class:`KernelProgram` and
+    is what pickles when an estimator ships to a worker process — flat
+    stdlib arrays, so the one-time per-worker cost is a few contiguous
+    buffer copies.  The numpy ``PreparedBatch`` cache is process-local
+    (rebuilt lazily in each worker, keyed by the batch's distinct
+    pattern-id tuple) and bounded: when full it is cleared outright
+    rather than LRU-tracked — batch shapes are few and rebuilds cheap
+    relative to the bookkeeping.
+    """
+
+    _PREPARED_LIMIT = 64
+
+    __slots__ = ("_programs", "_prepared")
+
+    def __init__(self) -> None:
+        self._programs: dict[int, KernelProgram] = {}
+        self._prepared: dict[tuple[int, ...], Any] = {}
+
+    @property
+    def program_count(self) -> int:
+        return len(self._programs)
+
+    def clear(self) -> None:
+        self._programs.clear()
+        self._prepared.clear()
+
+    def program_for(self, pattern_id: int, plan: "PlanT") -> KernelProgram:
+        """The lowered program for ``plan``, lowering on first sight."""
+        program = self._programs.get(pattern_id)
+        if program is None:
+            program = lower_plan(plan)
+            self._programs[pattern_id] = program
+        return program
+
+    def execute(
+        self,
+        backend: str,
+        pattern_ids: list[int],
+        plans: list["PlanT"],
+    ) -> list[float]:
+        """Evaluate one program per query on ``backend``, in order.
+
+        ``pattern_ids`` and ``plans`` are parallel lists (repeats are
+        expected — that is the point of a warm batch).  The ``"numpy"``
+        backend resolves the batch's distinct-shape key against the
+        prepared-batch cache; ``"array"`` interprets program by program.
+        """
+        programs = [
+            self.program_for(pattern_id, plan)
+            for pattern_id, plan in zip(pattern_ids, plans)
+        ]
+        if backend == "numpy":
+            key = tuple(pattern_ids)
+            prepared = self._prepared.get(key)
+            if prepared is None:
+                from .exec_numpy import prepare_batch
+
+                if len(self._prepared) >= self._PREPARED_LIMIT:
+                    self._prepared.clear()
+                prepared = prepare_batch(programs)
+                self._prepared[key] = prepared
+                record_prepared_batch("numpy", len(programs), prepared.num_ops)
+            result: list[float] = prepared.run()
+            return result
+        from .exec_python import execute_batch
+
+        return execute_batch(programs)
+
+    def __getstate__(self) -> dict[int, KernelProgram]:
+        return self._programs
+
+    def __setstate__(self, state: dict[int, KernelProgram]) -> None:
+        self._programs = state
+        self._prepared = {}

@@ -1,0 +1,84 @@
+"""Kernel backend detection and selection.
+
+Two interchangeable executors evaluate lowered
+:class:`~repro.kernels.program.KernelProgram` batches:
+
+* ``"array"`` — the dependency-free pure-Python interpreter over
+  ``array('d')`` slot vectors (:mod:`repro.kernels.exec_python`);
+* ``"numpy"`` — vectorised column ops over one concatenated slot
+  vector for the whole batch (:mod:`repro.kernels.exec_numpy`),
+  available only when numpy is importable (``pip install repro[numpy]``).
+
+``"plan"`` names the legacy per-query compiled-plan replay path (no
+kernel lowering at all); it is the default so existing callers keep
+their exact execution shape.  ``"auto"`` resolves to the fastest
+available kernel backend.  All backends are bit-identical by
+construction — selection is purely a throughput choice.
+
+Setting ``REPRO_DISABLE_NUMPY=1`` in the environment hides an installed
+numpy, forcing the fallback import path; the CI no-numpy legs and the
+fallback tests rely on it.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = [
+    "HAVE_NUMPY",
+    "KERNEL_BACKENDS",
+    "available_backends",
+    "resolve_backend",
+]
+
+
+def _numpy_available() -> bool:
+    """Import-probe for the optional numpy dependency (env-maskable)."""
+    if os.environ.get("REPRO_DISABLE_NUMPY", "") not in ("", "0"):
+        return False
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+#: True when the numpy executor can be used in this process.
+HAVE_NUMPY = _numpy_available()
+
+#: Backends that evaluate lowered kernel programs (excludes ``"plan"``).
+KERNEL_BACKENDS = ("array", "numpy") if HAVE_NUMPY else ("array",)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Every usable ``estimate_batch`` backend name, legacy path included."""
+    return ("plan",) + KERNEL_BACKENDS
+
+
+def resolve_backend(backend: str | None) -> str:
+    """Normalise a user-facing backend knob to a concrete backend name.
+
+    ``None`` keeps the legacy compiled-plan replay (``"plan"``);
+    ``"auto"`` picks the fastest available kernel backend (numpy when
+    importable, the ``array('d')`` interpreter otherwise).  Explicit
+    names are validated: asking for ``"numpy"`` without numpy installed
+    raises :class:`ValueError` instead of silently degrading.
+    """
+    if backend is None or backend == "plan":
+        return "plan"
+    if backend == "auto":
+        return "numpy" if HAVE_NUMPY else "array"
+    if backend == "array":
+        return "array"
+    if backend == "numpy":
+        if not HAVE_NUMPY:
+            raise ValueError(
+                "backend 'numpy' requested but numpy is not importable "
+                "(install the extra: pip install repro[numpy], or use "
+                "backend='auto' to fall back automatically)"
+            )
+        return "numpy"
+    raise ValueError(
+        f"unknown estimation backend {backend!r} "
+        "(expected one of: auto, plan, array, numpy)"
+    )

@@ -1,0 +1,55 @@
+"""Pure-Python kernel executor: an ``array('d')`` slot interpreter.
+
+The dependency-free fallback backend (``"array"``).  Replays one
+lowered :class:`~repro.kernels.program.KernelProgram` at a time over a
+fresh copy of its slot vector; the level schedule already put ops in a
+valid order, so execution is a single forward pass.  Each opcode's
+float sequence matches legacy plan replay exactly — including the
+``denominator <= 0.0`` RATIO guard predicate (kept verbatim so a NaN
+denominator takes the same branch it always did) and AVG's
+left-to-right accumulation from ``0.0``.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from .program import OP_AVG, OP_MUL, OP_RATIO, KernelProgram
+
+__all__ = ["execute_program", "execute_batch"]
+
+
+def execute_program(program: KernelProgram) -> float:
+    """Run one lowered program; returns its root-slot value."""
+    slots = array("d", program.base)
+    opcodes = program.opcodes
+    dsts = program.dsts
+    args = program.args
+    offsets = program.arg_offsets
+    for i in range(len(opcodes)):
+        opcode = opcodes[i]
+        start = offsets[i]
+        if opcode == OP_RATIO:
+            denominator = slots[args[start + 2]]
+            if denominator <= 0.0:
+                slots[dsts[i]] = 0.0
+            else:
+                slots[dsts[i]] = (
+                    slots[args[start]] * slots[args[start + 1]] / denominator
+                )
+        elif opcode == OP_AVG:
+            end = offsets[i + 1]
+            total = 0.0
+            for j in range(start, end):
+                total += slots[args[j]]
+            slots[dsts[i]] = total / (end - start)
+        elif opcode == OP_MUL:
+            slots[dsts[i]] = slots[args[start]] * slots[args[start + 1]]
+        else:
+            slots[dsts[i]] = slots[args[start]] / slots[args[start + 1]]
+    return slots[program.root]
+
+
+def execute_batch(programs: list[KernelProgram]) -> list[float]:
+    """Run one program per query, in query order."""
+    return [execute_program(program) for program in programs]

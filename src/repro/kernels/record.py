@@ -1,0 +1,54 @@
+"""Sanctioned observability bridge for the kernel layer.
+
+The ``kernel-purity`` lint rule confines ``repro.obs`` imports inside
+``repro.kernels`` to this module: executors stay observability-free (no
+per-op recording, no allocation on the disabled path), and everything
+the kernel layer wants to report funnels through the early-return
+guarded helpers below, called once per batch — never inside the per-op
+hot loops.
+"""
+
+from __future__ import annotations
+
+from .. import obs
+
+__all__ = ["record_kernel_batch", "record_prepared_batch"]
+
+
+def record_kernel_batch(
+    backend: str, estimator: str, queries: int, programs: int
+) -> None:
+    """Per-backend counters for one kernel batch (only when obs is on)."""
+    if not obs.enabled:  # call sites check too; this is defence in depth
+        return
+    obs.registry.counter(
+        "kernel_batch_queries_total",
+        "Queries answered by the vectorised kernel executors.",
+        labels=("backend", "estimator"),
+    ).inc(queries, backend=backend, estimator=estimator)
+    obs.registry.counter(
+        "kernel_batch_programs_total",
+        "Distinct lowered programs evaluated per kernel batch.",
+        labels=("backend", "estimator"),
+    ).inc(programs, backend=backend, estimator=estimator)
+
+
+def record_prepared_batch(backend: str, programs: int, ops: int) -> None:
+    """One concatenated, level-scheduled batch was built and cached."""
+    if not obs.enabled:  # call sites check too; this is defence in depth
+        return
+    obs.registry.counter(
+        "kernel_prepared_batches_total",
+        "Concatenated kernel batches prepared (index arrays built).",
+        labels=("backend",),
+    ).inc(backend=backend)
+    obs.registry.gauge(
+        "kernel_prepared_batch_ops",
+        "Ops in the most recently prepared kernel batch.",
+        labels=("backend",),
+    ).set(ops, backend=backend)
+    obs.registry.gauge(
+        "kernel_prepared_batch_programs",
+        "Programs in the most recently prepared kernel batch.",
+        labels=("backend",),
+    ).set(programs, backend=backend)

@@ -37,11 +37,13 @@ __all__ = ["estimate_trees_parallel", "DEFAULT_CHUNKS_PER_WORKER"]
 DEFAULT_CHUNKS_PER_WORKER = 4
 
 _worker_estimator: "SelectivityEstimator | None" = None
+_worker_backend: str = "plan"
 
 
-def _init_worker(estimator: "SelectivityEstimator") -> None:
-    global _worker_estimator
+def _init_worker(estimator: "SelectivityEstimator", backend: str = "plan") -> None:
+    global _worker_estimator, _worker_backend
     _worker_estimator = estimator
+    _worker_backend = backend
 
 
 def _estimate_chunk(
@@ -51,10 +53,16 @@ def _estimate_chunk(
     estimator = _worker_estimator
     if estimator is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("estimation worker used before initialisation")
+    backend = _worker_backend
     if snapshot is None:
+        if backend != "plan":
+            return estimator._estimate_trees_kernel(trees, backend), None
         return estimator._estimate_trees(trees), None
     with obs.worker_window(snapshot) as telemetry:
-        values = estimator._estimate_trees(trees)
+        if backend != "plan":
+            values = estimator._estimate_trees_kernel(trees, backend)
+        else:
+            values = estimator._estimate_trees(trees)
     return values, telemetry
 
 
@@ -64,6 +72,7 @@ def estimate_trees_parallel(
     *,
     workers: int,
     chunk_size: int | None = None,
+    backend: str = "plan",
 ) -> list[float]:
     """Estimate ``trees`` across ``workers`` processes, preserving order.
 
@@ -71,11 +80,23 @@ def estimate_trees_parallel(
     default the batch is split into ``workers * 4`` near-even chunks.
     Cross-query memo sharing happens per chunk (workers do not share
     memory), which affects speed only — never a single estimated value.
+
+    ``backend`` selects the per-chunk replay path inside each worker
+    (an already-resolved name: ``"plan"`` / ``"array"`` / ``"numpy"``).
+    For kernel backends the parent lowers every warm shape's plan to a
+    flat-array program *before* the fan-out, so the programs travel
+    once per worker with the pickled estimator (through the pool
+    initializer) and are reused across every chunk that worker runs —
+    no per-chunk recompilation or re-lowering.
     """
     if workers < 2:
         raise ValueError(f"parallel fan-out needs workers >= 2, got {workers}")
     if chunk_size is not None and chunk_size < 1:
         raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    if backend != "plan":
+        state = estimator._kernel_state()
+        for pattern_id, plan in estimator._kernel_warm_plans():
+            state.program_for(pattern_id, plan)
     if chunk_size is None:
         chunks = chunked(trees, workers * DEFAULT_CHUNKS_PER_WORKER)
     else:
@@ -90,7 +111,7 @@ def estimate_trees_parallel(
     with ProcessPoolExecutor(
         max_workers=min(workers, len(chunks)),
         initializer=_init_worker,
-        initargs=(estimator,),
+        initargs=(estimator, backend),
     ) as executor:
         for values, telemetry in executor.map(
             _estimate_chunk, chunks, repeat(snapshot)

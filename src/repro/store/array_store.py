@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import sys
 from array import array
-from typing import Iterator
+from typing import Iterator, Sequence
 
 from .. import obs
 from ..trees.canonical import Canon, PatternInterner
@@ -100,6 +100,43 @@ class ArrayStore(SummaryStore):
     def count_by_id(self, pattern_id: int) -> int:
         """Count stored under a dense id (raises ``IndexError`` if unknown)."""
         return self._counts[pattern_id]
+
+    def gather_counts(
+        self, pattern_ids: "Sequence[int]", *, missing: int | None = None
+    ) -> "array[int]":
+        """Bulk id -> count gather: one ``array('q')`` per input order.
+
+        The column-at-a-time counterpart of :meth:`count_by_id` for the
+        kernel layer and serving callers: hand it a batch of dense ids
+        and get the packed count column back (``'q'`` slots, so counts
+        beyond 2**31 survive unclipped).  An id outside the store raises
+        :class:`IndexError` naming the offending id, unless ``missing``
+        supplies a substitute count for unknown ids.
+        """
+        counts = self._counts
+        limit = len(counts)
+        out = array(_COUNT_TYPECODE)
+        if missing is None:
+            for pattern_id in pattern_ids:
+                if not 0 <= pattern_id < limit:
+                    raise IndexError(
+                        f"pattern id {pattern_id} not in store "
+                        f"(holds ids 0..{limit - 1})"
+                    )
+                out.append(counts[pattern_id])
+        else:
+            for pattern_id in pattern_ids:
+                if 0 <= pattern_id < limit:
+                    out.append(counts[pattern_id])
+                else:
+                    out.append(missing)
+        if obs.enabled:
+            obs.registry.counter(
+                "store_gather_ids_total",
+                "Dense ids resolved through bulk count gathers.",
+                labels=("backend",),
+            ).inc(len(out), backend="array")
+        return out
 
     # -- accounting -----------------------------------------------------
 

@@ -376,6 +376,97 @@ def test_store_internals_exempts_store_package_and_interner():
     assert findings_for(bad, "store-internals", path="src/repro/core/lattice.py")
 
 
+def test_kernel_purity_bad_obs_import():
+    for line in (
+        "from .. import obs",
+        "from repro import obs",
+        "import repro.obs",
+        "from repro.obs import registry",
+        "from ..obs import registry",
+        "from ..obs.registry import MetricsRegistry",
+    ):
+        findings = findings_for(
+            line + "\n", "kernel-purity", path="src/repro/kernels/exec_fast.py"
+        )
+        assert findings, line
+        assert "record.py" in findings[0].message
+
+
+def test_kernel_purity_record_module_may_import_obs():
+    assert not findings_for(
+        """
+        from .. import obs
+
+        def record_batch(backend):
+            if not obs.enabled:
+                return
+            obs.registry.counter("x", "help").inc()
+        """,
+        "kernel-purity",
+        path="src/repro/kernels/record.py",
+    )
+
+
+def test_kernel_purity_bad_hot_loop_recording_and_formatting():
+    findings = findings_for(
+        """
+        def execute_program(program, record_step):
+            slots = list(program.base)
+            for i in range(len(slots)):
+                record_step(i)
+                label = f"op {i}"
+                other = "op {}".format(i)
+                third = "op %d" % i
+            return slots[0]
+        """,
+        "kernel-purity",
+        path="src/repro/kernels/exec_fast.py",
+    )
+    assert len(findings) == 4
+    assert any("record_step" in f.message for f in findings)
+    assert any("string formatting" in f.message for f in findings)
+
+
+def test_kernel_purity_comprehension_counts_as_hot_loop():
+    findings = findings_for(
+        """
+        def run_batch(programs, record_value):
+            return [record_value(p) for p in programs]
+        """,
+        "kernel-purity",
+        path="src/repro/kernels/exec_fast.py",
+    )
+    assert len(findings) == 1
+
+
+def test_kernel_purity_good_executor_and_guarded_setup():
+    # Recording outside the loop (and outside executor functions) is the
+    # sanctioned shape; so is plain arithmetic inside the loop.
+    assert not findings_for(
+        """
+        from .record import record_batch
+
+        def execute_program(program):
+            slots = list(program.base)
+            for i in range(len(slots)):
+                slots[i] = slots[i] * 2.0
+            return slots[0]
+
+        def execute_batch(programs):
+            values = [execute_program(p) for p in programs]
+            record_batch(len(values))
+            return values
+        """,
+        "kernel-purity",
+        path="src/repro/kernels/exec_fast.py",
+    )
+
+
+def test_kernel_purity_scoped_to_kernels_package():
+    bad = "from repro import obs\n"
+    assert not findings_for(bad, "kernel-purity", path="src/repro/core/plan.py")
+
+
 # ----------------------------------------------------------------------
 # Engine behaviour
 # ----------------------------------------------------------------------
@@ -499,6 +590,7 @@ def test_checker_registry_has_all_documented_rules():
         "dict-order-tiebreak",
         "public-annotations",
         "store-internals",
+        "kernel-purity",
         "worker-purity",
         "pickle-safety",
         "order-discipline",
