@@ -64,7 +64,19 @@ from .datasets import (
     generate_xmark,
 )
 from .mining import MiningResult, mine_lattice, pattern_counts_by_level
-from .store import ArrayStore, DictStore, SummaryStore, make_store
+from .resilience import ChunkFailureError, RetryBudgetExhausted, RetryPolicy
+from .store import (
+    ArrayStore,
+    ChecksumMismatch,
+    DictStore,
+    StoreError,
+    StorePayloadError,
+    SummaryStore,
+    TruncatedPayload,
+    UnknownBackendError,
+    UnsupportedVersion,
+    make_store,
+)
 from .trees import (
     DocumentIndex,
     PatternInterner,
@@ -123,6 +135,16 @@ __all__ = [
     "ArrayStore",
     "make_store",
     "PatternInterner",
+    "StoreError",
+    "StorePayloadError",
+    "TruncatedPayload",
+    "ChecksumMismatch",
+    "UnsupportedVersion",
+    "UnknownBackendError",
+    # resilience (policy surface; injection hooks stay in repro.resilience)
+    "RetryPolicy",
+    "ChunkFailureError",
+    "RetryBudgetExhausted",
     # core
     "LatticeSummary",
     "build_lattice",

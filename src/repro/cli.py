@@ -23,8 +23,15 @@ Subcommands mirror the deployment workflow:
 ``--trace PATH`` to capture the run's metrics registry and structured
 estimation trace (see ``docs/observability.md``).
 
+``summarize`` and ``estimate`` accept ``--retry N`` / ``--timeout S``
+to give parallel work a failure budget: crashed, hung, or failed chunks
+are retried (with capped exponential backoff) and, once the budget runs
+out, completed serially in-process (see ``docs/robustness.md``).
+
 Exit codes: 0 success; 2 usage errors (unparseable query, missing or
-corrupt summary file); 1 any other handled failure.
+corrupt summary file); 3 completed but degraded (parallel work fell
+back to the serial path after exhausting its retry budget — results
+are still exact); 1 any other handled failure.
 
 Run ``python -m repro <subcommand> --help`` for the flags of each.
 """
@@ -39,6 +46,12 @@ import time
 from typing import Callable
 
 from . import obs
+from .resilience import (
+    ChunkFailureError,
+    RetryPolicy,
+    degraded_events,
+    last_degraded_site,
+)
 from .core.estimator import SelectivityEstimator
 from .core.explain import explain as explain_query
 from .core.explain import explanation_from_spans
@@ -59,6 +72,48 @@ __all__ = ["main", "build_parser"]
 class CliUsageError(Exception):
     """Bad input the user can fix (exit status 2): unparseable query,
     missing or corrupt summary file."""
+
+
+#: Exit status for runs that completed with exact results but had to
+#: fall back to the serial path after exhausting their retry budget.
+EXIT_DEGRADED = 3
+
+
+def _retry_policy(args: argparse.Namespace) -> RetryPolicy | None:
+    """Build the parallel failure budget from ``--retry`` / ``--timeout``.
+
+    ``None`` (neither flag given) keeps the library default: no
+    retries, failures raise.  Either flag alone implies the other's
+    default (2 retries / no timeout), and the CLI always degrades to
+    serial rather than failing — surfaced via exit status 3.
+    """
+    retries = getattr(args, "retry", None)
+    timeout = getattr(args, "timeout", None)
+    if retries is None and timeout is None:
+        return None
+    if retries is not None and retries < 0:
+        raise CliUsageError(f"--retry must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise CliUsageError(f"--timeout must be > 0 seconds, got {timeout}")
+    return RetryPolicy(
+        max_retries=retries if retries is not None else 2,
+        attempt_timeout=timeout,
+        fallback=True,
+    )
+
+
+def _degradation_status(events_before: int) -> int:
+    """0, or :data:`EXIT_DEGRADED` when serial fallbacks happened."""
+    fallen_back = degraded_events() - events_before
+    if not fallen_back:
+        return 0
+    print(
+        f"warning: {fallen_back} chunk(s) at {last_degraded_site()!r} fell "
+        "back to the serial path after exhausting the retry budget; "
+        "results are exact but the run was degraded",
+        file=sys.stderr,
+    )
+    return EXIT_DEGRADED
 
 
 def _parse_query(text: str) -> TwigQuery:
@@ -103,6 +158,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for mining (0 = one per core; default serial)",
     )
+    _add_resilience_flags(p)
     p.add_argument(
         "--store",
         choices=("dict", "array"),
@@ -133,6 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for --batch (0 = one per core; default serial)",
     )
+    _add_resilience_flags(p)
     p.add_argument(
         "--estimator",
         choices=("recursive", "voting", "fixed", "markov"),
@@ -302,6 +359,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_resilience_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--retry",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry each failed parallel chunk up to N times, then finish "
+        "it serially (exact results, exit status 3)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abandon a parallel chunk attempt after SECONDS and retry it "
+        "(hung-worker protection; implies --retry 2 unless given)",
+    )
+
+
 def _add_observability_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-json",
@@ -349,8 +425,13 @@ def _do_summarize(args: argparse.Namespace) -> int:
     parse_seconds = time.perf_counter() - start
     print(f"parsed {document.size} nodes in {parse_seconds:.2f}s")
 
+    events_before = degraded_events()
     summary = LatticeSummary.build(
-        document, args.level, workers=args.workers, store=args.store
+        document,
+        args.level,
+        workers=args.workers,
+        store=args.store,
+        retry=_retry_policy(args),
     )
     print(
         f"mined {summary.num_patterns} patterns "
@@ -366,7 +447,7 @@ def _do_summarize(args: argparse.Namespace) -> int:
         )
     summary.save(args.output)
     print(f"summary written to {args.output}")
-    return 0
+    return _degradation_status(events_before)
 
 
 def _estimator_for(name: str, summary: LatticeSummary) -> SelectivityEstimator:
@@ -479,8 +560,12 @@ def _do_estimate_batch(
     texts = _read_batch_file(args.batch)
     queries = [_parse_query(text) for text in texts]
     start = time.perf_counter()
+    events_before = degraded_events()
     estimates = estimator.estimate_batch(
-        queries, workers=args.workers, backend=args.backend
+        queries,
+        workers=args.workers,
+        backend=args.backend,
+        retry=_retry_policy(args),
     )
     elapsed_ms = (time.perf_counter() - start) * 1000
     print(f"estimator : {estimator.name}")
@@ -495,7 +580,7 @@ def _do_estimate_batch(
         f"time      : {elapsed_ms:.2f}ms total, "
         f"{elapsed_ms / len(queries):.3f}ms/query"
     )
-    return 0
+    return _degradation_status(events_before)
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
@@ -687,7 +772,7 @@ def main(argv: list[str] | None = None) -> int:
     except CliUsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except (ValueError, KeyError, OSError) as exc:
+    except (ValueError, KeyError, OSError, ChunkFailureError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -20,6 +20,7 @@ from ..trees.twig import TwigQuery
 if TYPE_CHECKING:
     from ..kernels import KernelState
     from ..kernels.program import PlanT
+    from ..resilience import RetryPolicy
 
 __all__ = ["QueryLike", "SelectivityEstimator", "coerce_query_tree"]
 
@@ -76,6 +77,7 @@ class SelectivityEstimator(ABC):
         workers: int | None = None,
         chunk_size: int | None = None,
         backend: str | None = None,
+        retry: "RetryPolicy | None" = None,
     ) -> list[float]:
         """Estimate a whole workload in one call.
 
@@ -94,6 +96,14 @@ class SelectivityEstimator(ABC):
         programs (:mod:`repro.kernels`), ``"auto"`` the fastest backend
         available.  Every backend is bit-identical — same float ops in
         the same order per query — so this is purely a throughput knob.
+
+        ``retry`` sets the parallel path's per-chunk failure budget
+        (:class:`~repro.resilience.RetryPolicy`; ignored when serial).
+        By default nothing is retried, but a worker crash or hang still
+        surfaces as a chained
+        :class:`~repro.resilience.ChunkFailureError` naming the failing
+        chunk; with ``fallback=True`` exhausted chunks degrade to an
+        in-process serial replay instead.  See ``docs/robustness.md``.
         """
         trees = [coerce_query_tree(query) for query in queries]
         resolved = "plan"
@@ -124,6 +134,7 @@ class SelectivityEstimator(ABC):
                     workers=n_workers,
                     chunk_size=chunk_size,
                     backend=resolved,
+                    retry=retry,
                 )
             if resolved != "plan":
                 return self._estimate_trees_kernel(trees, resolved)

@@ -25,11 +25,12 @@ from __future__ import annotations
 import pickle
 import time
 from pathlib import Path
-from typing import Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from .. import obs
 from ..mining.freqt import MiningResult, mine_lattice
 from ..store import ArrayStore, SummaryStore, coerce_store, make_store
+from ..store.errors import TruncatedPayload, UnsupportedVersion
 from ..trees.canonical import (
     Canon,
     canon_size,
@@ -39,6 +40,9 @@ from ..trees.canonical import (
 from ..trees.labeled_tree import LabeledTree
 from ..trees.matching import DocumentIndex
 from ..trees.twig import TwigQuery
+
+if TYPE_CHECKING:
+    from ..resilience import RetryPolicy
 
 __all__ = ["LatticeSummary", "build_lattice", "FORMAT_VERSION"]
 
@@ -90,13 +94,17 @@ class LatticeSummary:
         *,
         workers: int | None = None,
         store: str = "dict",
+        retry: "RetryPolicy | None" = None,
     ) -> "LatticeSummary":
         """Mine a document and build its complete ``level``-lattice.
 
         ``workers`` parallelises candidate counting across processes
         (``None``/``1`` = serial, ``0`` = one per core); ``store`` picks
-        the count backend (``"dict"``/``"array"``).  The resulting
-        summary is bit-identical across workers and backends (see
+        the count backend (``"dict"``/``"array"``); ``retry`` gives
+        parallel mining a failure budget (default: none — a worker
+        failure raises; see ``docs/robustness.md``).
+        The resulting summary is bit-identical across workers, backends,
+        and any injected-fault schedule the budget absorbs (see
         ``docs/parallelism.md`` and ``docs/architecture.md``).
         """
         sink = make_store(store)
@@ -104,7 +112,9 @@ class LatticeSummary:
         # Mining streams each level straight into the sink, so the array
         # backend interns ids as patterns are discovered instead of
         # materialising a tuple-keyed dict first.
-        mined = mine_lattice(document, level, workers=workers, sink=sink)
+        mined = mine_lattice(
+            document, level, workers=workers, sink=sink, retry=retry
+        )
         elapsed = time.perf_counter() - start
         summary = cls(
             mined.max_size,
@@ -337,15 +347,17 @@ class LatticeSummary:
         try:
             text = raw.decode("utf-8").splitlines()
         except UnicodeDecodeError as exc:
-            raise ValueError(f"{path}: not a TreeLattice summary file") from exc
+            raise TruncatedPayload(
+                f"{path}: not a TreeLattice summary file"
+            ) from exc
         if not text or not text[0].startswith("#treelattice"):
-            raise ValueError(f"{path}: not a TreeLattice summary file")
+            raise TruncatedPayload(f"{path}: not a TreeLattice summary file")
         header = dict(
             item.split("=", 1) for item in text[0].split()[1:] if "=" in item
         )
         version = int(header.get("v", 1))
         if version > FORMAT_VERSION:
-            raise ValueError(
+            raise UnsupportedVersion(
                 f"{path}: summary format version {version} is newer than "
                 f"this build supports (reads <= {FORMAT_VERSION})"
             )
@@ -364,21 +376,30 @@ class LatticeSummary:
         try:
             payload = pickle.loads(body)
         except Exception as exc:  # pickle raises a zoo of error types
-            raise ValueError(
+            raise TruncatedPayload(
                 f"{path}: corrupt binary summary container: {exc}"
             ) from exc
+        if not isinstance(payload, dict):
+            raise TruncatedPayload(
+                f"{path}: binary summary container holds "
+                f"{type(payload).__name__}, not a payload mapping"
+            )
         version = payload.get("version")
         if version != FORMAT_VERSION:
-            raise ValueError(
+            raise UnsupportedVersion(
                 f"{path}: unsupported summary format version {version!r} "
                 f"(this build reads version {FORMAT_VERSION})"
             )
-        store = ArrayStore.from_payload(payload["store"])
-        return cls(
-            int(payload["level"]),
-            store,
-            complete_sizes=[int(s) for s in payload["complete"]],
-        )
+        try:
+            store_payload = payload["store"]
+            level = int(payload["level"])
+            complete = [int(s) for s in payload["complete"]]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TruncatedPayload(
+                f"{path}: binary summary container is incomplete: {exc}"
+            ) from exc
+        store = ArrayStore.from_payload(store_payload)
+        return cls(level, store, complete_sizes=complete)
 
 
 def build_lattice(
@@ -387,6 +408,9 @@ def build_lattice(
     *,
     workers: int | None = None,
     store: str = "dict",
+    retry: "RetryPolicy | None" = None,
 ) -> LatticeSummary:
     """Convenience wrapper: mine ``document`` into a ``level``-lattice."""
-    return LatticeSummary.build(document, level, workers=workers, store=store)
+    return LatticeSummary.build(
+        document, level, workers=workers, store=store, retry=retry
+    )

@@ -44,6 +44,16 @@ EXECUTOR_CLASSES = frozenset(
 
 _SUBMIT_METHODS = frozenset({"map", "submit", "apply_async", "map_async", "imap", "imap_unordered"})
 
+#: Project functions that forward their first argument to a process
+#: pool as the task callable (arg 2 carries the task payloads).  The
+#: retry engine is the only member today: both parallel paths submit
+#: through :func:`repro.resilience.runner.run_chunks`, so a call to it
+#: is a submission site — the submitted function is a worker root and
+#: its tasks cross the pickle boundary — even though the literal
+#: ``.submit()`` happens behind the :class:`~repro.parallel.pool.
+#: PoolSupervisor` indirection.
+TASK_RUNNERS = frozenset({"repro.resilience.runner:run_chunks"})
+
 
 @dataclasses.dataclass
 class SubmissionSite:
@@ -220,7 +230,7 @@ class _FunctionScan:
     def _seed_locals(self, stmt: ast.stmt) -> None:
         for node in ast.walk(stmt):
             if isinstance(node, ast.ImportFrom):
-                base = _local_import_base(node, self.module.name)
+                base = _local_import_base(node, self.module)
                 if base is None:
                     continue
                 for alias in node.names:
@@ -339,6 +349,7 @@ class _FunctionScan:
             base_target = self._executor_base_target(func.value)
             if base_target is not None:
                 self._submission_site(node, func.attr, base_target)
+        self._task_runner_site(node)
         self._edge_for_call(node)
 
     def _initializer_site(self, node: ast.Call, executor_target: str) -> None:
@@ -387,6 +398,31 @@ class _FunctionScan:
                 target=target,
                 payload=payload,
                 executor_target=executor_target,
+            )
+        )
+
+    def _task_runner_site(self, node: ast.Call) -> None:
+        """Calls to :data:`TASK_RUNNERS` ship ``args[0]`` to a worker."""
+        resolved = self._resolve(node.func)
+        if (
+            resolved is None
+            or resolved.kind != "function"
+            or resolved.ident not in TASK_RUNNERS
+        ):
+            return
+        func_expr = node.args[0] if node.args else None
+        payload = list(node.args[1:])
+        target = self._resolve_callable(func_expr) if func_expr is not None else None
+        self.graph.sites.append(
+            SubmissionSite(
+                kind="submit",
+                module=self.module.name,
+                call=node,
+                enclosing=self.function,
+                func_expr=func_expr,
+                target=target,
+                payload=payload,
+                executor_target="concurrent.futures.ProcessPoolExecutor",
             )
         )
 
@@ -461,11 +497,12 @@ class _FunctionScan:
                     self.graph.add_edge(caller, call.ident)
 
 
-def _local_import_base(stmt: ast.ImportFrom, module_name: str) -> str | None:
+def _local_import_base(stmt: ast.ImportFrom, module: ModuleInfo) -> str | None:
     """Base module of a function-local ``from X import Y`` statement."""
     if stmt.level == 0:
         return stmt.module
-    package = module_name.rpartition(".")[0]
+    module_name = module.name
+    package = module_name if module.is_package else module_name.rpartition(".")[0]
     parts = package.split(".") if package else ([module_name] if module_name else [])
     cut = stmt.level - 1
     if cut > len(parts):

@@ -34,6 +34,11 @@ rationale per rule):
     The kernel layer imports :mod:`repro.obs` only through its guarded
     ``record.py`` bridge, and executor hot loops stay free of recording
     calls and string formatting (no allocation when obs is disabled).
+``fault-site-purity``
+    The chaos harness's injection machinery (:class:`~repro.resilience.
+    FaultPlan`, ``corrupt_bytes``, the ``REPRO_FAULTS`` activation
+    variable) stays confined to ``repro/resilience/``; production
+    fault sites outside it are baselined with a justification.
 """
 
 from __future__ import annotations
@@ -54,6 +59,7 @@ __all__ = [
     "PublicAnnotationsChecker",
     "StoreInternalsChecker",
     "KernelPurityChecker",
+    "FaultSitePurityChecker",
 ]
 
 _FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
@@ -899,3 +905,103 @@ class KernelPurityChecker(Checker):
             f"{function!r} allocates even with observability disabled; "
             "move message building out of the hot loop",
         )
+
+
+@register
+class FaultSitePurityChecker(Checker):
+    """Fault-injection machinery stays confined to ``repro/resilience/``.
+
+    The chaos harness is *sanctioned* nondeterminism — it crashes,
+    hangs, and corrupts on command — so the worker-purity suite exempts
+    it wholesale.  That exemption is only safe while the injection
+    hooks cannot leak into production modules unnoticed.  Two checks:
+
+    * no module outside ``repro/resilience/`` may import the injection
+      names (``FaultPlan``, ``corrupt_bytes``, ``execute_fault``, ...)
+      from :mod:`repro.resilience`, in any form (absolute, relative, or
+      submodule).  Deliberate fault sites — e.g. the store loaders'
+      ``corrupt_bytes`` hook — are baselined with a justification, so
+      every new site is an explicit review decision;
+    * no module outside the harness may mention the ``REPRO_FAULTS``
+      activation variable: plan activation (and the env read it
+      implies) belongs to :func:`repro.resilience.faults.active_plan`
+      alone, keeping production behaviour decoupled from the chaos
+      spec.
+
+    The resilience *policy* surface (``RetryPolicy``, ``run_chunks``,
+    the error taxonomy) is importable from anywhere — only the
+    injection side is fenced.
+    """
+
+    rule = "fault-site-purity"
+    description = (
+        "fault-injection hooks (FaultPlan, corrupt_bytes, REPRO_FAULTS) "
+        "stay confined to repro/resilience/"
+    )
+
+    _INJECTION_NAMES = frozenset(
+        {
+            "FaultPlan",
+            "FaultCommand",
+            "FaultRule",
+            "fault_plan",
+            "active_plan",
+            "execute_fault",
+            "corrupt_bytes",
+        }
+    )
+
+    _ENV_VAR = "REPRO_FAULTS"
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        # Tests and benchmarks drive the harness on purpose, and the
+        # lint suite itself must be able to name what it fences; the
+        # fence protects production modules outside the harness.
+        normalized = path.replace("\\", "/")
+        parts = normalized.split("/")
+        filename = parts[-1]
+        return (
+            "repro/resilience/" not in normalized
+            and "repro/devtools/" not in normalized
+            and "tests" not in parts
+            and "benchmarks" not in parts
+            and not filename.startswith(("test_", "bench_"))
+        )
+
+    def run(self) -> None:
+        self.visit(self.ctx.tree)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if self._from_resilience(node):
+            for alias in node.names:
+                if alias.name in self._INJECTION_NAMES:
+                    self.report(
+                        node,
+                        f"imports fault-injection hook {alias.name!r} from "
+                        "repro.resilience; injection machinery stays inside "
+                        "the resilience harness — deliberate fault sites "
+                        "must be baselined with a justification",
+                    )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _from_resilience(node: ast.ImportFrom) -> bool:
+        module = node.module or ""
+        if node.level == 0:
+            return module == "repro.resilience" or module.startswith(
+                "repro.resilience."
+            )
+        # Relative forms seen from inside repro/: ``from ..resilience
+        # import x`` / ``from .resilience.faults import x``.
+        return module == "resilience" or module.startswith("resilience.")
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if node.value == self._ENV_VAR:
+            self.report(
+                node,
+                f"references the {self._ENV_VAR} activation variable; only "
+                "the resilience harness may read the chaos spec — "
+                "production behaviour must not depend on it",
+            )
+        self.generic_visit(node)

@@ -389,6 +389,15 @@ class WorkerPurityChecker(_ProjectChecker):
     )
 
     def check(self) -> None:
+        if self.module.name == "repro.resilience" or self.module.name.startswith(
+            "repro.resilience."
+        ):
+            # Sanctioned impurity: the chaos harness's whole job is to
+            # crash, hang, and sleep inside workers on command.  Its
+            # blast radius is bounded by the fault-site-purity rule
+            # instead, which fences the injection hooks into
+            # repro/resilience/ (plus baselined, justified fault sites).
+            return
         for function in _module_functions(self.module):
             if not self.analysis.is_worker(function.ident):
                 continue

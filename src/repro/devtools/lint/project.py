@@ -124,6 +124,17 @@ class ModuleInfo:
     #: top-level variable name -> last assigned value expr.
     var_values: dict[str, ast.expr] = dataclasses.field(default_factory=dict)
 
+    @property
+    def is_package(self) -> bool:
+        """True for package ``__init__`` modules.
+
+        Their relative imports resolve against the package itself
+        (``from .sub import x`` in ``repro/store/__init__.py`` means
+        ``repro.store.sub``), not against the parent package the dotted
+        name alone would suggest.
+        """
+        return self.path.stem == "__init__"
+
 
 def package_root(path: Path) -> Path | None:
     """Topmost package directory containing ``path``, or ``None``.
@@ -476,7 +487,7 @@ def _top_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
 
 def _populate(info: ModuleInfo) -> None:
     """Fill one module's import and symbol tables from its AST."""
-    package = info.name.rpartition(".")[0]
+    package = info.name if info.is_package else info.name.rpartition(".")[0]
     for stmt in _top_level_statements(info.tree):
         if isinstance(stmt, ast.Import):
             for alias in stmt.names:

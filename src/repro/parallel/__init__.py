@@ -21,17 +21,20 @@ both bit-identical to their serial counterparts:
 Serial remains the default everywhere (``workers=None``); ``workers=0``
 means one worker per available core.  See ``docs/parallelism.md`` for
 the worker model, the determinism argument, and when parallelism pays
-off.
+off.  Both paths submit through the fault-tolerant retry engine
+(:mod:`repro.resilience`) via :class:`PoolSupervisor` — see
+``docs/robustness.md`` for crash/hang/retry semantics.
 """
 
 from .batch import DEFAULT_CHUNKS_PER_WORKER, estimate_trees_parallel
 from .mining import ParallelMiningPool
-from .pool import available_workers, chunked, resolve_workers
+from .pool import PoolSupervisor, available_workers, chunked, resolve_workers
 
 __all__ = [
     "ParallelMiningPool",
     "estimate_trees_parallel",
     "DEFAULT_CHUNKS_PER_WORKER",
+    "PoolSupervisor",
     "available_workers",
     "chunked",
     "resolve_workers",

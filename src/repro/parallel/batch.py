@@ -9,6 +9,19 @@ path.  Chunk results are concatenated in submission order; estimates
 are pure functions of ``(estimator, query)``, so the fan-out returns
 exactly what ``[estimator.estimate(q) for q in queries]`` would.
 
+Every submission goes through the retry engine
+(:func:`repro.resilience.runner.run_chunks`): a worker crash
+(``BrokenProcessPool``), a hung worker (per-attempt timeout), or a
+payload that fails to pickle charges the affected chunks' retry budget,
+the pool is rebuilt, and only the chunks that never produced a result
+are re-submitted.  With the default budget (``RetryPolicy.none()``)
+nothing is retried, but failures still surface as a chained
+:class:`~repro.resilience.retry.ChunkFailureError` naming the failing
+chunk instead of a raw executor internal.  When a caller-supplied
+policy allows fallback, chunks whose budget runs out degrade to an
+in-process serial replay — same values, recorded via the
+``degraded_mode`` gauge.  See ``docs/robustness.md``.
+
 Telemetry survives the fan-out: when the parent has observability
 enabled, a :class:`~repro.obs.TelemetrySnapshot` of the active capture
 window travels with each task, the worker records into an equivalent
@@ -21,20 +34,24 @@ equal serial ones (asserted in ``tests/test_parallel.py``).
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from itertools import repeat
 from typing import TYPE_CHECKING, Sequence
 
 from .. import obs
+from ..resilience import RetryPolicy, run_chunks
 from ..trees.labeled_tree import LabeledTree
-from .pool import chunked
+from .pool import PoolSupervisor, chunked
 
 if TYPE_CHECKING:  # import cycle: core.estimator lazily imports this module
     from ..core.estimator import SelectivityEstimator
 
-__all__ = ["estimate_trees_parallel", "DEFAULT_CHUNKS_PER_WORKER"]
+__all__ = ["estimate_trees_parallel", "DEFAULT_CHUNKS_PER_WORKER", "FAULT_SITE"]
 
 #: Chunks submitted per worker; >1 smooths out per-query cost skew.
 DEFAULT_CHUNKS_PER_WORKER = 4
+
+#: Fault-injection / retry site name for this fan-out (chaos specs and
+#: the ``fault_*`` / ``retry_*`` metric labels use it).
+FAULT_SITE = "batch.estimate_chunk"
 
 _worker_estimator: "SelectivityEstimator | None" = None
 _worker_backend: str = "plan"
@@ -73,6 +90,7 @@ def estimate_trees_parallel(
     workers: int,
     chunk_size: int | None = None,
     backend: str = "plan",
+    retry: RetryPolicy | None = None,
 ) -> list[float]:
     """Estimate ``trees`` across ``workers`` processes, preserving order.
 
@@ -88,6 +106,13 @@ def estimate_trees_parallel(
     once per worker with the pickled estimator (through the pool
     initializer) and are reused across every chunk that worker runs —
     no per-chunk recompilation or re-lowering.
+
+    ``retry`` sets the failure budget per chunk (default: no retries,
+    failures raise a chained
+    :class:`~repro.resilience.retry.ChunkFailureError`).  A policy with
+    ``fallback=True`` degrades out-of-budget chunks to an in-process
+    serial replay instead of failing the batch; the result values are
+    identical either way.
     """
     if workers < 2:
         raise ValueError(f"parallel fan-out needs workers >= 2, got {workers}")
@@ -106,17 +131,43 @@ def estimate_trees_parallel(
         ]
     if not chunks:
         return []
+    policy = retry if retry is not None else RetryPolicy.none()
     snapshot = obs.telemetry_snapshot()
+    tasks = [(chunk, snapshot) for chunk in chunks]
+
+    def _make_executor() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)),
+            initializer=_init_worker,
+            initargs=(estimator, backend),
+        )
+
+    def _serial_chunk(
+        task: tuple[list[LabeledTree], obs.TelemetrySnapshot | None],
+    ) -> tuple[list[float], obs.WorkerTelemetry | None]:
+        # Degraded-mode fallback: replay the chunk in-process.  The
+        # parent's live registry records telemetry directly, so no
+        # worker window is needed (and ``None`` skips absorption).
+        chunk_trees, _ = task
+        if backend != "plan":
+            return estimator._estimate_trees_kernel(chunk_trees, backend), None
+        return estimator._estimate_trees(chunk_trees), None
+
+    supervisor = PoolSupervisor(_make_executor)
+    try:
+        report = run_chunks(
+            _estimate_chunk,
+            tasks,
+            supervisor=supervisor,
+            site=FAULT_SITE,
+            policy=policy,
+            serial_fallback=_serial_chunk,
+        )
+    finally:
+        supervisor.close()
     estimates: list[float] = []
-    with ProcessPoolExecutor(
-        max_workers=min(workers, len(chunks)),
-        initializer=_init_worker,
-        initargs=(estimator, backend),
-    ) as executor:
-        for values, telemetry in executor.map(
-            _estimate_chunk, chunks, repeat(snapshot)
-        ):
-            estimates.extend(values)
-            if telemetry is not None:
-                obs.absorb_worker_telemetry(telemetry)
+    for values, telemetry in report.results:
+        estimates.extend(values)
+        if telemetry is not None:
+            obs.absorb_worker_telemetry(telemetry)
     return estimates

@@ -10,6 +10,18 @@ accumulates across levels — the same shared-memo trick the serial miner
 uses, so counting a size-``n+1`` candidate normally only assembles
 root-level counts over already-memoised size-``<= n`` sub-patterns.
 
+Failure discipline
+------------------
+Submissions go through the retry engine (:func:`repro.resilience.
+runner.run_chunks`): a crashed or hung worker tears the pool down, a
+fresh one is built (rebuilt workers start with an empty memo — a speed
+cost, never a correctness one), and only chunks without a result are
+re-submitted.  With retries disabled (the default) failures surface as
+a chained :class:`~repro.resilience.retry.ChunkFailureError`; a policy
+with ``fallback=True`` instead degrades out-of-budget chunks to the
+parent-side serial counter, which keeps its own memo across levels.
+See ``docs/robustness.md``.
+
 Determinism
 -----------
 Candidate counts are exact integers computed independently per
@@ -19,26 +31,30 @@ set yields the same counts.  Chunks are contiguous slices of the
 caller's (sorted) candidate list and results are merged in submission
 order, so the merged mapping preserves the serial path's insertion
 order too — parallel mining is bit-identical to serial, dict order
-included.
+included, retries and degraded chunks notwithstanding.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from itertools import repeat
 from types import TracebackType
 from typing import Sequence
 
 from .. import obs
+from ..resilience import RetryPolicy, run_chunks
 from ..trees.canonical import Canon
 from ..trees.matching import DocumentIndex, _rooted
-from .pool import chunked
+from .pool import PoolSupervisor, chunked
 
 __all__ = ["ParallelMiningPool"]
 
 #: Chunks submitted per worker and level; >1 smooths out skew between
 #: cheap and expensive candidates at a small scheduling cost.
 DEFAULT_CHUNKS_PER_WORKER = 4
+
+#: Fault-injection / retry site name for this fan-out (chaos specs and
+#: the ``fault_*`` / ``retry_*`` metric labels use it).
+FAULT_SITE = "mining.count_chunk"
 
 # Worker-process state, installed by _init_worker.  The rooted-count
 # memo deliberately persists across tasks: workers are reused for every
@@ -63,18 +79,20 @@ def _count_chunk(
     if index is None:  # pragma: no cover - initializer always runs first
         raise RuntimeError("mining worker used before initialisation")
     if snapshot is None:
-        return _count_candidates(candidates, index), None
+        return _count_candidates(candidates, index, _worker_maps), None
     with obs.worker_window(snapshot) as telemetry:
-        counted = _count_candidates(candidates, index)
+        counted = _count_candidates(candidates, index, _worker_maps)
     return counted, telemetry
 
 
 def _count_candidates(
-    candidates: list[Canon], index: DocumentIndex
+    candidates: list[Canon],
+    index: DocumentIndex,
+    maps: dict[Canon, dict[int, int]],
 ) -> list[tuple[Canon, int]]:
     counted: list[tuple[Canon, int]] = []
     for candidate in candidates:
-        count = sum(_rooted(candidate, index, _worker_maps).values())
+        count = sum(_rooted(candidate, index, maps).values())
         if obs.enabled:
             obs.registry.counter(
                 "mining_candidate_evaluations_total",
@@ -99,6 +117,7 @@ class ParallelMiningPool:
         workers: int,
         *,
         chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
+        retry: RetryPolicy | None = None,
     ) -> None:
         if workers < 2:
             raise ValueError(f"a parallel pool needs workers >= 2, got {workers}")
@@ -109,7 +128,28 @@ class ParallelMiningPool:
         self.index = index
         self.workers = workers
         self.chunks_per_worker = chunks_per_worker
-        self._executor: ProcessPoolExecutor | None = None
+        self.retry = retry if retry is not None else RetryPolicy.none()
+        self._supervisor = PoolSupervisor(self._make_executor)
+        # Parent-side memo for degraded chunks; like a worker's, it
+        # persists across levels of one mine.
+        self._fallback_maps: dict[Canon, dict[int, int]] = {}
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=_init_worker,
+            initargs=(self.index,),
+        )
+
+    def _serial_chunk(
+        self,
+        task: tuple[list[Canon], obs.TelemetrySnapshot | None],
+    ) -> tuple[list[tuple[Canon, int]], obs.WorkerTelemetry | None]:
+        # Degraded-mode fallback: count the chunk in-process.  The
+        # parent's live registry records telemetry directly, so no
+        # worker window is needed (and ``None`` skips absorption).
+        candidates, _ = task
+        return _count_candidates(candidates, self.index, self._fallback_maps), None
 
     def count_candidates(self, candidates: Sequence[Canon]) -> dict[Canon, int]:
         """``{candidate: exact count}`` for every *occurring* candidate.
@@ -119,18 +159,19 @@ class ParallelMiningPool:
         """
         if not candidates:
             return {}
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(self.index,),
-            )
         chunks = chunked(candidates, self.workers * self.chunks_per_worker)
         snapshot = obs.telemetry_snapshot()
+        tasks = [(chunk, snapshot) for chunk in chunks]
+        report = run_chunks(
+            _count_chunk,
+            tasks,
+            supervisor=self._supervisor,
+            site=FAULT_SITE,
+            policy=self.retry,
+            serial_fallback=self._serial_chunk,
+        )
         counts: dict[Canon, int] = {}
-        for pairs, telemetry in self._executor.map(
-            _count_chunk, chunks, repeat(snapshot)
-        ):
+        for pairs, telemetry in report.results:
             counts.update(pairs)
             if telemetry is not None:
                 obs.absorb_worker_telemetry(telemetry)
@@ -138,9 +179,7 @@ class ParallelMiningPool:
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown()
-            self._executor = None
+        self._supervisor.close()
 
     def __enter__(self) -> "ParallelMiningPool":
         return self

@@ -1,0 +1,32 @@
+"""Process-local degradation ledger.
+
+The CLI needs to report "completed, but degraded" (exit status 3)
+without requiring observability to be enabled, so the retry runner
+also notes every serial fallback here.  The ledger is deliberately a
+monotonic counter: callers snapshot it before a run and compare after
+(:func:`degraded_events`), which composes across nested runs.
+"""
+
+from __future__ import annotations
+
+__all__ = ["note_degraded", "degraded_events", "last_degraded_site"]
+
+_degraded_events = 0
+_last_site: str | None = None
+
+
+def note_degraded(site: str, chunks: int) -> None:
+    """Record that ``chunks`` chunks at ``site`` fell back to serial."""
+    global _degraded_events, _last_site
+    _degraded_events += chunks
+    _last_site = site
+
+
+def degraded_events() -> int:
+    """Total chunks completed via serial fallback in this process."""
+    return _degraded_events
+
+
+def last_degraded_site() -> str | None:
+    """Site of the most recent degradation, if any."""
+    return _last_site

@@ -1,0 +1,113 @@
+"""Sanctioned observability bridge for the resilience layer.
+
+Mirrors ``kernels/record.py``: every fault-injection and retry event the
+resilience layer reports funnels through the early-return guarded
+helpers below, so the retry runner itself stays free of unguarded
+``obs`` calls and the disabled path allocates nothing.
+
+Metric vocabulary (all labelled by the submission ``site``):
+
+* ``fault_injected_total{site,kind}`` — faults an active
+  :class:`~repro.resilience.faults.FaultPlan` injected;
+* ``retry_attempts_total{site}`` — chunk re-submissions after a failure;
+* ``retry_rounds_total{site}`` — recovery rounds (each backs off);
+* ``retry_pool_rebuilds_total{site}`` — executors rebuilt after a crash
+  or a hung worker;
+* ``retry_exhausted_total{site}`` — chunks whose retry budget ran out;
+* ``degraded_mode{site}`` — gauge, 1 when the most recent run at the
+  site completed through the serial fallback, 0 when it stayed on the
+  pool path.
+
+Spans: a ``retry`` span brackets each recovery round and a ``fault``
+span point marks each injection, so flight-recorder captures show
+exactly where a run lost time to failures.
+"""
+
+from __future__ import annotations
+
+from .. import obs
+from ..obs import NO_SPAN, SpanHandle
+
+__all__ = [
+    "record_fault",
+    "record_retry_round",
+    "record_pool_rebuild",
+    "record_exhausted",
+    "record_run_outcome",
+    "retry_span",
+]
+
+
+def record_fault(site: str, kind: str) -> None:
+    """One fault was injected by the active plan (only when obs is on)."""
+    if not obs.enabled:  # call sites check too; this is defence in depth
+        return
+    obs.registry.counter(
+        "fault_injected_total",
+        "Faults injected by the active FaultPlan.",
+        labels=("site", "kind"),
+    ).inc(site=site, kind=kind)
+    obs.span_point("fault", site=site, kind=kind)
+
+
+def record_retry_round(site: str, chunks: int) -> None:
+    """One recovery round re-submits ``chunks`` failed chunks."""
+    if not obs.enabled:  # call sites check too; this is defence in depth
+        return
+    obs.registry.counter(
+        "retry_rounds_total",
+        "Recovery rounds run by the retry engine.",
+        labels=("site",),
+    ).inc(site=site)
+    obs.registry.counter(
+        "retry_attempts_total",
+        "Chunk re-submissions after a failed attempt.",
+        labels=("site",),
+    ).inc(chunks, site=site)
+
+
+def record_pool_rebuild(site: str) -> None:
+    """The worker pool was torn down and rebuilt after a failure."""
+    if not obs.enabled:  # call sites check too; this is defence in depth
+        return
+    obs.registry.counter(
+        "retry_pool_rebuilds_total",
+        "Process pools rebuilt after a crash or hung worker.",
+        labels=("site",),
+    ).inc(site=site)
+
+
+def record_exhausted(site: str, chunks: int) -> None:
+    """``chunks`` chunks ran out of retry budget at ``site``."""
+    if not obs.enabled:  # call sites check too; this is defence in depth
+        return
+    obs.registry.counter(
+        "retry_exhausted_total",
+        "Chunks whose retry budget was exhausted.",
+        labels=("site",),
+    ).inc(chunks, site=site)
+
+
+def record_run_outcome(site: str, degraded: bool) -> None:
+    """Set the per-site degraded-mode gauge for the finished run."""
+    if not obs.enabled:  # call sites check too; this is defence in depth
+        return
+    obs.registry.gauge(
+        "degraded_mode",
+        "1 when the last run at the site fell back to the serial path.",
+        labels=("site",),
+    ).set(1 if degraded else 0, site=site)
+
+
+def retry_span(site: str, round_index: int, chunks: int) -> SpanHandle:
+    """Span bracketing one *recovery* round (``NO_SPAN`` when obs is off).
+
+    Round 0 — the ordinary first submission — gets no span: a healthy
+    run must leave the trace exactly as it was before the retry engine
+    existed.
+    """
+    if round_index <= 0:
+        return NO_SPAN
+    if not obs.enabled:  # call sites check too; this is defence in depth
+        return NO_SPAN
+    return obs.span("retry", site=site, round=round_index, chunks=chunks)

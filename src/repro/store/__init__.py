@@ -14,6 +14,14 @@ from ..trees.canonical import Canon
 from .array_store import ArrayStore
 from .base import SummaryStore
 from .dict_store import DictStore
+from .errors import (
+    ChecksumMismatch,
+    StoreError,
+    StorePayloadError,
+    TruncatedPayload,
+    UnknownBackendError,
+    UnsupportedVersion,
+)
 
 __all__ = [
     "SummaryStore",
@@ -22,6 +30,12 @@ __all__ = [
     "STORE_BACKENDS",
     "make_store",
     "coerce_store",
+    "StoreError",
+    "StorePayloadError",
+    "TruncatedPayload",
+    "ChecksumMismatch",
+    "UnsupportedVersion",
+    "UnknownBackendError",
 ]
 
 #: Backend-name -> store class registry (CLI choices mirror the keys).
@@ -36,7 +50,7 @@ def make_store(backend: str) -> SummaryStore:
     try:
         store_cls = STORE_BACKENDS[backend]
     except KeyError:
-        raise ValueError(
+        raise UnknownBackendError(
             f"unknown summary store backend {backend!r}; "
             f"choose from {sorted(STORE_BACKENDS)}"
         ) from None

@@ -10,7 +10,12 @@ encoding move native XML stores make for their path/label tables.
 The backend is picklable (workers receive estimators holding summaries)
 and has a versioned on-disk payload (:meth:`ArrayStore.to_payload` /
 :meth:`ArrayStore.from_payload`) that records the writer's byte order so
-summaries survive cross-endian moves.
+summaries survive cross-endian moves.  Version 2 payloads carry a CRC32
+over the label/code/count streams; loads verify it before trusting a
+single byte and raise the typed
+:class:`~repro.store.errors.StorePayloadError` taxonomy instead of
+ad-hoc ``ValueError``/pickle errors.  Version 1 payloads (no checksum)
+remain readable.
 """
 
 from __future__ import annotations
@@ -20,13 +25,21 @@ from array import array
 from typing import Iterator, Sequence
 
 from .. import obs
+from ..resilience import corrupt_bytes
 from ..trees.canonical import Canon, PatternInterner
 from .base import SummaryStore
+from .errors import TruncatedPayload, UnsupportedVersion
+from .integrity import payload_checksum, verify_checksum
 
 __all__ = ["ArrayStore"]
 
-#: Version stamp embedded in every persisted payload.
-PAYLOAD_VERSION = 1
+#: Version stamp embedded in every persisted payload.  Version 2 added
+#: the ``crc32`` integrity field; version 1 is still readable.
+PAYLOAD_VERSION = 2
+
+#: Fault-injection site for the count vector's bytes (chaos tests flip
+#: one byte here and assert the load dies with ``ChecksumMismatch``).
+_CORRUPTION_SITE = "store.array_payload"
 
 _COUNT_TYPECODE = "q"
 _CODE_TYPECODE = "H"
@@ -153,33 +166,76 @@ class ArrayStore(SummaryStore):
         self._interner, self._counts = state
 
     def to_payload(self) -> dict[str, object]:
-        """Versioned, endianness-tagged payload for on-disk persistence."""
+        """Versioned, endianness-tagged, checksummed persistence payload."""
         labels, codes = self._interner.tables()
+        counts = self._counts.tobytes()
         return {
             "payload_version": PAYLOAD_VERSION,
             "byteorder": sys.byteorder,
             "labels": labels,
             "codes": codes,
-            "counts": self._counts.tobytes(),
+            "counts": counts,
+            "crc32": payload_checksum(
+                _checksum_parts(sys.byteorder, labels, codes, counts)
+            ),
         }
 
     @classmethod
     def from_payload(cls, payload: dict[str, object]) -> "ArrayStore":
-        """Rebuild a store from :meth:`to_payload` output."""
+        """Rebuild a store from :meth:`to_payload` output.
+
+        Raises the typed taxonomy on anything suspect:
+        :class:`~repro.store.errors.UnsupportedVersion` for unknown
+        payload versions, :class:`~repro.store.errors.TruncatedPayload`
+        for missing/short fields, and :class:`~repro.store.errors.
+        ChecksumMismatch` when a version-2 payload's CRC32 disagrees
+        with its contents (verified against the writer's byte stream,
+        before any byteswap).
+        """
         version = payload.get("payload_version")
-        if version != PAYLOAD_VERSION:
-            raise ValueError(
+        if not isinstance(version, int) or not 1 <= version <= PAYLOAD_VERSION:
+            raise UnsupportedVersion(
                 f"unsupported ArrayStore payload version {version!r} "
-                f"(this build reads version {PAYLOAD_VERSION})"
+                f"(this build reads versions 1..{PAYLOAD_VERSION})"
             )
-        labels = list(payload["labels"])  # type: ignore[call-overload]
-        codes = list(payload["codes"])  # type: ignore[call-overload]
+        try:
+            byteorder = payload["byteorder"]
+            labels = list(payload["labels"])  # type: ignore[call-overload]
+            codes = list(payload["codes"])  # type: ignore[call-overload]
+            counts_bytes = payload["counts"]
+        except KeyError as exc:
+            raise TruncatedPayload(
+                f"ArrayStore payload is missing field {exc.args[0]!r}"
+            ) from None
+        if not isinstance(counts_bytes, bytes):
+            raise TruncatedPayload(
+                "ArrayStore payload field 'counts' is not a byte string"
+            )
+        counts_bytes = corrupt_bytes(_CORRUPTION_SITE, counts_bytes)
+        if version >= 2:
+            verify_checksum(
+                _checksum_parts(str(byteorder), labels, codes, counts_bytes),
+                payload.get("crc32"),
+                "ArrayStore",
+            )
         counts = array(_COUNT_TYPECODE)
-        counts.frombytes(payload["counts"])  # type: ignore[arg-type]
-        if payload.get("byteorder") != sys.byteorder:
+        if len(counts_bytes) % counts.itemsize:
+            raise TruncatedPayload(
+                f"ArrayStore count vector is truncated: {len(counts_bytes)} "
+                f"bytes is not a multiple of {counts.itemsize}"
+            )
+        counts.frombytes(counts_bytes)
+        if byteorder != sys.byteorder:
             codes = [_swapped_code(code) for code in codes]
             counts.byteswap()
         store = cls()
         store._interner = PatternInterner.from_tables(labels, codes)
         store._counts = counts
         return store
+
+
+def _checksum_parts(
+    byteorder: str, labels: Sequence[str], codes: Sequence[bytes], counts: bytes
+) -> list[bytes | str]:
+    """Canonical checksum stream: field lengths disambiguate the tables."""
+    return [byteorder, str(len(labels)), *labels, *codes, counts]

@@ -14,10 +14,21 @@ import sys
 from typing import Iterator
 
 from .. import obs
-from ..trees.canonical import Canon
+from ..resilience import corrupt_bytes
+from ..trees.canonical import Canon, decode_canon, encode_canon
 from .base import SummaryStore
+from .errors import TruncatedPayload, UnsupportedVersion
+from .integrity import payload_checksum, verify_checksum
 
 __all__ = ["DictStore"]
+
+#: Version stamp embedded in persisted payloads.  The dict backend
+#: gained payloads in the checksummed era, so 2 is its first version
+#: (matching the array backend's numbering).
+PAYLOAD_VERSION = 2
+
+#: Fault-injection site for the encoded entry stream.
+_CORRUPTION_SITE = "store.dict_payload"
 
 
 def _deep_canon_bytes(key: Canon, seen: set[int]) -> int:
@@ -86,3 +97,57 @@ class DictStore(SummaryStore):
 
     def __setstate__(self, state: dict[Canon, int]) -> None:
         self._counts = state
+
+    # -- persistence ----------------------------------------------------
+
+    def to_payload(self) -> dict[str, object]:
+        """Versioned, checksummed payload (sharding/embedding callers).
+
+        Entries are encoded in insertion order as ``count\\tkey`` lines,
+        so a round trip reproduces the store bit-identically — count
+        values *and* dict order.
+        """
+        data = "\n".join(
+            f"{count}\t{encode_canon(key)}"
+            for key, count in self._counts.items()
+        ).encode("utf-8")
+        return {
+            "payload_version": PAYLOAD_VERSION,
+            "data": data,
+            "crc32": payload_checksum([data]),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict[str, object]) -> "DictStore":
+        """Rebuild a store from :meth:`to_payload` output.
+
+        Raises :class:`~repro.store.errors.UnsupportedVersion`,
+        :class:`~repro.store.errors.TruncatedPayload`, or
+        :class:`~repro.store.errors.ChecksumMismatch` — never a bare
+        ``ValueError`` or a decode crash.
+        """
+        version = payload.get("payload_version")
+        if version != PAYLOAD_VERSION:
+            raise UnsupportedVersion(
+                f"unsupported DictStore payload version {version!r} "
+                f"(this build reads version {PAYLOAD_VERSION})"
+            )
+        data = payload.get("data")
+        if not isinstance(data, bytes):
+            raise TruncatedPayload(
+                "DictStore payload is missing its 'data' byte string"
+            )
+        data = corrupt_bytes(_CORRUPTION_SITE, data)
+        verify_checksum([data], payload.get("crc32"), "DictStore")
+        store = cls()
+        if not data:
+            return store
+        try:
+            for line in data.decode("utf-8").split("\n"):
+                count_str, key = line.split("\t", 1)
+                store.add(decode_canon(key), int(count_str))
+        except (ValueError, KeyError, IndexError) as exc:
+            raise TruncatedPayload(
+                f"DictStore payload entry stream is malformed: {exc}"
+            ) from exc
+        return store

@@ -1,0 +1,50 @@
+"""Typed error taxonomy for store payloads and backend selection.
+
+Every class derives from :class:`ValueError` so pre-existing callers
+(``except ValueError`` around :meth:`~repro.core.lattice.LatticeSummary.
+load`, the CLI's usage-error funnel) keep working, while new callers
+can distinguish *what* went wrong:
+
+* :class:`TruncatedPayload` — bytes missing, container unreadable, or a
+  required field absent (short writes, partial downloads);
+* :class:`ChecksumMismatch` — the payload decoded but its CRC32 does
+  not match (bit rot, torn writes, deliberate corruption);
+* :class:`UnsupportedVersion` — a payload from a newer (or unknown)
+  format this build cannot read;
+* :class:`UnknownBackendError` — a backend name outside the registry.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "StoreError",
+    "StorePayloadError",
+    "TruncatedPayload",
+    "ChecksumMismatch",
+    "UnsupportedVersion",
+    "UnknownBackendError",
+]
+
+
+class StoreError(ValueError):
+    """Root of the store error taxonomy (a :class:`ValueError`)."""
+
+
+class StorePayloadError(StoreError):
+    """A persisted store payload could not be decoded."""
+
+
+class TruncatedPayload(StorePayloadError):
+    """The payload is structurally incomplete (missing bytes or fields)."""
+
+
+class ChecksumMismatch(StorePayloadError):
+    """The payload's recorded checksum does not match its contents."""
+
+
+class UnsupportedVersion(StorePayloadError):
+    """The payload's format version is not readable by this build."""
+
+
+class UnknownBackendError(StoreError):
+    """A store backend name outside the registry was requested."""

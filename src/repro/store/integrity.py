@@ -1,0 +1,50 @@
+"""Payload checksumming shared by the store backends.
+
+Both backends embed a CRC32 over a canonical, length-prefixed
+serialisation of their payload fields (version 2 payloads onward).
+Length prefixes make the stream unambiguous — ``["ab", "c"]`` and
+``["a", "bc"]`` checksum differently — and the canonical byte layout
+is platform-independent except where a field *is* raw native bytes
+(the array backend's count vector), in which case the checksum covers
+the bytes as written and is verified *before* any byteswap, so
+cross-endian loads still validate against the writer's stream.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Iterable
+
+__all__ = ["payload_checksum", "verify_checksum"]
+
+_LENGTH_BYTES = 4
+
+
+def payload_checksum(parts: Iterable[bytes | str]) -> int:
+    """CRC32 over the length-prefixed concatenation of ``parts``."""
+    crc = 0
+    for part in parts:
+        data = part.encode("utf-8") if isinstance(part, str) else part
+        crc = zlib.crc32(len(data).to_bytes(_LENGTH_BYTES, "little"), crc)
+        crc = zlib.crc32(data, crc)
+    return crc & 0xFFFFFFFF
+
+
+def verify_checksum(
+    parts: Iterable[bytes | str], stored: object, what: str
+) -> None:
+    """Raise :class:`ChecksumMismatch` unless ``stored`` matches ``parts``.
+
+    ``stored`` is whatever the payload carried — anything that is not
+    the expected integer is treated as a mismatch, not a crash.
+    """
+    from .errors import ChecksumMismatch
+
+    actual = payload_checksum(parts)
+    if not isinstance(stored, int) or stored != actual:
+        shown = f"{stored:#010x}" if isinstance(stored, int) else repr(stored)
+        raise ChecksumMismatch(
+            f"{what} payload checksum mismatch: stored {shown}, "
+            f"computed {actual:#010x} — the file is corrupt or was "
+            "modified after writing"
+        )

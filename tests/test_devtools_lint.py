@@ -591,6 +591,7 @@ def test_checker_registry_has_all_documented_rules():
         "public-annotations",
         "store-internals",
         "kernel-purity",
+        "fault-site-purity",
         "worker-purity",
         "pickle-safety",
         "order-discipline",

@@ -543,3 +543,152 @@ def test_lint_source_without_project_skips_suite(tmp_path):
         textwrap.dedent(WORKER_PKG["wrk/work.py"]), path="wrk/work.py"
     )
     assert not any(f.rule == "worker-purity" for f in findings)
+
+
+# ----------------------------------------------------------------------
+# task-runner submission sites and fault-site-purity
+# ----------------------------------------------------------------------
+
+TASK_RUNNER_PKG = {
+    "repro/__init__.py": "",
+    "repro/resilience/__init__.py": "from .runner import run_chunks\n",
+    "repro/resilience/runner.py": (
+        """
+        def run_chunks(fn, tasks, *, supervisor, site, policy):
+            return [fn(*task) for task in tasks]
+        """
+    ),
+    "wrk/__init__.py": "",
+    "wrk/work.py": (
+        """
+        def estimate_chunk(trees, snapshot):
+            return [tree + 1 for tree in trees]
+        """
+    ),
+    "wrk/pool.py": (
+        """
+        from repro.resilience import run_chunks
+
+        from .work import estimate_chunk
+
+        def run(chunks, supervisor, policy):
+            return run_chunks(
+                estimate_chunk,
+                [(chunk, None) for chunk in chunks],
+                supervisor=supervisor,
+                site="batch.estimate_chunk",
+                policy=policy,
+            )
+        """
+    ),
+}
+
+
+def test_package_init_relative_import_resolves_against_itself(tmp_path):
+    # ``from .runner import x`` inside pkg/sub/__init__.py must resolve
+    # against pkg.sub (the package the file IS), not pkg (its parent).
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/sub/__init__.py": "from .impl import thing\n",
+            "pkg/sub/impl.py": "def thing():\n    return 1\n",
+            "pkg/user.py": "from pkg.sub import thing\n",
+        },
+    )
+    project = build_project([root])
+    user = project.module_for_path(root / "pkg" / "user.py")
+    resolved = project.resolve_name(user, "thing")
+    assert resolved is not None and resolved.ident == "pkg.sub.impl:thing"
+
+
+def test_run_chunks_call_is_a_submission_site(tmp_path):
+    root = make_package(tmp_path, TASK_RUNNER_PKG)
+    project = build_project([root])
+    graph = callgraph_for(project)
+    sites = [s for s in graph.sites if s.kind == "submit"]
+    assert sites, "run_chunks call should register as a submission site"
+    (site,) = sites
+    assert site.target is not None
+    assert site.target.ident == "wrk.work:estimate_chunk"
+    assert "ProcessPoolExecutor" in site.executor_target
+    analysis = worker_analysis_for(project)
+    assert analysis.is_worker("wrk.work:estimate_chunk")
+
+
+def test_fault_site_purity_flags_injection_imports(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "app/__init__.py": "",
+            "app/loader.py": (
+                """
+                from repro.resilience import corrupt_bytes
+
+                def load(blob):
+                    return corrupt_bytes("app.blob", blob)
+                """
+            ),
+        },
+    )
+    (finding,) = findings_for_rule(root, "fault-site-purity")
+    assert "corrupt_bytes" in finding.message
+    assert finding.path.endswith("loader.py")
+
+
+def test_fault_site_purity_allows_the_policy_surface(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "app/__init__.py": "",
+            "app/run.py": (
+                """
+                from repro.resilience import RetryPolicy, run_chunks
+
+                def budget():
+                    return RetryPolicy(max_retries=1)
+                """
+            ),
+        },
+    )
+    assert findings_for_rule(root, "fault-site-purity") == []
+
+
+def test_fault_site_purity_flags_env_var_reference(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "app/__init__.py": "",
+            "app/config.py": 'CHAOS_SPEC_VAR = "REPRO_FAULTS"\n',
+        },
+    )
+    (finding,) = findings_for_rule(root, "fault-site-purity")
+    assert "REPRO_FAULTS" in finding.message
+
+
+def test_fault_site_purity_flags_relative_injection_import(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/resilience/__init__.py": "def fault_plan(plan):\n    return plan\n",
+            "pkg/user.py": "from .resilience import fault_plan\n",
+        },
+    )
+    findings = findings_for_rule(root, "fault-site-purity")
+    assert [f.path.endswith("user.py") for f in findings] == [True]
+
+
+def test_fault_site_purity_exempts_the_harness_itself(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "repro/__init__.py": "",
+            "repro/resilience/__init__.py": (
+                'ENV_VAR = "REPRO_FAULTS"\n'
+                "def corrupt_bytes(site, data):\n"
+                "    return data\n"
+            ),
+        },
+    )
+    assert findings_for_rule(root, "fault-site-purity") == []

@@ -245,11 +245,24 @@ class TestArrayStoreCompaction:
             buffer.frombytes(code)
             buffer.byteswap()
             swapped_codes.append(buffer.tobytes())
+        from repro.store.array_store import _checksum_parts
+        from repro.store.integrity import payload_checksum
+
         foreign = dict(
             payload,
             byteorder=other,
             counts=swapped_counts.tobytes(),
             codes=swapped_codes,
+            # The foreign writer checksums *its* byte stream; the reader
+            # verifies before byteswapping back.
+            crc32=payload_checksum(
+                _checksum_parts(
+                    other,
+                    payload["labels"],
+                    swapped_codes,
+                    swapped_counts.tobytes(),
+                )
+            ),
         )
         assert list(ArrayStore.from_payload(foreign).items()) == PATTERNS
 
