@@ -38,6 +38,7 @@ from .core import (
     PruningReport,
     RecursiveDecompositionEstimator,
     SelectivityEstimator,
+    StreamingSummary,
     WorkloadAwareLattice,
     build_lattice,
     explain,
@@ -63,12 +64,18 @@ from .datasets import (
     generate_psd,
     generate_xmark,
 )
-from .mining import MiningResult, mine_lattice, pattern_counts_by_level
+from .mining import (
+    MiningResult,
+    mine_lattice,
+    mine_lattice_sharded,
+    pattern_counts_by_level,
+)
 from .resilience import ChunkFailureError, RetryBudgetExhausted, RetryPolicy
 from .store import (
     ArrayStore,
     ChecksumMismatch,
     DictStore,
+    MergeError,
     StoreError,
     StorePayloadError,
     SummaryStore,
@@ -128,6 +135,7 @@ __all__ = [
     # mining
     "MiningResult",
     "mine_lattice",
+    "mine_lattice_sharded",
     "pattern_counts_by_level",
     # store
     "SummaryStore",
@@ -141,6 +149,7 @@ __all__ = [
     "ChecksumMismatch",
     "UnsupportedVersion",
     "UnknownBackendError",
+    "MergeError",
     # resilience (policy surface; injection hooks stay in repro.resilience)
     "RetryPolicy",
     "ChunkFailureError",
@@ -164,6 +173,7 @@ __all__ = [
     "ErrorProfile",
     "EstimateInterval",
     "IncrementalLattice",
+    "StreamingSummary",
     "tree_from_xml_with_values",
     "value_twig",
     "RangeHistogram",

@@ -5,7 +5,13 @@ Subcommands mirror the deployment workflow:
 * ``summarize`` — parse an XML file, mine its k-lattice (optionally in
   parallel with ``--workers``), optionally prune δ-derivable patterns,
   write the summary to disk (``--store {dict,array}`` picks the count
-  backend; ``array`` writes the compact binary container);
+  backend; ``array`` writes the compact binary container;
+  ``--shards N`` routes construction through the shard → merge path,
+  ``--stream`` through the streaming insert path — both bit-identical
+  in counts to the one-shot build);
+* ``merge`` — combine two or more saved summaries of the same lattice
+  level into one (counts add per pattern — the store monoid applied at
+  the corpus level);
 * ``estimate`` — estimate a twig query against a saved summary, or a
   whole workload file with ``--batch`` (fanned out with ``--workers``);
   ``--store`` converts the loaded summary to another backend first;
@@ -62,6 +68,8 @@ from .core.pruning import pruning_report
 from .core.recursive import RecursiveDecompositionEstimator
 from .datasets import DATASET_GENERATORS, generate_dataset
 from .mining.freqt import pattern_counts_by_level
+from .store.errors import MergeError
+from .trees.labeled_tree import LabeledTree
 from .trees.matching import count_matches
 from .trees.serialize import tree_from_xml_file, tree_to_xml_file
 from .trees.twig import TwigParseError, TwigQuery
@@ -165,8 +173,38 @@ def build_parser() -> argparse.ArgumentParser:
         default="dict",
         help="summary count backend (array = interned ids, compact binary file)",
     )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "mine through the shard -> merge path with ~N subtree shards "
+            "(bit-identical to the serial path; --workers then fans out "
+            "whole shards)"
+        ),
+    )
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help=(
+            "build through the streaming path: insert each top-level "
+            "record as a monoid delta, then compact"
+        ),
+    )
     _add_observability_flags(p)
     p.set_defaults(handler=_cmd_summarize)
+
+    p = sub.add_parser(
+        "merge",
+        help="merge summaries of the same level (counts add per pattern)",
+    )
+    p.add_argument(
+        "summaries", nargs="+", help="summary files written by 'summarize'"
+    )
+    p.add_argument("-o", "--output", required=True, help="merged summary output path")
+    _add_observability_flags(p)
+    p.set_defaults(handler=_cmd_merge)
 
     p = sub.add_parser("estimate", help="estimate a twig query from a summary")
     p.add_argument("summary", help="summary file written by 'summarize'")
@@ -420,19 +458,30 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
 
 
 def _do_summarize(args: argparse.Namespace) -> int:
+    if args.shards is not None and args.stream:
+        raise CliUsageError(
+            "--shards and --stream are alternative construction paths; "
+            "give at most one"
+        )
+    if args.shards is not None and args.shards < 1:
+        raise CliUsageError(f"--shards must be >= 1, got {args.shards}")
     start = time.perf_counter()
     document = tree_from_xml_file(args.xml, include_attributes=args.attributes)
     parse_seconds = time.perf_counter() - start
     print(f"parsed {document.size} nodes in {parse_seconds:.2f}s")
 
     events_before = degraded_events()
-    summary = LatticeSummary.build(
-        document,
-        args.level,
-        workers=args.workers,
-        store=args.store,
-        retry=_retry_policy(args),
-    )
+    if args.stream:
+        summary = _summarize_streaming(document, args)
+    else:
+        summary = LatticeSummary.build(
+            document,
+            args.level,
+            workers=args.workers,
+            store=args.store,
+            retry=_retry_policy(args),
+            shards=args.shards,
+        )
     print(
         f"mined {summary.num_patterns} patterns "
         f"({summary.byte_size()} bytes, {summary.backend} store) "
@@ -448,6 +497,51 @@ def _do_summarize(args: argparse.Namespace) -> int:
     summary.save(args.output)
     print(f"summary written to {args.output}")
     return _degradation_status(events_before)
+
+
+def _summarize_streaming(
+    document: LabeledTree, args: argparse.Namespace
+) -> LatticeSummary:
+    """Build via the streaming path: one insert per top-level record.
+
+    Exercises the same monoid delta machinery as live maintenance; the
+    final compacted counts equal the one-shot build's exactly (the
+    text container sorts keys, so the dict-backend file is identical).
+    """
+    from .core.streaming import StreamingSummary
+
+    start = time.perf_counter()
+    seed = LabeledTree(document.label(document.root))
+    streaming = StreamingSummary(seed, args.level, store=args.store)
+    records = list(document.child_ids(document.root))
+    for child in records:
+        streaming.insert(document.subtree_at(child))
+    summary = streaming.compact()
+    summary.construction_seconds = time.perf_counter() - start
+    print(f"streamed {len(records)} top-level records")
+    return summary
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    return _run_observed(args, lambda: _do_merge(args))
+
+
+def _do_merge(args: argparse.Namespace) -> int:
+    if len(args.summaries) < 2:
+        raise CliUsageError("merge needs at least two summary files")
+    merged = _load_summary(args.summaries[0])
+    for path in args.summaries[1:]:
+        try:
+            merged = merged.merge(_load_summary(path))
+        except MergeError as exc:
+            raise CliUsageError(f"cannot merge {path!r}: {exc}") from exc
+    merged.save(args.output)
+    print(
+        f"merged {len(args.summaries)} summaries into {args.output} "
+        f"({merged.num_patterns} patterns, level {merged.level}, "
+        f"{merged.backend} store)"
+    )
+    return 0
 
 
 def _estimator_for(name: str, summary: LatticeSummary) -> SelectivityEstimator:

@@ -18,6 +18,7 @@ from .markov import MarkovPathEstimator
 from .online import WorkloadAwareLattice
 from .pruning import PruningReport, prune_derivable, pruning_report
 from .recursive import RecursiveDecompositionEstimator
+from .streaming import DEFAULT_MAX_PENDING, StreamingSummary
 
 __all__ = [
     "CatalogError",
@@ -44,4 +45,6 @@ __all__ = [
     "prune_derivable",
     "pruning_report",
     "RecursiveDecompositionEstimator",
+    "StreamingSummary",
+    "DEFAULT_MAX_PENDING",
 ]

@@ -34,9 +34,10 @@ import time
 
 from .. import obs
 from ..mining.freqt import mine_lattice
-from ..trees.canonical import Canon, canon, canon_to_tree
+from ..mining.sharded import anchored_counts
+from ..trees.canonical import Canon
 from ..trees.labeled_tree import LabeledTree, TreeBuildError
-from ..trees.matching import DocumentIndex, _rooted
+from ..trees.matching import DocumentIndex
 from .lattice import LatticeSummary
 
 __all__ = ["IncrementalLattice"]
@@ -154,39 +155,15 @@ class IncrementalLattice:
     def _root_anchored_counts(self) -> dict[Canon, int]:
         """Counts of every lattice-sized pattern *anchored at the root*.
 
-        Level-wise enumeration restricted to the root anchor: grow
-        patterns by one leaf at a time, keep those with a non-zero match
-        count that maps the pattern root to the document root.  Complete
-        by the usual leaf-removal closure (removing a non-root leaf of
-        an anchored pattern leaves an anchored pattern).
+        The single-anchor case of the shared
+        :func:`~repro.mining.sharded.anchored_counts` enumeration (the
+        sharded miner uses the same routine with a shard plan's residue
+        as the anchor set).
         """
         document = self._document
-        index = DocumentIndex(document)
-        root = document.root
-        memo: dict[Canon, dict[int, int]] = {}
-
-        seed = (document.label(root), ())
-        out: dict[Canon, int] = {seed: 1}
-        frontier = [seed]
-        for _size in range(2, self.level + 1):
-            candidates: set[Canon] = set()
-            for pattern in frontier:
-                tree = canon_to_tree(pattern)
-                for node in range(tree.size):
-                    grow = index.child_labels.get(tree.label(node))
-                    if not grow:
-                        continue
-                    for label in grow:
-                        candidates.add(canon(tree.with_child(node, label)))
-            frontier = []
-            for candidate in sorted(candidates):
-                anchored = _rooted(candidate, index, memo).get(root, 0)
-                if anchored:
-                    out[candidate] = anchored
-                    frontier.append(candidate)
-            if not frontier:
-                break
-        return out
+        return anchored_counts(
+            DocumentIndex(document), (document.root,), self.level
+        )
 
 
 def _graft(document: LabeledTree, parent: int, record: LabeledTree) -> int:

@@ -29,8 +29,9 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 from .. import obs
 from ..mining.freqt import MiningResult, mine_lattice
+from ..mining.sharded import mine_lattice_sharded
 from ..store import ArrayStore, SummaryStore, coerce_store, make_store
-from ..store.errors import TruncatedPayload, UnsupportedVersion
+from ..store.errors import MergeError, TruncatedPayload, UnsupportedVersion
 from ..trees.canonical import (
     Canon,
     canon_size,
@@ -95,6 +96,7 @@ class LatticeSummary:
         workers: int | None = None,
         store: str = "dict",
         retry: "RetryPolicy | None" = None,
+        shards: int | None = None,
     ) -> "LatticeSummary":
         """Mine a document and build its complete ``level``-lattice.
 
@@ -102,19 +104,34 @@ class LatticeSummary:
         (``None``/``1`` = serial, ``0`` = one per core); ``store`` picks
         the count backend (``"dict"``/``"array"``); ``retry`` gives
         parallel mining a failure budget (default: none — a worker
-        failure raises; see ``docs/robustness.md``).
+        failure raises; see ``docs/robustness.md``).  ``shards`` routes
+        construction through the shard → merge path
+        (:func:`~repro.mining.sharded.mine_lattice_sharded`): the
+        document is split into ~``shards`` subtree shards, each mined
+        independently (``workers`` then fans out whole shards instead
+        of candidate chunks), and the shard stores merged.
         The resulting summary is bit-identical across workers, backends,
-        and any injected-fault schedule the budget absorbs (see
-        ``docs/parallelism.md`` and ``docs/architecture.md``).
+        shard counts, and any injected-fault schedule the budget absorbs
+        (see ``docs/parallelism.md`` and ``docs/architecture.md``).
         """
         sink = make_store(store)
         start = time.perf_counter()
         # Mining streams each level straight into the sink, so the array
         # backend interns ids as patterns are discovered instead of
         # materialising a tuple-keyed dict first.
-        mined = mine_lattice(
-            document, level, workers=workers, sink=sink, retry=retry
-        )
+        if shards is not None:
+            mined = mine_lattice_sharded(
+                document,
+                level,
+                shards=shards,
+                workers=workers,
+                sink=sink,
+                retry=retry,
+            )
+        else:
+            mined = mine_lattice(
+                document, level, workers=workers, sink=sink, retry=retry
+            )
         elapsed = time.perf_counter() - start
         summary = cls(
             mined.max_size,
@@ -194,6 +211,38 @@ class LatticeSummary:
             coerce_store(self._store, backend),
             complete_sizes=self.complete_sizes,
             construction_seconds=self.construction_seconds,
+        )
+
+    def merge(self, other: "LatticeSummary") -> "LatticeSummary":
+        """Combine two summaries of the same level: counts add.
+
+        The corpus-level monoid behind ``repro merge``: merging the
+        summaries of two documents yields the summary of their union
+        (each pattern's selectivity is a sum over documents).  Both
+        summaries must be built at the same lattice level —
+        :class:`~repro.store.MergeError` otherwise — and ``other`` is
+        converted to this summary's backend first, so the underlying
+        store handshake always sees matching representations.  A level
+        only stays *complete* when it is complete on both sides;
+        construction times add.
+        """
+        if not isinstance(other, LatticeSummary):
+            raise MergeError(
+                f"cannot merge a summary with {type(other).__name__!r}"
+            )
+        if other.level != self.level:
+            raise MergeError(
+                f"cannot merge a level-{self.level} summary with a "
+                f"level-{other.level} summary; rebuild one side first"
+            )
+        merged = self._store.merge(other.to_store(self.backend)._store)
+        return LatticeSummary(
+            self.level,
+            merged,
+            complete_sizes=set(self.complete_sizes) & set(other.complete_sizes),
+            construction_seconds=(
+                self.construction_seconds + other.construction_seconds
+            ),
         )
 
     # ------------------------------------------------------------------

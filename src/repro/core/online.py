@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from .. import obs
 from ..mining.freqt import mine_lattice
+from ..store.dict_store import DictStore
 from ..trees.canonical import Canon, canon_size, encode_canon
 from ..trees.labeled_tree import LabeledTree
 from .estimator import QueryLike, SelectivityEstimator, coerce_query_tree
@@ -189,8 +190,11 @@ class WorkloadAwareLattice(SelectivityEstimator):
 
     def _summary(self) -> LatticeSummary:
         if self._view is None:
-            merged = dict(self._base)
-            merged.update(self._learned)
+            # Base (sizes 1-2) and learned (sizes 3..level) are disjoint
+            # by construction, so the monoid's count-add is an overlay.
+            merged = DictStore.from_counts(self._base).merge(
+                DictStore.from_counts(self._learned)
+            )
             self._view = LatticeSummary(
                 self.level, merged, complete_sizes=(1, 2)
             )

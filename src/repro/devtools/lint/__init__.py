@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from . import checkers  # noqa: F401  (imports register the checkers)
 from . import parallel_checkers  # noqa: F401  (registers the project suite)
+from . import merge_checkers  # noqa: F401  (registers store-merge-purity)
 from .baseline import BaselineEntry, apply_baseline, load_baseline, write_baseline
 from .cache import LintCache, checker_fingerprint, project_fingerprint
 from .callgraph import CallGraph, SubmissionSite, build_callgraph, callgraph_for

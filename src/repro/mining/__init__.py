@@ -1,5 +1,27 @@
-"""Frequent subtree mining: the level-wise lattice enumeration engine."""
+"""Frequent subtree mining: the level-wise lattice enumeration engine.
+
+Two construction paths build the same summary: the whole-document
+level-wise miner (:func:`mine_lattice`) and the compositional shard →
+merge path (:func:`mine_lattice_sharded`), which mines disjoint subtree
+shards independently, counts residue-rooted boundary patterns once, and
+merges through the store monoid — bit-identical to the serial path,
+counts and dict order.
+"""
 
 from .freqt import MiningResult, mine_lattice, pattern_counts_by_level
+from .sharded import (
+    anchored_counts,
+    merge_shard_stores,
+    mine_lattice_sharded,
+    mine_shard_store,
+)
 
-__all__ = ["MiningResult", "mine_lattice", "pattern_counts_by_level"]
+__all__ = [
+    "MiningResult",
+    "mine_lattice",
+    "mine_lattice_sharded",
+    "mine_shard_store",
+    "anchored_counts",
+    "merge_shard_stores",
+    "pattern_counts_by_level",
+]

@@ -1,0 +1,128 @@
+"""Multi-process shard mining: one task per shard subtree.
+
+Shard-level fan-out is the coarse-grained sibling of the level-level
+fan-out in :mod:`repro.parallel.mining`: instead of splitting one
+level's candidate list across workers, each worker mines a whole shard
+subtree end to end with the serial miner and ships the finished
+:class:`~repro.store.DictStore` back as a checksummed payload
+(:meth:`~repro.store.DictStore.to_payload`).  The parent rebuilds every
+payload through :func:`~repro.store.load_shard_payload` — which
+re-verifies the CRC32 at the ``store.load`` fault site — and merges the
+stores in submission order, so the combined result is deterministic
+regardless of which worker finished first.
+
+Failure discipline matches the candidate-counting pool: submissions go
+through :func:`~repro.resilience.runner.run_chunks` under the
+``mining.shard_chunk`` site; a crashed or hung worker tears the pool
+down and only shards without a result are re-submitted, and a policy
+with ``fallback=True`` degrades out-of-budget shards to parent-side
+serial mining.  See ``docs/robustness.md`` and ``docs/parallelism.md``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from types import TracebackType
+from typing import Sequence
+
+from .. import obs
+from ..mining.sharded import mine_shard_store
+from ..resilience import RetryPolicy, run_chunks
+from ..store import DictStore, load_shard_payload
+from ..trees.labeled_tree import LabeledTree
+from .pool import PoolSupervisor
+
+__all__ = ["ShardMiningPool"]
+
+#: Fault-injection / retry site name for this fan-out (chaos specs and
+#: the ``fault_*`` / ``retry_*`` metric labels use it).
+FAULT_SITE = "mining.shard_chunk"
+
+_ShardTask = tuple[LabeledTree, int, "obs.TelemetrySnapshot | None"]
+_ShardResult = tuple[dict[str, object], "obs.WorkerTelemetry | None"]
+
+
+def _mine_shard_chunk(
+    subtree: LabeledTree,
+    max_size: int,
+    snapshot: "obs.TelemetrySnapshot | None",
+) -> _ShardResult:
+    """Mine one shard subtree in a worker; returns a store payload."""
+    if snapshot is None:
+        return mine_shard_store(subtree, max_size).to_payload(), None
+    with obs.worker_window(snapshot) as telemetry:
+        store = mine_shard_store(subtree, max_size)
+    return store.to_payload(), telemetry
+
+
+class ShardMiningPool:
+    """Owns the worker pool for one sharded mine (one task per shard)."""
+
+    def __init__(
+        self,
+        max_size: int,
+        workers: int,
+        *,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        if workers < 2:
+            raise ValueError(f"a parallel pool needs workers >= 2, got {workers}")
+        self.max_size = max_size
+        self.workers = workers
+        self.retry = retry if retry is not None else RetryPolicy.none()
+        self._supervisor = PoolSupervisor(self._make_executor)
+
+    def _make_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _serial_chunk(self, task: _ShardTask) -> _ShardResult:
+        # Degraded-mode fallback: mine the shard in-process.  The
+        # parent's live registry records telemetry directly, so no
+        # worker window is needed (and ``None`` skips absorption).
+        subtree, max_size, _ = task
+        return mine_shard_store(subtree, max_size).to_payload(), None
+
+    def mine(self, subtrees: Sequence[LabeledTree]) -> list[DictStore]:
+        """Mine every shard subtree; stores come back in shard order.
+
+        Each returned payload is rebuilt through
+        :func:`~repro.store.load_shard_payload`, so a payload corrupted
+        in flight dies with a typed
+        :class:`~repro.store.ChecksumMismatch` before it can merge
+        garbage into the summary.
+        """
+        if not subtrees:
+            return []
+        snapshot = obs.telemetry_snapshot()
+        tasks: list[_ShardTask] = [
+            (subtree, self.max_size, snapshot) for subtree in subtrees
+        ]
+        report = run_chunks(
+            _mine_shard_chunk,
+            tasks,
+            supervisor=self._supervisor,
+            site=FAULT_SITE,
+            policy=self.retry,
+            serial_fallback=self._serial_chunk,
+        )
+        stores: list[DictStore] = []
+        for payload, telemetry in report.results:
+            stores.append(load_shard_payload(payload))
+            if telemetry is not None:
+                obs.absorb_worker_telemetry(telemetry)
+        return stores
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._supervisor.close()
+
+    def __enter__(self) -> "ShardMiningPool":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.close()

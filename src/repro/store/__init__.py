@@ -13,9 +13,10 @@ from typing import Iterable, Mapping
 from ..trees.canonical import Canon
 from .array_store import ArrayStore
 from .base import SummaryStore
-from .dict_store import DictStore
+from .dict_store import DictStore, load_shard_payload
 from .errors import (
     ChecksumMismatch,
+    MergeError,
     StoreError,
     StorePayloadError,
     TruncatedPayload,
@@ -30,12 +31,14 @@ __all__ = [
     "STORE_BACKENDS",
     "make_store",
     "coerce_store",
+    "load_shard_payload",
     "StoreError",
     "StorePayloadError",
     "TruncatedPayload",
     "ChecksumMismatch",
     "UnsupportedVersion",
     "UnknownBackendError",
+    "MergeError",
 ]
 
 #: Backend-name -> store class registry (CLI choices mirror the keys).

@@ -122,9 +122,10 @@ class ArrayStore(SummaryStore):
         The column-at-a-time counterpart of :meth:`count_by_id` for the
         kernel layer and serving callers: hand it a batch of dense ids
         and get the packed count column back (``'q'`` slots, so counts
-        beyond 2**31 survive unclipped).  An id outside the store raises
-        :class:`IndexError` naming the offending id, unless ``missing``
-        supplies a substitute count for unknown ids.
+        beyond 2**31 survive unclipped).  An unknown or negative id
+        raises :class:`KeyError` naming the offending id — never a
+        silent wrap-around read — unless ``missing`` supplies a
+        substitute count for unknown ids.
         """
         counts = self._counts
         limit = len(counts)
@@ -132,7 +133,7 @@ class ArrayStore(SummaryStore):
         if missing is None:
             for pattern_id in pattern_ids:
                 if not 0 <= pattern_id < limit:
-                    raise IndexError(
+                    raise KeyError(
                         f"pattern id {pattern_id} not in store "
                         f"(holds ids 0..{limit - 1})"
                     )
@@ -156,6 +157,48 @@ class ArrayStore(SummaryStore):
     def byte_size(self) -> int:
         """Actual footprint: the count vector plus the intern tables."""
         return sys.getsizeof(self._counts) + self._interner.byte_size()
+
+    # -- merging --------------------------------------------------------
+
+    def merge(self, other: SummaryStore) -> "ArrayStore":
+        """Monoid combine by interner-id remap + count add.
+
+        ``other``'s label table is interned into a copy of ``self``'s
+        (building an old-id -> new-id map), every foreign pattern code
+        has its label slots rewritten through that map, and the
+        translated codes are interned — shared patterns land on
+        ``self``'s dense ids and add their counts; new patterns take the
+        next free ids in ``other``'s order.  Neither operand is touched,
+        and merging with the empty store on either side reproduces this
+        store's tables and payload byte for byte.
+        """
+        self._merge_handshake(other)
+        assert isinstance(other, ArrayStore)
+        labels, codes = self._interner.tables()
+        merged = ArrayStore()
+        merged._interner = PatternInterner.from_tables(labels, codes)
+        merged._counts = array(_COUNT_TYPECODE, self._counts)
+        other_labels, other_codes = other._interner.tables()
+        label_map = [
+            merged._interner.intern_label(label) for label in other_labels
+        ]
+        identity = all(new == old for old, new in enumerate(label_map))
+        counts = merged._counts
+        for other_id, code in enumerate(other_codes):
+            if not identity:
+                code = PatternInterner.translate_code(code, label_map)
+            pattern_id = merged._interner.intern_code(code)
+            if pattern_id == len(counts):
+                counts.append(other._counts[other_id])
+            else:
+                counts[pattern_id] += other._counts[other_id]
+        if obs.enabled:
+            obs.registry.counter(
+                "store_merges_total",
+                "Monoid store merges by backend.",
+                labels=("backend",),
+            ).inc(backend="array")
+        return merged
 
     # -- pickling and persistence --------------------------------------
 

@@ -15,6 +15,16 @@ bit-identical estimates are an acceptance gate, not an aspiration — and
 ``items()`` iterates in insertion order on both, which is what keeps
 serial and parallel mining output comparable byte for byte.
 
+Stores form a **commutative monoid** under :meth:`SummaryStore.merge`:
+counts add, the empty store is the identity, and the operation is pure
+(neither operand is touched).  Commutativity and associativity hold on
+the count *mapping*; the result's insertion order is deterministic but
+argument-sensitive — ``self``'s keys first in ``self``'s order, then
+``other``'s new keys in ``other``'s order — which makes both
+``merge(a, empty)`` and ``merge(empty, a)`` reproduce ``a`` byte for
+byte.  Sharded mining, streaming deltas, and the ``repro merge`` CLI
+are all built on this one operation.
+
 Store internals (``_counts`` and friends) are private to this package;
 the ``store-internals`` lint rule rejects direct access from anywhere
 else in the tree.
@@ -26,6 +36,7 @@ from abc import ABC, abstractmethod
 from typing import ClassVar, Iterable, Iterator, Mapping, TypeVar
 
 from ..trees.canonical import Canon
+from .errors import MergeError
 
 __all__ = ["SummaryStore"]
 
@@ -66,6 +77,46 @@ class SummaryStore(ABC):
     @abstractmethod
     def byte_size(self) -> int:
         """Actual in-memory footprint of the backend, in bytes."""
+
+    @abstractmethod
+    def merge(self: _S, other: "SummaryStore") -> _S:
+        """Pure monoid combine: a **new** store with counts added.
+
+        Laws every backend upholds (property-tested in
+        ``tests/test_store_merge.py``):
+
+        * *commutative* and *associative* on the count mapping;
+        * the empty store is the *identity* — ``a.merge(empty)`` and
+          ``empty.merge(a)`` both reproduce ``a`` byte for byte
+          (payloads included);
+        * *pure* — neither operand is mutated (the ``store-merge-purity``
+          lint rule machine-checks the implementations).
+
+        Result order: ``self``'s keys in ``self``'s insertion order,
+        then ``other``'s unseen keys in ``other``'s order.  Raises
+        :class:`~repro.store.errors.MergeError` when the compatibility
+        handshake fails (non-store operand or backend mismatch).
+        """
+
+    def _merge_handshake(self, other: "SummaryStore") -> None:
+        """Shared compatibility check run before any merge work.
+
+        Backends must match exactly: merging never converts
+        representations behind the caller's back (use
+        :func:`~repro.store.coerce_store` to pick one first), and a
+        subclass with different storage parameters must override this
+        to extend the handshake.
+        """
+        if not isinstance(other, SummaryStore):
+            raise MergeError(
+                f"cannot merge a summary store with {type(other).__name__!r}"
+            )
+        if other.backend != self.backend or type(other) is not type(self):
+            raise MergeError(
+                f"cannot merge {self.backend!r} store with "
+                f"{other.backend!r} store; convert one side with "
+                "coerce_store(...) first"
+            )
 
     @classmethod
     def from_counts(

@@ -20,7 +20,7 @@ from .base import SummaryStore
 from .errors import TruncatedPayload, UnsupportedVersion
 from .integrity import payload_checksum, verify_checksum
 
-__all__ = ["DictStore"]
+__all__ = ["DictStore", "load_shard_payload"]
 
 #: Version stamp embedded in persisted payloads.  The dict backend
 #: gained payloads in the checksummed era, so 2 is its first version
@@ -29,6 +29,12 @@ PAYLOAD_VERSION = 2
 
 #: Fault-injection site for the encoded entry stream.
 _CORRUPTION_SITE = "store.dict_payload"
+
+#: Fault-injection site for worker-shipped shard payloads.  The parent
+#: re-verifies every payload a shard-mining worker returns through this
+#: site; chaos specs target it as ``corrupt@store.load`` and the CI
+#: chaos job's ``merge`` leg asserts the typed ``ChecksumMismatch``.
+TRANSPORT_SITE = "store.load"
 
 
 def _deep_canon_bytes(key: Canon, seen: set[int]) -> int:
@@ -92,6 +98,28 @@ class DictStore(SummaryStore):
             total += sys.getsizeof(count)
         return total
 
+    def merge(self, other: SummaryStore) -> "DictStore":
+        """Monoid combine: counts add, neither operand is touched.
+
+        ``self``'s keys keep their insertion order; keys only ``other``
+        holds follow in ``other``'s order, so merging with the empty
+        store on either side reproduces this store byte for byte.
+        """
+        self._merge_handshake(other)
+        assert isinstance(other, DictStore)
+        merged = DictStore()
+        counts = dict(self._counts)
+        for key, count in other._counts.items():
+            counts[key] = counts.get(key, 0) + count
+        merged._counts = counts
+        if obs.enabled:
+            obs.registry.counter(
+                "store_merges_total",
+                "Monoid store merges by backend.",
+                labels=("backend",),
+            ).inc(backend="dict")
+        return merged
+
     def __getstate__(self) -> dict[Canon, int]:
         return self._counts
 
@@ -151,3 +179,20 @@ class DictStore(SummaryStore):
                 f"DictStore payload entry stream is malformed: {exc}"
             ) from exc
         return store
+
+
+def load_shard_payload(payload: dict[str, object]) -> DictStore:
+    """Rebuild a worker-shipped shard store, re-verifying its CRC32.
+
+    Shard-mining workers return their per-shard counts as
+    :meth:`DictStore.to_payload` dicts; the parent rebuilds each one
+    through this function so bytes corrupted in flight (or by a chaos
+    plan targeting ``store.load``) die with a typed
+    :class:`~repro.store.errors.ChecksumMismatch` instead of merging
+    garbage into the summary.
+    """
+    data = payload.get("data")
+    if isinstance(data, bytes):
+        payload = dict(payload)
+        payload["data"] = corrupt_bytes(TRANSPORT_SITE, data)
+    return DictStore.from_payload(payload)

@@ -11,7 +11,10 @@ can distinguish *what* went wrong:
   not match (bit rot, torn writes, deliberate corruption);
 * :class:`UnsupportedVersion` — a payload from a newer (or unknown)
   format this build cannot read;
-* :class:`UnknownBackendError` — a backend name outside the registry.
+* :class:`UnknownBackendError` — a backend name outside the registry;
+* :class:`MergeError` — two stores (or summaries) whose compatibility
+  handshake failed were asked to :meth:`~repro.store.base.SummaryStore.
+  merge`.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ __all__ = [
     "ChecksumMismatch",
     "UnsupportedVersion",
     "UnknownBackendError",
+    "MergeError",
 ]
 
 
@@ -48,3 +52,14 @@ class UnsupportedVersion(StorePayloadError):
 
 class UnknownBackendError(StoreError):
     """A store backend name outside the registry was requested."""
+
+
+class MergeError(StoreError):
+    """Two stores or summaries failed the merge compatibility handshake.
+
+    Raised before any counting work happens: mismatched backends (merge
+    never silently converts representations — callers pick a backend
+    with :func:`~repro.store.coerce_store` first), non-store operands,
+    or, at the :class:`~repro.core.lattice.LatticeSummary` level,
+    summaries built at different lattice levels.
+    """

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import sys
 from array import array
+from typing import Sequence
 
 from .labeled_tree import LabeledTree, NestedSpec, TreeBuildError
 
@@ -336,6 +337,47 @@ class PatternInterner:
             self._codes.append(code)
             self._code_ids[code] = got
         return got
+
+    def intern_code(self, code: bytes) -> int:
+        """Dense id of a pre-encoded pattern code, assigning if new.
+
+        The fast path for store merges: the caller already holds a
+        :meth:`_encode`-format byte string whose label ids agree with
+        this interner (foreign codes are remapped first — see
+        :meth:`translate_code`), so interning skips the canon walk.
+        Label ids inside the code are validated against the label table;
+        an out-of-range id raises :class:`KeyError`.
+        """
+        got = self._code_ids.get(code)
+        if got is not None:
+            return got
+        flat = array(_CODE_TYPECODE)
+        flat.frombytes(code)
+        limit = len(self._labels)
+        for slot in range(0, len(flat), 2):
+            if flat[slot] >= limit:
+                raise KeyError(
+                    f"pattern code names label id {flat[slot]} but this "
+                    f"interner holds ids 0..{limit - 1}"
+                )
+        got = len(self._codes)
+        self._codes.append(code)
+        self._code_ids[code] = got
+        return got
+
+    @staticmethod
+    def translate_code(code: bytes, label_map: Sequence[int]) -> bytes:
+        """Rewrite a code's label ids through ``label_map`` (old -> new).
+
+        Codes are flat ``(label_id, n_kids)`` pre-order pairs; only the
+        even slots name labels, so translation is a positional rewrite
+        that preserves the pattern's shape exactly.
+        """
+        flat = array(_CODE_TYPECODE)
+        flat.frombytes(code)
+        for slot in range(0, len(flat), 2):
+            flat[slot] = label_map[flat[slot]]
+        return flat.tobytes()
 
     def id_of(self, c: Canon) -> int | None:
         """Id of ``c`` if already interned, else ``None`` (no side effects)."""

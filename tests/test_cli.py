@@ -539,3 +539,96 @@ class TestStatsLatencyQuantiles:
         assert code == 0
         printed = capsys.readouterr().out
         assert "latency p50/p90/p99" in printed
+
+
+class TestShardedSummarize:
+    def test_shards_writes_identical_file(self, xml_file, tmp_path, capsys):
+        serial, sharded = tmp_path / "serial.tl", tmp_path / "sharded.tl"
+        assert main(["summarize", str(xml_file), "-o", str(serial)]) == 0
+        assert (
+            main(["summarize", str(xml_file), "-o", str(sharded), "--shards", "3"])
+            == 0
+        )
+        assert serial.read_bytes() == sharded.read_bytes()
+
+    def test_stream_writes_identical_file(self, xml_file, tmp_path, capsys):
+        serial, streamed = tmp_path / "serial.tl", tmp_path / "streamed.tl"
+        assert main(["summarize", str(xml_file), "-o", str(serial)]) == 0
+        assert (
+            main(["summarize", str(xml_file), "-o", str(streamed), "--stream"]) == 0
+        )
+        assert serial.read_bytes() == streamed.read_bytes()
+        assert "streamed" in capsys.readouterr().out
+
+    def test_shards_and_stream_conflict(self, xml_file, tmp_path, capsys):
+        code = main(
+            [
+                "summarize",
+                str(xml_file),
+                "-o",
+                str(tmp_path / "x.tl"),
+                "--shards",
+                "2",
+                "--stream",
+            ]
+        )
+        assert code == 2
+        assert "at most one" in capsys.readouterr().err
+
+    def test_zero_shards_is_a_usage_error(self, xml_file, tmp_path, capsys):
+        code = main(
+            ["summarize", str(xml_file), "-o", str(tmp_path / "x.tl"), "--shards", "0"]
+        )
+        assert code == 2
+        assert "--shards must be >= 1" in capsys.readouterr().err
+
+
+class TestMerge:
+    def test_merges_summaries(self, summary_file, tmp_path, capsys):
+        out = tmp_path / "merged.tl"
+        code = main(
+            ["merge", str(summary_file), str(summary_file), "-o", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "merged 2 summaries" in capsys.readouterr().out
+
+    def test_merged_counts_double(self, summary_file, tmp_path):
+        from repro.core.lattice import LatticeSummary
+
+        out = tmp_path / "merged.tl"
+        assert (
+            main(["merge", str(summary_file), str(summary_file), "-o", str(out)])
+            == 0
+        )
+        one = dict(LatticeSummary.load(summary_file).patterns())
+        two = dict(LatticeSummary.load(out).patterns())
+        assert two == {key: 2 * count for key, count in one.items()}
+
+    def test_single_input_is_a_usage_error(self, summary_file, tmp_path, capsys):
+        code = main(["merge", str(summary_file), "-o", str(tmp_path / "m.tl")])
+        assert code == 2
+        assert "at least two" in capsys.readouterr().err
+
+    def test_level_mismatch_is_a_usage_error(
+        self, xml_file, summary_file, tmp_path, capsys
+    ):
+        other = tmp_path / "k3.tl"
+        assert main(["summarize", str(xml_file), "-k", "3", "-o", str(other)]) == 0
+        code = main(
+            ["merge", str(summary_file), str(other), "-o", str(tmp_path / "m.tl")]
+        )
+        assert code == 2
+        assert "cannot merge" in capsys.readouterr().err
+
+    def test_missing_input_is_a_usage_error(self, summary_file, tmp_path, capsys):
+        code = main(
+            [
+                "merge",
+                str(summary_file),
+                str(tmp_path / "nope.tl"),
+                "-o",
+                str(tmp_path / "m.tl"),
+            ]
+        )
+        assert code == 2

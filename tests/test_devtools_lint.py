@@ -595,6 +595,7 @@ def test_checker_registry_has_all_documented_rules():
         "worker-purity",
         "pickle-safety",
         "order-discipline",
+        "store-merge-purity",
     }
 
 

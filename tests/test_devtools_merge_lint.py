@@ -1,0 +1,237 @@
+"""store-merge-purity: the monoid-law checker against seeded fixtures."""
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools.lint import Finding, build_project, lint_paths
+from repro.devtools.lint.merge_checkers import merge_analysis_for
+
+BASE = """\
+    class SummaryStore:
+        def merge(self, other):
+            raise NotImplementedError
+"""
+
+
+def make_package(tmp_path: Path, files: dict[str, str]) -> Path:
+    root = tmp_path / "fixture"
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def findings_for_rule(root: Path, rule: str) -> list[Finding]:
+    return [f for f in lint_paths([root]) if f.rule == rule]
+
+
+def test_clean_merge_is_silent(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/store/__init__.py": "",
+            "pkg/store/base.py": BASE,
+            "pkg/store/impl.py": """\
+                from .base import SummaryStore
+
+                class FreshStore(SummaryStore):
+                    def __init__(self):
+                        self._counts = {}
+
+                    def merge(self, other):
+                        merged = FreshStore()
+                        counts = dict(self._counts)
+                        for key, count in other._counts.items():
+                            counts[key] = counts.get(key, 0) + count
+                        merged._counts = counts
+                        return merged
+            """,
+        },
+    )
+    assert findings_for_rule(root, "store-merge-purity") == []
+
+
+def test_operand_mutation_is_flagged(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/store/__init__.py": "",
+            "pkg/store/base.py": BASE,
+            "pkg/store/impl.py": """\
+                from .base import SummaryStore
+
+                class InPlaceStore(SummaryStore):
+                    def __init__(self):
+                        self._counts = {}
+
+                    def merge(self, other):
+                        self._counts["total"] = 1
+                        other._counts.update({})
+                        return self
+            """,
+        },
+    )
+    findings = findings_for_rule(root, "store-merge-purity")
+    messages = [f.message for f in findings]
+    assert any("writes through operand 'self'" in m for m in messages)
+    assert any("calls .update() on operand 'other'" in m for m in messages)
+
+
+def test_environ_and_unsorted_set_are_flagged(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/store/__init__.py": "",
+            "pkg/store/base.py": BASE,
+            "pkg/store/impl.py": """\
+                import os
+
+                from .base import SummaryStore
+
+                class EnvStore(SummaryStore):
+                    def __init__(self):
+                        self._counts = {}
+
+                    def merge(self, other):
+                        merged = EnvStore()
+                        if os.environ.get("MERGE_MODE"):
+                            return merged
+                        for key in set(self._counts) | set(other._counts):
+                            pass
+                        return merged
+            """,
+        },
+    )
+    findings = findings_for_rule(root, "store-merge-purity")
+    messages = [f.message for f in findings]
+    assert any("reads os.environ" in m for m in messages)
+    assert any("without sorted()" in m for m in messages)
+
+
+def test_sorted_set_iteration_is_endorsed(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/store/__init__.py": "",
+            "pkg/store/base.py": BASE,
+            "pkg/store/impl.py": """\
+                from .base import SummaryStore
+
+                class SortedStore(SummaryStore):
+                    def __init__(self):
+                        self._counts = {}
+
+                    def merge(self, other):
+                        merged = SortedStore()
+                        for key in sorted(set(self._counts) | set(other._counts)):
+                            merged._counts[key] = 1
+                        return merged
+            """,
+        },
+    )
+    assert findings_for_rule(root, "store-merge-purity") == []
+
+
+def test_closure_follows_helpers_inside_the_store_package(tmp_path):
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/util.py": """\
+                def outside(items: set) -> None:
+                    for item in items:
+                        pass
+            """,
+            "pkg/store/__init__.py": "",
+            "pkg/store/base.py": BASE,
+            "pkg/store/helpers.py": """\
+                def fold(items: set) -> None:
+                    for item in items:
+                        pass
+            """,
+            "pkg/store/impl.py": """\
+                from ..util import outside
+                from .base import SummaryStore
+                from .helpers import fold
+
+                class HelperStore(SummaryStore):
+                    def merge(self, other):
+                        fold({1, 2})
+                        outside({3, 4})
+                        return HelperStore()
+            """,
+        },
+    )
+    findings = findings_for_rule(root, "store-merge-purity")
+    # The helper inside pkg/store is in the merge closure and flagged
+    # (with its merge-impl origin); the one outside the package is not.
+    assert len(findings) == 1
+    assert findings[0].path.endswith("helpers.py")
+    assert "merge implementation 'pkg.store.impl.HelperStore.merge'" in (
+        findings[0].message
+    )
+
+
+def test_helper_mutating_its_own_self_is_not_an_operand_write(tmp_path):
+    # Operand-mutation only applies to merge implementations themselves:
+    # a builder method growing a *fresh* store via its own ``self`` is
+    # exactly how merges are supposed to be written.
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/store/__init__.py": "",
+            "pkg/store/base.py": BASE,
+            "pkg/store/impl.py": """\
+                from .base import SummaryStore
+
+                class GrowStore(SummaryStore):
+                    def __init__(self):
+                        self._counts = {}
+
+                    def absorb(self, key, count):
+                        self._counts[key] = self._counts.get(key, 0) + count
+
+                    def merge(self, other):
+                        merged = GrowStore()
+                        for key, count in other._counts.items():
+                            merged.absorb(key, count)
+                        return merged
+            """,
+        },
+    )
+    assert findings_for_rule(root, "store-merge-purity") == []
+
+
+def test_merge_analysis_maps_real_repo_impls(tmp_path):
+    # On a fixture with overrides, the analysis collects base + subclass
+    # merge implementations and scopes the closure to the store package.
+    root = make_package(
+        tmp_path,
+        {
+            "pkg/__init__.py": "",
+            "pkg/store/__init__.py": "",
+            "pkg/store/base.py": BASE,
+            "pkg/store/impl.py": """\
+                from .base import SummaryStore
+
+                class A(SummaryStore):
+                    def merge(self, other):
+                        return A()
+
+                class B(SummaryStore):
+                    def merge(self, other):
+                        return B()
+            """,
+        },
+    )
+    project = build_project([root])
+    analysis = merge_analysis_for(project)
+    assert "pkg.store.impl:A.merge" in analysis.impls
+    assert "pkg.store.impl:B.merge" in analysis.impls
+    assert "pkg.store.base:SummaryStore.merge" in analysis.impls

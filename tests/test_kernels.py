@@ -319,10 +319,17 @@ class TestGatherCounts:
 
     def test_missing_id_raises_with_id_in_message(self) -> None:
         store = make_store()
-        with pytest.raises(IndexError, match=r"pattern id 7 not in store"):
+        with pytest.raises(KeyError, match=r"pattern id 7 not in store"):
             store.gather_counts([0, 7])
-        with pytest.raises(IndexError, match=r"pattern id -1 not in store"):
+        with pytest.raises(KeyError, match=r"pattern id -1 not in store"):
             store.gather_counts([-1])
+
+    def test_unknown_id_never_wraps_around(self) -> None:
+        # A negative id must not silently read from the end of the
+        # count vector the way a raw array index would.
+        store = make_store()
+        with pytest.raises(KeyError, match=r"pattern id -2 not in store"):
+            store.gather_counts([-2])
 
     def test_missing_substitute(self) -> None:
         store = make_store()

@@ -1,0 +1,236 @@
+"""Shard → merge mining: exact partition plans, bit-identical results.
+
+The headline acceptance property: for any document, level, and shard
+count, :func:`~repro.mining.mine_lattice_sharded` returns *exactly*
+what the serial miner returns — the same counts in the same dict order,
+level by level.  Hypothesis drives random trees through random shard
+counts; fixed tests pin the planner's partition invariants, the
+residue-anchored boundary correction, the worker fan-out, and the
+checksummed shard-payload transport under fault injection.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import LabeledTree, LatticeSummary
+from repro.datasets import generate_nasa, generate_xmark
+from repro.mining import anchored_counts, mine_lattice, mine_lattice_sharded
+from repro.parallel.sharding import ShardMiningPool
+from repro.resilience import fault_plan
+from repro.store import ChecksumMismatch, DictStore
+from repro.trees import RegionIndex, plan_shards
+from repro.trees.matching import DocumentIndex
+
+LABELS = "abcd"
+
+
+@st.composite
+def random_tree(draw, min_size=1, max_size=14, labels=LABELS):
+    """Uniform-ish random labeled tree via random parent pointers."""
+    size = draw(st.integers(min_size, max_size))
+    parent_choices = [draw(st.integers(0, i - 1)) for i in range(1, size)]
+    node_labels = [draw(st.sampled_from(labels)) for _ in range(size)]
+    tree = LabeledTree(node_labels[0])
+    for i in range(1, size):
+        tree.add_child(parent_choices[i - 1], node_labels[i])
+    return tree
+
+
+def assert_levels_identical(sharded, serial):
+    """Counts AND dict order must match, level by level."""
+    assert list(sharded.levels) == list(serial.levels)
+    for size in serial.levels:
+        assert list(sharded.levels[size].items()) == list(
+            serial.levels[size].items()
+        )
+
+
+# ----------------------------------------------------------------------
+# plan_shards
+# ----------------------------------------------------------------------
+
+
+class TestShardPlan:
+    def test_rejects_bad_shard_counts(self):
+        tree = LabeledTree("a")
+        with pytest.raises(ValueError, match="shards"):
+            plan_shards(tree, 0)
+
+    def test_single_shard_is_the_whole_document(self):
+        tree = LabeledTree.from_nested(("a", [("b", []), ("c", [("b", [])])]))
+        plan = plan_shards(tree, 1)
+        assert plan.roots == (tree.root,)
+        assert plan.residue == ()
+        assert plan.num_shards == 1
+
+    def test_single_node_document(self):
+        plan = plan_shards(LabeledTree("a"), 5)
+        assert plan.roots == (0,)
+        assert plan.residue == ()
+
+    @settings(max_examples=60, deadline=None)
+    @given(tree=random_tree(), shards=st.integers(1, 6))
+    def test_plan_is_an_exact_partition(self, tree, shards):
+        plan = plan_shards(tree, shards)
+        regions = RegionIndex(tree)
+        seen: set[int] = set(plan.residue)
+        assert len(seen) == len(plan.residue)
+        for root in plan.roots:
+            span = regions.region(root)
+            subtree = {
+                node
+                for node in range(tree.size)
+                if span.contains(regions.region(node))
+            }
+            assert len(subtree) == regions.subtree_size(root)
+            assert not (seen & subtree)  # pairwise disjoint
+            seen |= subtree
+        assert seen == set(range(tree.size))  # covers every node
+
+    @settings(max_examples=30, deadline=None)
+    @given(tree=random_tree(min_size=2), shards=st.integers(1, 6))
+    def test_residue_nodes_are_shard_root_ancestors(self, tree, shards):
+        plan = plan_shards(tree, shards)
+        root_set = set(plan.roots)
+        for node in plan.residue:
+            assert node not in root_set
+            # Every residue node has some shard root strictly below it.
+            stack = list(tree.child_ids(node))
+            found = False
+            while stack:
+                child = stack.pop()
+                if child in root_set:
+                    found = True
+                    break
+                stack.extend(tree.child_ids(child))
+            assert found
+
+
+# ----------------------------------------------------------------------
+# anchored_counts
+# ----------------------------------------------------------------------
+
+
+class TestAnchoredCounts:
+    def test_empty_anchor_set_counts_nothing(self):
+        tree = LabeledTree.from_nested(("a", [("b", [])]))
+        assert anchored_counts(DocumentIndex(tree), (), 3) == {}
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree=random_tree(max_size=10), level=st.integers(1, 3))
+    def test_all_nodes_anchored_recovers_full_counts(self, tree, level):
+        # Every occurrence maps its root to exactly one node, so
+        # anchoring at every node recovers the whole-document counts.
+        index = DocumentIndex(tree)
+        full = dict(mine_lattice(tree, level).all_patterns())
+        assert anchored_counts(index, tuple(range(tree.size)), level) == full
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree=random_tree(max_size=10), level=st.integers(1, 3))
+    def test_anchor_partition_sums_to_full_counts(self, tree, level):
+        # Splitting the anchor set splits the counts additively — the
+        # monoid structure the boundary correction relies on.
+        index = DocumentIndex(tree)
+        mid = tree.size // 2
+        low = anchored_counts(index, tuple(range(mid)), level)
+        high = anchored_counts(index, tuple(range(mid, tree.size)), level)
+        total: dict = dict(low)
+        for key, count in high.items():
+            total[key] = total.get(key, 0) + count
+        assert total == dict(mine_lattice(tree, level).all_patterns())
+
+
+# ----------------------------------------------------------------------
+# Bit-identical equivalence
+# ----------------------------------------------------------------------
+
+
+class TestShardedEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        tree=random_tree(),
+        level=st.integers(1, 4),
+        shards=st.integers(1, 8),
+    )
+    def test_sharded_matches_serial_bit_for_bit(self, tree, level, shards):
+        serial = mine_lattice(tree, level)
+        sharded = mine_lattice_sharded(tree, level, shards=shards)
+        assert_levels_identical(sharded, serial)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4, 9, 1000])
+    def test_xmark_fixture(self, shards):
+        document = generate_xmark(scale=30, seed=5)
+        serial = mine_lattice(document, 3)
+        sharded = mine_lattice_sharded(document, 3, shards=shards)
+        assert_levels_identical(sharded, serial)
+
+    def test_nasa_fixture_level4(self):
+        document = generate_nasa(n_records=10, seed=2)
+        serial = mine_lattice(document, 4)
+        sharded = mine_lattice_sharded(document, 4, shards=6)
+        assert_levels_identical(sharded, serial)
+
+    def test_chain_document(self):
+        document = LabeledTree.path(list("abcabcab"))
+        serial = mine_lattice(document, 3)
+        sharded = mine_lattice_sharded(document, 3, shards=3)
+        assert_levels_identical(sharded, serial)
+
+    def test_sink_receives_serial_order(self):
+        document = generate_xmark(scale=20, seed=1)
+        serial_sink, sharded_sink = DictStore(), DictStore()
+        mine_lattice(document, 3, sink=serial_sink)
+        mine_lattice_sharded(document, 3, shards=4, sink=sharded_sink)
+        assert list(sharded_sink.items()) == list(serial_sink.items())
+
+    def test_rejects_bad_max_size(self):
+        with pytest.raises(ValueError, match="max_size"):
+            mine_lattice_sharded(LabeledTree("a"), 0, shards=2)
+
+    def test_summary_build_routes_through_shards(self):
+        document = generate_xmark(scale=20, seed=3)
+        serial = LatticeSummary.build(document, 3)
+        sharded = LatticeSummary.build(document, 3, shards=4)
+        assert list(sharded.patterns()) == list(serial.patterns())
+
+
+# ----------------------------------------------------------------------
+# Worker fan-out and payload transport
+# ----------------------------------------------------------------------
+
+
+class TestShardWorkers:
+    def test_parallel_shards_match_serial(self):
+        document = generate_xmark(scale=30, seed=7)
+        serial = mine_lattice(document, 3)
+        sharded = mine_lattice_sharded(document, 3, shards=4, workers=2)
+        assert_levels_identical(sharded, serial)
+
+    def test_pool_requires_two_workers(self):
+        with pytest.raises(ValueError, match="workers >= 2"):
+            ShardMiningPool(3, 1)
+
+    def test_pool_returns_stores_in_shard_order(self):
+        trees = [
+            LabeledTree.from_nested(("a", [("b", [])])),
+            LabeledTree.from_nested(("c", [("d", []), ("d", [])])),
+        ]
+        with ShardMiningPool(2, 2) as pool:
+            stores = pool.mine(trees)
+        assert [dict(s.items())[("a", (("b", ()),))] for s in stores[:1]] == [1]
+        assert dict(stores[1].items())[("c", ())] == 1
+
+    def test_empty_subtree_list(self):
+        with ShardMiningPool(2, 2) as pool:
+            assert pool.mine([]) == []
+
+    def test_corrupted_shard_payload_dies_typed(self):
+        # The chaos leg's contract: a shard payload corrupted in flight
+        # must fail the CRC re-verify with a typed ChecksumMismatch —
+        # never merge garbage into the summary.
+        document = generate_xmark(scale=20, seed=9)
+        with fault_plan("corrupt@store.load:times=1"):
+            with pytest.raises(ChecksumMismatch):
+                mine_lattice_sharded(document, 3, shards=4, workers=2)
